@@ -1,0 +1,1 @@
+bench/common.ml: Array Format Halotis_analog Halotis_delay Halotis_engine Halotis_netlist Halotis_power Halotis_report Halotis_stim Halotis_tech Halotis_wave Lazy List Printf String Unix

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Common DL DM Experiment G Halotis_cmos Halotis_tech Iddm Lazy List Printf Stats String Table V

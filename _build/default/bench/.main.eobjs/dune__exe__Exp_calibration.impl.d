@@ -1,0 +1,1 @@
+bench/exp_calibration.ml: Array Common D DL Drive Experiment G Halotis_delay Halotis_logic Halotis_tech Lazy List N Printf Sim Table

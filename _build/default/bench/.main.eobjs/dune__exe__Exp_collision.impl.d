@@ -1,0 +1,1 @@
+bench/exp_collision.ml: Common D DL DM Drive Experiment Float Halotis_logic Halotis_netlist Iddm List Printf Sim Table

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Array Classic Common D DL Drive Experiment Figures G Iddm List N Printf Sim String Table

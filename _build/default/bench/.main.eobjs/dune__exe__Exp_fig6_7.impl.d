@@ -1,0 +1,1 @@
+bench/exp_fig6_7.ml: Array Common D Experiment Figures Format G Halotis_wave Iddm Lazy List Printf Sim V

@@ -1,0 +1,1 @@
+bench/exp_hazard.ml: Array Common D DL DM Drive Experiment Format G Halotis_sta Halotis_util Hashtbl Iddm Lazy List N Printf

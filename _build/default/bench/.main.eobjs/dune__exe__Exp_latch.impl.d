@@ -1,0 +1,1 @@
+bench/exp_latch.ml: Array Bool Classic Common D DL Drive Experiment G Iddm List Printf Sim Table

@@ -1,0 +1,1 @@
+bench/exp_mult8.ml: Array Common D DL DM Experiment Format G Iddm List N Printf Stats V

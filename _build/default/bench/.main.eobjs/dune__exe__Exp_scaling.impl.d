@@ -1,0 +1,1 @@
+bench/exp_scaling.ml: Classic Common DL Drive Experiment G Gc Halotis_util Iddm List N Printf Stats Table Unix

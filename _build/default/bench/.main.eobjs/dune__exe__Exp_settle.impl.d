@@ -1,0 +1,1 @@
+bench/exp_settle.ml: Array Common D DL DM Drive Experiment Float G Halotis_sta Halotis_util Iddm Lazy List N Printf Table

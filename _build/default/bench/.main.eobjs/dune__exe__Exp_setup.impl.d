@@ -1,0 +1,1 @@
+bench/exp_setup.ml: Array Common D DL Drive Experiment Float G Iddm List Printf Sim Table

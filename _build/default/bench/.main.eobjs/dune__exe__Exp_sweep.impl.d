@@ -1,0 +1,1 @@
+bench/exp_sweep.ml: Classic Common D DL DM Drive Experiment Float G Iddm Lazy List N Printf Sim Table

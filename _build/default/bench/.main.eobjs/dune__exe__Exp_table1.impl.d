@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Act Common Experiment Iddm List Printf Stats Table V

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Analyze Bechamel Benchmark Common Experiment Filename Gc Hashtbl Iddm Instance List Measure Printf Staged Stats String Table Test Time Toolkit Unix V

@@ -1,0 +1,1 @@
+bench/exp_tree.ml: Act Common DL DM Experiment G Halotis_netlist Halotis_power Iddm List N Printf Table V

@@ -1,0 +1,1 @@
+bench/exp_vdd.ml: Common D DL Drive Experiment Float G Halotis_cmos Halotis_tech Iddm Lazy List N Printf Sim String Table

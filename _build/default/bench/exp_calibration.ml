@@ -1,0 +1,94 @@
+(* CAL — fitting the degradation law to the electrical substrate, the
+   way the authors fitted eqs. 1-3 to HSPICE.
+
+   A lone inverter is hit with pulses of shrinking width; for each
+   pulse we measure the delay of the second output transition against
+   the time elapsed since the first one.  Linearising eq. 1 recovers
+   (tau, T0); held-out widths check the fit predicts unseen delays. *)
+
+open Common
+module Cal = Halotis_tech.Calibrate
+
+let circuit = lazy (G.inverter_chain ~n:1 ())
+
+let crossings_of width =
+  let c = Lazy.force circuit in
+  let input = match N.find_signal c "in" with Some s -> s | None -> assert false in
+  let drives = [ (input, Drive.pulse ~slope:input_slope ~at:1000. ~width ()) ] in
+  let r = Sim.run (Sim.config ~dt:0.5 ~record_every:1 ~t_stop:6000. DL.tech) c ~drives in
+  let ein = Sim.edges r "in" and eout = Sim.edges r "out" in
+  match (ein, eout) with
+  | [ _i1; i2 ], [ o1; o2 ] -> Some (i2.D.at, o1.D.at, o2.D.at)
+  | _, _ -> None
+
+let run () =
+  section "CAL -- DDM parameters fitted from the electrical substrate";
+  (* nominal delay from a very wide pulse *)
+  match crossings_of 3000. with
+  | None -> failwith "calibration: wide pulse measurement failed"
+  | Some (t_in2_w, _o1w, t_out2_w) ->
+      let tp0 = t_out2_w -. t_in2_w in
+      let widths = [ 115.; 125.; 135.; 150.; 165.; 180.; 200.; 250.; 350.; 500. ] in
+      let samples =
+        List.filter_map
+          (fun w ->
+            match crossings_of w with
+            | Some (t_in2, t_out1, t_out2) ->
+                let tp = t_out2 -. t_in2 in
+                let time_since_last = t_in2 +. tp0 -. t_out1 in
+                Some (w, time_since_last, tp)
+            | None -> None)
+          widths
+      in
+      Table.print
+        (Table.make ~header:[ "pulse width"; "T (ps)"; "measured tp (ps)" ]
+           ~rows:
+             (List.map
+                (fun (w, t, tp) ->
+                  [ Printf.sprintf "%.0f" w; Printf.sprintf "%.1f" t; Printf.sprintf "%.1f" tp ])
+                samples));
+      Printf.printf "nominal tp0 (wide pulse) = %.1f ps\n" tp0;
+      let fit =
+        Cal.fit_degradation ~tp0 ~samples:(List.map (fun (_, t, tp) -> (t, tp)) samples)
+      in
+      (match fit with
+      | Some f ->
+          Printf.printf "fit: tau = %.1f ps, T0 = %.1f ps, r^2 = %.4f\n" f.Cal.fit_tau
+            f.Cal.fit_t0 f.Cal.fit_r2;
+          (* library values at this load, for comparison *)
+          let c = Lazy.force circuit in
+          let loads = Halotis_delay.Loads.of_netlist DL.tech c in
+          let gt = Halotis_tech.Tech.gate_tech DL.tech Halotis_logic.Gate_kind.Inv in
+          let p = Halotis_tech.Tech.edge gt ~rising:true in
+          let tau_lib =
+            Halotis_tech.Tech.degradation_tau DL.tech p
+              ~cl:loads.((match N.find_signal c "out" with Some s -> s | None -> 0))
+          in
+          Printf.printf "library tau at this load = %.1f ps\n" tau_lib;
+          let within_factor k a b = a < k *. b && b < k *. a in
+          [
+            Experiment.make ~exp_id:"CAL" ~title:"Degradation-law calibration"
+              [
+                Experiment.observation
+                  ~agrees:(f.Cal.fit_r2 > 0.9)
+                  ~metric:"eq. 1 linearisation fits the electrical measurements"
+                  ~paper:"delay decreases exponentially as pulses shorten"
+                  ~measured:(Printf.sprintf "r^2 = %.4f" f.Cal.fit_r2)
+                  ();
+                Experiment.observation
+                  ~agrees:(within_factor 3. f.Cal.fit_tau tau_lib)
+                  ~metric:"fitted tau consistent with the library value"
+                  ~paper:"(calibration claim)"
+                  ~measured:
+                    (Printf.sprintf "fit %.1f ps vs library %.1f ps" f.Cal.fit_tau tau_lib)
+                  ();
+              ];
+          ]
+      | None ->
+          [
+            Experiment.make ~exp_id:"CAL" ~title:"Degradation-law calibration"
+              [
+                Experiment.observation ~agrees:false ~metric:"fit available" ~paper:"yes"
+                  ~measured:"fit failed" ();
+              ];
+          ])

@@ -1,0 +1,83 @@
+(* TAB1 — event statistics (paper Table 1): events and filtered events
+   for HALOTIS-DDM vs HALOTIS-CDM on the two sequences, plus the
+   switching-activity overestimation of CDM. *)
+
+open Common
+
+let measure ops =
+  let rd = run_ddm ops in
+  let rc = run_cdm ops in
+  let ra = run_analog ops in
+  let sd = rd.Iddm.stats and sc = rc.Iddm.stats in
+  let actd = Act.of_iddm rd and actc = Act.of_iddm rc in
+  let ea = internal_edges_analog ra in
+  ( (sd.Stats.events_processed, sd.Stats.events_filtered),
+    (sc.Stats.events_processed, sc.Stats.events_filtered),
+    (actd, actc, ea) )
+
+let run () =
+  section "TAB1 -- simulation statistics (Table 1)";
+  let rows, observations =
+    List.split
+      (List.map
+         (fun (label, ops, paper_over) ->
+           let (ed, fd), (ec, fc), (actd, actc, analog_edges) = measure ops in
+           let over_events = pct_more ~base:ed ec in
+           let over_act =
+             Act.overestimation_pct ~reference:actd ~candidate:actc
+           in
+           let over_vs_analog = pct_more ~base:analog_edges actc.Act.total_transitions -. 0.
+           in
+           let row =
+             [
+               label;
+               string_of_int ed;
+               string_of_int ec;
+               Printf.sprintf "%.0f%%" over_events;
+               string_of_int fd;
+               string_of_int fc;
+             ]
+           in
+           let obs =
+             [
+               Experiment.observation
+                 ~agrees:(over_events > 5.)
+                 ~metric:(Printf.sprintf "CDM event overestimation (%s)" label)
+                 ~paper:(Printf.sprintf "+%s" paper_over)
+                 ~measured:(Printf.sprintf "+%.0f%% (DDM %d vs CDM %d)" over_events ed ec)
+                 ~note:
+                   "same direction; magnitude depends on how inertial the cell \
+                    library is -- ours is calibrated against the analog substrate"
+                 ();
+               Experiment.observation
+                 ~metric:(Printf.sprintf "filtered events, DDM vs CDM (%s)" label)
+                 ~paper:"27 vs 1 / 66 vs 6"
+                 ~measured:(Printf.sprintf "%d vs %d" fd fc)
+                 ~note:
+                   "qualitative: our HALOTIS-CDM keeps the full transition/event \
+                    machinery (only the delay law changes), so rise/fall asymmetry \
+                    still collapses some pulses; the paper's CDM filtered almost \
+                    nothing"
+                 ();
+               Experiment.observation
+                 ~agrees:(over_act > 5. && over_vs_analog > 5.)
+                 ~metric:(Printf.sprintf "CDM switching-activity overestimation (%s)" label)
+                 ~paper:"up to 40%"
+                 ~measured:
+                   (Printf.sprintf "+%.0f%% vs DDM, +%.0f%% vs analog reference" over_act
+                      over_vs_analog)
+                 ();
+             ]
+           in
+           (row, obs))
+         [
+           ("seq A (0x0,7x7,5xA,Ex6,FxF)", V.paper_sequence_a, "47%");
+           ("seq B (0x0,FxF,0x0,FxF,0x0)", V.paper_sequence_b, "52%");
+         ])
+  in
+  Table.print
+    (Table.make
+       ~header:
+         [ "sequence"; "events DDM"; "events CDM"; "overst. CDM"; "filtered DDM"; "filtered CDM" ]
+       ~rows);
+  [ Experiment.make ~exp_id:"TAB1" ~title:"Simulation statistics" (List.concat observations) ]

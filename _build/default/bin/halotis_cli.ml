@@ -1,0 +1,630 @@
+(* halotis — command-line front end.
+
+   Subcommands:
+     halotis check    CIRCUIT.hnl
+     halotis generate KIND [-o FILE] [--m N] [--n N] [--bits N] ...
+     halotis simulate CIRCUIT.hnl --stim STIM.hsv [--model ddm|cdm|classic]
+                      [--vcd FILE] [--diagram] [--t-stop PS]
+     halotis compare  CIRCUIT.hnl --stim STIM.hsv [--t-stop PS]              *)
+
+open Cmdliner
+
+module N = Halotis_netlist.Netlist
+module Hnl = Halotis_netlist.Hnl
+module Check = Halotis_netlist.Check
+module G = Halotis_netlist.Generators
+module Iddm = Halotis_engine.Iddm
+module Classic = Halotis_engine.Classic
+module Digital = Halotis_wave.Digital
+module Vcd = Halotis_wave.Vcd
+module Sim = Halotis_analog.Sim
+module Stimfile = Halotis_stim.Stimfile
+module DL = Halotis_tech.Default_lib
+module DM = Halotis_delay.Delay_model
+module Figures = Halotis_report.Figures
+module Table = Halotis_report.Table
+module Sta = Halotis_sta.Sta
+module Liberty = Halotis_liberty.Liberty
+module Lib_fit = Halotis_liberty.Fit
+module Lib_writer = Halotis_liberty.Writer
+
+let vt = DL.vdd /. 2.
+
+(* --- shared loading helpers --- *)
+
+let load_circuit path =
+  (* dispatch on extension: .bench is ISCAS-85, anything else is HNL *)
+  if Filename.check_suffix path ".bench" then
+    match Halotis_netlist.Iscas.parse_file path with
+    | Ok c -> Ok c
+    | Error e -> Error (Format.asprintf "%s: %a" path Halotis_netlist.Iscas.pp_error e)
+    | exception Sys_error m -> Error m
+  else
+    match Hnl.parse_file path with
+    | Ok c -> Ok c
+    | Error e -> Error (Format.asprintf "%s: %a" path Hnl.pp_error e)
+    | exception Sys_error m -> Error m
+
+let load_drives path circuit =
+  match Stimfile.parse_file path with
+  | Error e -> Error (Format.asprintf "%s: %a" path Stimfile.pp_error e)
+  | exception Sys_error m -> Error m
+  | Ok stim -> Stimfile.bind stim circuit
+
+let load_tech = function
+  | None -> DL.tech
+  | Some path -> (
+      match Liberty.parse_file path with
+      | Ok lib ->
+          let tech, qualities =
+            Lib_fit.to_tech ~base:DL.tech ~kind_of_cell:Lib_fit.default_kind_of_cell lib
+          in
+          List.iter
+            (fun (kind, q) ->
+              Printf.eprintf "liberty: fitted %s (delay rmse %.2f ps)\n"
+                (Halotis_logic.Gate_kind.name kind)
+                q.Lib_fit.delay_rmse)
+            qualities;
+          tech
+      | Error e ->
+          Format.eprintf "halotis: %s: %a@." path Liberty.pp_error e;
+          exit 1
+      | exception Sys_error m ->
+          prerr_endline ("halotis: " ^ m);
+          exit 1)
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+      prerr_endline ("halotis: " ^ m);
+      exit 1
+
+(* --- check --- *)
+
+let run_check path =
+  let c = or_die (load_circuit path) in
+  Format.printf "%a@." N.pp_summary c;
+  (match Check.depth c with
+  | Some d -> Printf.printf "logic depth: %d\n" d
+  | None -> print_endline "logic depth: n/a (cyclic)");
+  Printf.printf "max fanout: %d\n" (Check.max_fanout c);
+  match Check.structural_issues c with
+  | [] ->
+      print_endline "structure: clean";
+      0
+  | issues ->
+      List.iter (fun i -> Format.printf "issue: %a@." (Check.pp_issue c) i) issues;
+      1
+
+(* --- generate --- *)
+
+let run_generate kind m n bits gates inputs seed output format =
+  let circuit =
+    match kind with
+    | "mult" -> (G.array_multiplier ~m ~n ()).G.mult_circuit
+    | "mult-nand" -> (G.array_multiplier ~nand_only:true ~m ~n ()).G.mult_circuit
+    | "wallace" -> (G.wallace_multiplier ~m ~n ()).G.mult_circuit
+    | "rca" -> (G.ripple_carry_adder ~bits ()).G.adder_circuit
+    | "chain" -> G.inverter_chain ~n ()
+    | "fig1" -> (G.fig1_circuit ()).G.circuit
+    | "latch" -> (G.sr_latch ()).G.latch_circuit
+    | "latch-glitch" -> (G.latch_glitch_circuit ()).G.lg_circuit
+    | "c17" -> Lazy.force Halotis_netlist.Iscas.c17
+    | "random" -> G.random_combinational ~gates ~inputs ~seed ()
+    | other ->
+        prerr_endline
+          ("halotis: unknown generator " ^ other
+         ^ " (expected mult, mult-nand, wallace, rca, chain, fig1, latch, latch-glitch, \
+            random)");
+        exit 1
+  in
+  let render () =
+    match format with
+    | `Hnl -> Ok (Hnl.to_string circuit)
+    | `Bench -> Halotis_netlist.Iscas.to_string circuit
+  in
+  (match render () with
+  | Error m ->
+      prerr_endline ("halotis: " ^ m);
+      exit 1
+  | Ok text -> (
+      match output with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Format.printf "wrote %a to %s@." N.pp_summary circuit path
+      | None -> print_string text));
+  0
+
+(* --- simulate --- *)
+
+let print_diagram c edges_of t1 =
+  let lanes =
+    List.map
+      (fun sid ->
+        let name = N.signal_name c sid in
+        let initial, edges = edges_of sid in
+        Figures.lane_of_edges ~label:name ~initial edges)
+      (N.primary_outputs c)
+  in
+  print_string (Figures.timing_diagram ~width:100 ~t0:0. ~t1 lanes)
+
+let print_power_report tech c (r : Iddm.result) =
+  let module Act = Halotis_power.Activity in
+  let module Energy = Halotis_power.Energy in
+  let module Glitch = Halotis_power.Glitch in
+  let act = Act.of_iddm r in
+  let energy = Energy.of_report tech c act in
+  Printf.printf "activity: %d transitions, %d complete pulses\n" act.Act.total_transitions
+    act.Act.full_pulses;
+  Printf.printf "dynamic energy: %.2f pJ\n" (energy.Energy.total_fj /. 1000.);
+  print_endline "busiest signals:";
+  List.iter (fun (name, n) -> Printf.printf "  %-14s %d\n" name n) (Act.busiest act ~n:5);
+  print_endline "pulse-width histogram:";
+  Format.printf "%a"
+    Glitch.pp_histogram
+    (Glitch.pulse_width_histogram ~vt:(DL.vdd /. 2.) r.Iddm.waveforms)
+
+let run_simulate path stim_path model t_stop vcd_path diagram liberty report =
+  let tech = load_tech liberty in
+  let c = or_die (load_circuit path) in
+  let drives = or_die (load_drives stim_path c) in
+  let horizon =
+    match t_stop with
+    | Some t -> t
+    | None ->
+        (* last stimulus change + slack for propagation *)
+        let last =
+          List.fold_left
+            (fun acc (_, (d : Halotis_engine.Drive.t)) ->
+              List.fold_left
+                (fun acc (tr : Halotis_wave.Transition.t) ->
+                  Float.max acc tr.Halotis_wave.Transition.start)
+                acc d.Halotis_engine.Drive.transitions)
+            0. drives
+        in
+        last +. 10_000.
+  in
+  (match model with
+  | `Ddm | `Cdm ->
+      let kind = if model = `Ddm then DM.Ddm else DM.Cdm in
+      let r = Iddm.run (Iddm.config ~delay_kind:kind ~t_stop:horizon tech) c ~drives in
+      Format.printf "%s: %a@." (DM.kind_to_string kind) Halotis_engine.Stats.pp
+        r.Iddm.stats;
+      List.iter
+        (fun (name, edges) ->
+          Format.printf "%s: %d edges%s@." name (List.length edges)
+            (if edges = [] then ""
+             else
+               ": "
+               ^ String.concat ", " (List.map (Format.asprintf "%a" Digital.pp_edge) edges)))
+        (Iddm.output_edges r);
+      if diagram then
+        print_diagram c
+          (fun sid ->
+            let w = r.Iddm.waveforms.(sid) in
+            (Halotis_wave.Waveform.initial w > vt, Digital.edges w ~vt))
+          horizon;
+      if report then print_power_report tech c r;
+      (match vcd_path with
+      | Some p ->
+          let dumps =
+            Array.to_list
+              (Array.map
+                 (fun (s : N.signal) ->
+                   Vcd.of_waveform ~name:s.N.signal_name ~vt
+                     r.Iddm.waveforms.(s.N.signal_id))
+                 (N.signals c))
+          in
+          Vcd.write_file p dumps;
+          Printf.printf "vcd written to %s\n" p
+      | None -> ())
+  | `Classic ->
+      let r = Classic.run (Classic.config ~t_stop:horizon tech) c ~drives in
+      Format.printf "classic: %a@." Halotis_engine.Stats.pp r.Classic.stats;
+      List.iter
+        (fun sid ->
+          Format.printf "%s: %d edges@." (N.signal_name c sid)
+            (List.length r.Classic.edges.(sid)))
+        (N.primary_outputs c);
+      if diagram then
+        print_diagram c
+          (fun sid -> (r.Classic.initial_levels.(sid), r.Classic.edges.(sid)))
+          horizon
+  | `Analog ->
+      let r = Sim.run (Sim.config ~t_stop:horizon tech) c ~drives in
+      List.iter
+        (fun sid ->
+          let name = N.signal_name c sid in
+          Format.printf "%s: %d edges@." name (List.length (Sim.edges r name)))
+        (N.primary_outputs c);
+      if diagram then
+        print_diagram c
+          (fun sid ->
+            let tr = r.Sim.traces.(sid) in
+            (Sim.value_at tr 0. > vt, Sim.crossings tr ~vt))
+          horizon);
+  0
+
+(* --- compare --- *)
+
+let run_compare path stim_path t_stop =
+  let c = or_die (load_circuit path) in
+  let drives = or_die (load_drives stim_path c) in
+  let horizon = match t_stop with Some t -> t | None -> 25_000. in
+  let rd = Iddm.run (Iddm.config ~t_stop:horizon DL.tech) c ~drives in
+  let rc = Iddm.run (Iddm.config ~delay_kind:DM.Cdm ~t_stop:horizon DL.tech) c ~drives in
+  let rcl = Classic.run (Classic.config ~t_stop:horizon DL.tech) c ~drives in
+  let ra = Sim.run (Sim.config ~t_stop:horizon DL.tech) c ~drives in
+  let rows =
+    List.map
+      (fun sid ->
+        let name = N.signal_name c sid in
+        [
+          name;
+          string_of_int (List.length (Sim.edges ra name));
+          string_of_int (Digital.edge_count rd.Iddm.waveforms.(sid) ~vt);
+          string_of_int (Digital.edge_count rc.Iddm.waveforms.(sid) ~vt);
+          string_of_int (List.length rcl.Classic.edges.(sid));
+        ])
+      (N.primary_outputs c)
+  in
+  Table.print
+    (Table.make ~header:[ "output"; "analog"; "ddm"; "cdm"; "classic" ] ~rows);
+  Format.printf "ddm: %a@." Halotis_engine.Stats.pp rd.Iddm.stats;
+  Format.printf "cdm: %a@." Halotis_engine.Stats.pp rc.Iddm.stats;
+  0
+
+(* --- export-verilog --- *)
+
+let run_export path output =
+  let c = or_die (load_circuit path) in
+  let text = Halotis_netlist.Verilog.to_string c in
+  (match output with
+  | Some p ->
+      let oc = open_out p in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" p
+  | None -> print_string text);
+  0
+
+(* --- report-timing --- *)
+
+let run_timing path input_slope liberty period =
+  let tech = load_tech liberty in
+  let c = or_die (load_circuit path) in
+  let t =
+    try Sta.analyze ~input_slope tech c
+    with Invalid_argument m ->
+      prerr_endline ("halotis: " ^ m);
+      exit 1
+  in
+  Format.printf "%a@." N.pp_summary c;
+  Printf.printf "worst arrival: %.1f ps%s\n" (Sta.worst t)
+    (match Sta.worst_output t with
+    | Some s -> " at output " ^ N.signal_name c s
+    | None -> "");
+  print_endline "critical path:";
+  Format.printf "%a" (Sta.pp_path c) (Sta.critical_path t);
+  print_endline "per-output arrivals:";
+  List.iter
+    (fun sid ->
+      let a = Sta.arrival t sid in
+      let v = Float.max a.Sta.rise_at a.Sta.fall_at in
+      if v > neg_infinity then
+        Printf.printf "  %-12s %.1f ps\n" (N.signal_name c sid) v
+      else Printf.printf "  %-12s (static)\n" (N.signal_name c sid))
+    (N.primary_outputs c);
+  (match period with
+  | None -> ()
+  | Some p ->
+      Printf.printf "slack at a %.0f ps period (min period %.1f ps):\n" p
+        (Sta.min_period t);
+      List.iter
+        (fun (sid, sl) ->
+          Printf.printf "  %-12s %8.1f ps%s\n" (N.signal_name c sid) sl
+            (if sl < 0. then "  VIOLATED" else ""))
+        (Sta.slack t ~period:p));
+  0
+
+(* --- explain --- *)
+
+let run_explain path stim_path signal_name at t_stop =
+  let c = or_die (load_circuit path) in
+  let drives = or_die (load_drives stim_path c) in
+  let sid =
+    match N.find_signal c signal_name with
+    | Some s -> s
+    | None ->
+        prerr_endline ("halotis: unknown signal " ^ signal_name);
+        exit 1
+  in
+  let horizon = match t_stop with Some t -> t | None -> 100_000. in
+  let r = Iddm.run (Iddm.config ~trace:true ~t_stop:horizon DL.tech) c ~drives in
+  let at =
+    match at with
+    | Some t -> t
+    | None -> (
+        (* default: the signal's last edge *)
+        match List.rev (Digital.edges r.Iddm.waveforms.(sid) ~vt) with
+        | e :: _ -> e.Digital.at
+        | [] -> horizon)
+  in
+  let chain = Iddm.explain r ~signal:sid ~at in
+  if chain = [] then begin
+    Printf.printf "%s has no traced activity at %.1f ps\n" signal_name at;
+    0
+  end
+  else begin
+    Printf.printf "causality chain for %s at %.1f ps (input side first):\n" signal_name at;
+    Format.printf "%a" (Iddm.pp_explanation r) chain;
+    0
+  end
+
+(* --- hazards --- *)
+
+let run_hazards path input_slope =
+  let c = or_die (load_circuit path) in
+  let module Hazard = Halotis_sta.Hazard in
+  let h =
+    try Hazard.analyze ~input_slope DL.tech c
+    with Invalid_argument m ->
+      prerr_endline ("halotis: " ^ m);
+      exit 1
+  in
+  let sites = Hazard.sites h in
+  let timing = Hazard.timing_sites h in
+  Format.printf "%a@." N.pp_summary c;
+  Printf.printf "potential glitch sites: %d of %d gates (%d timing, %d function-only)\n"
+    (List.length sites) (N.gate_count c) (List.length timing)
+    (List.length sites - List.length timing);
+  Format.printf "%a" (Hazard.pp_sites c) sites;
+  0
+
+(* --- equiv --- *)
+
+let run_equiv path_a path_b =
+  let a = or_die (load_circuit path_a) in
+  let b = or_die (load_circuit path_b) in
+  let module Equiv = Halotis_netlist.Equiv in
+  let verdict = Equiv.check a b in
+  Format.printf "%a@." Equiv.pp_verdict verdict;
+  match verdict with Equiv.Equivalent -> 0 | Equiv.Counterexample _ | Equiv.Incompatible _ -> 1
+
+(* --- diff-vcd --- *)
+
+let run_diff_vcd path_a path_b tolerance =
+  let load path =
+    match Halotis_wave.Vcd_reader.parse_file path with
+    | Ok t -> t
+    | Error e ->
+        Format.eprintf "halotis: %s: %a@." path Halotis_wave.Vcd_reader.pp_error e;
+        exit 1
+    | exception Sys_error m ->
+        prerr_endline ("halotis: " ^ m);
+        exit 1
+  in
+  let a = load path_a and b = load path_b in
+  let module Vr = Halotis_wave.Vcd_reader in
+  let module Cmp = Halotis_wave.Compare in
+  let reports =
+    List.filter_map
+      (fun (sa : Vr.signal) ->
+        match Vr.find b sa.Vr.rd_name with
+        | Some sb ->
+            Some
+              ( sa.Vr.rd_name,
+                Cmp.edges ~tolerance ~reference:sa.Vr.rd_edges ~candidate:sb.Vr.rd_edges )
+        | None ->
+            Printf.printf "%-16s only in %s\n" sa.Vr.rd_name path_a;
+            None)
+      a.Vr.signals
+  in
+  List.iter
+    (fun (sb : Vr.signal) ->
+      if Vr.find a sb.Vr.rd_name = None then
+        Printf.printf "%-16s only in %s\n" sb.Vr.rd_name path_b)
+    b.Vr.signals;
+  List.iter
+    (fun (name, r) -> Format.printf "%-16s %a@." name Cmp.pp r)
+    reports;
+  let merged = Cmp.merge (List.map snd reports) in
+  Format.printf "overall: %a (agreement %.2f)@." Cmp.pp merged (Cmp.agreement merged);
+  if Cmp.perfect merged then 0 else 1
+
+(* --- characterize --- *)
+
+let run_characterize output =
+  let kinds = Halotis_logic.Gate_kind.all_basic in
+  (match output with
+  | Some p ->
+      Lib_writer.write_file p DL.tech ~kinds;
+      Printf.printf "wrote %s (%d cells)\n" p (List.length kinds)
+  | None -> print_string (Lib_writer.of_tech DL.tech ~kinds));
+  0
+
+(* --- cmdliner wiring --- *)
+
+let circuit_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"CIRCUIT" ~doc:"HNL netlist file.")
+
+let stim_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "stim"; "s" ] ~docv:"STIM" ~doc:"HSV stimulus file.")
+
+let liberty_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "liberty" ] ~docv:"LIB"
+        ~doc:"Liberty file: fit the delay model coefficients from its NLDM tables.")
+
+let t_stop_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "t-stop" ] ~docv:"PS" ~doc:"Simulation horizon in picoseconds.")
+
+let check_cmd =
+  let doc = "structural checks on an HNL netlist" in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run_check $ circuit_arg)
+
+let generate_cmd =
+  let doc = "emit a generated circuit as HNL" in
+  let kind =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KIND"
+          ~doc:"mult, mult-nand, wallace, rca, chain, fig1, latch, latch-glitch or random.")
+  in
+  let m = Arg.(value & opt int 4 & info [ "m" ] ~docv:"N" ~doc:"Multiplicand bits.") in
+  let n =
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Multiplier bits / chain length.")
+  in
+  let bits = Arg.(value & opt int 4 & info [ "bits" ] ~docv:"N" ~doc:"Adder width.") in
+  let gates = Arg.(value & opt int 100 & info [ "gates" ] ~docv:"N" ~doc:"Random gates.") in
+  let inputs = Arg.(value & opt int 8 & info [ "inputs" ] ~docv:"N" ~doc:"Random inputs.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("hnl", `Hnl); ("bench", `Bench) ]) `Hnl
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: hnl (default) or bench.")
+  in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const run_generate $ kind $ m $ n $ bits $ gates $ inputs $ seed $ output $ format)
+
+let model_arg =
+  let model_conv =
+    Arg.enum [ ("ddm", `Ddm); ("cdm", `Cdm); ("classic", `Classic); ("analog", `Analog) ]
+  in
+  Arg.(
+    value & opt model_conv `Ddm
+    & info [ "model"; "m" ] ~docv:"MODEL" ~doc:"ddm (default), cdm, classic or analog.")
+
+let simulate_cmd =
+  let doc = "simulate a netlist under a stimulus file" in
+  let vcd =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc:"Write a VCD dump.")
+  in
+  let diagram =
+    Arg.(value & flag & info [ "diagram"; "d" ] ~doc:"Print an ASCII timing diagram.")
+  in
+  let report =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:"Print switching activity, energy and pulse-width statistics (ddm/cdm only).")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const run_simulate $ circuit_arg $ stim_arg $ model_arg $ t_stop_arg $ vcd $ diagram
+      $ liberty_arg $ report)
+
+let export_cmd =
+  let doc = "export a netlist as structural Verilog" in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v (Cmd.info "export-verilog" ~doc) Term.(const run_export $ circuit_arg $ output)
+
+let timing_cmd =
+  let doc = "static timing analysis (conventional delay model)" in
+  let slope =
+    Arg.(
+      value & opt float 100.
+      & info [ "input-slope" ] ~docv:"PS" ~doc:"Input ramp slope in picoseconds.")
+  in
+  let period =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "period" ] ~docv:"PS" ~doc:"Report per-output slack against this clock period.")
+  in
+  Cmd.v (Cmd.info "report-timing" ~doc)
+    Term.(const run_timing $ circuit_arg $ slope $ liberty_arg $ period)
+
+let explain_cmd =
+  let doc = "trace the event chain behind a signal's activity" in
+  let signal =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "signal" ] ~docv:"NAME" ~doc:"Signal to explain.")
+  in
+  let at =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "at" ] ~docv:"PS" ~doc:"Instant of interest (default: the signal's last edge).")
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run_explain $ circuit_arg $ stim_arg $ signal $ at $ t_stop_arg)
+
+let hazards_cmd =
+  let doc = "static hazard (glitch-site) analysis" in
+  let slope =
+    Arg.(
+      value & opt float 100.
+      & info [ "input-slope" ] ~docv:"PS" ~doc:"Input ramp slope in picoseconds.")
+  in
+  Cmd.v (Cmd.info "hazards" ~doc) Term.(const run_hazards $ circuit_arg $ slope)
+
+let equiv_cmd =
+  let doc = "exhaustive combinational equivalence check" in
+  let file position docv =
+    Arg.(required & pos position (some file) None & info [] ~docv ~doc:"Netlist file.")
+  in
+  Cmd.v (Cmd.info "equiv" ~doc) Term.(const run_equiv $ file 0 "A" $ file 1 "B")
+
+let diff_vcd_cmd =
+  let doc = "compare two VCD dumps edge-for-edge" in
+  let file position docv =
+    Arg.(required & pos position (some file) None & info [] ~docv ~doc:"VCD file.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 100.
+      & info [ "tolerance" ] ~docv:"PS" ~doc:"Edge matching window in picoseconds.")
+  in
+  Cmd.v (Cmd.info "diff-vcd" ~doc)
+    Term.(const run_diff_vcd $ file 0 "A" $ file 1 "B" $ tolerance)
+
+let characterize_cmd =
+  let doc = "export the built-in technology as a Liberty NLDM library" in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v (Cmd.info "characterize" ~doc) Term.(const run_characterize $ output)
+
+let compare_cmd =
+  let doc = "run all four engines and compare output activity" in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run_compare $ circuit_arg $ stim_arg $ t_stop_arg)
+
+let main_cmd =
+  let doc = "HALOTIS: logic timing simulation with the inertial and degradation delay model" in
+  Cmd.group (Cmd.info "halotis" ~version:"1.0.0" ~doc)
+    [
+      check_cmd;
+      generate_cmd;
+      simulate_cmd;
+      compare_cmd;
+      timing_cmd;
+      export_cmd;
+      characterize_cmd;
+      diff_vcd_cmd;
+      hazards_cmd;
+      equiv_cmd;
+      explain_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

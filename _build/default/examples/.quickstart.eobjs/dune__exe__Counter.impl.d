@@ -1,0 +1,1 @@
+examples/counter.ml: Array Format Fun Halotis_engine Halotis_netlist Halotis_report Halotis_stim Halotis_tech Halotis_wave List Printf

@@ -1,0 +1,1 @@
+examples/latch_trigger.ml: Array Halotis_engine Halotis_netlist Halotis_report Halotis_tech Halotis_wave List Printf

@@ -1,0 +1,1 @@
+examples/liberty_flow.ml: Array Format Halotis_engine Halotis_liberty Halotis_logic Halotis_netlist Halotis_stim Halotis_tech Halotis_wave List Printf String

@@ -1,0 +1,1 @@
+examples/liberty_flow.mli:

@@ -1,0 +1,1 @@
+examples/multiplier_waves.mli:

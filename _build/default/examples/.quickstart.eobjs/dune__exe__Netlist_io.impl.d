@@ -1,0 +1,1 @@
+examples/netlist_io.ml: Format Halotis_engine Halotis_netlist Halotis_tech Halotis_wave List Printf

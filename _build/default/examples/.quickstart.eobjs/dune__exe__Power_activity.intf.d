@@ -1,0 +1,1 @@
+examples/power_activity.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Format Halotis_engine Halotis_logic Halotis_netlist Halotis_report Halotis_tech Halotis_wave List Printf

@@ -1,0 +1,1 @@
+examples/timing_analysis.ml: Array Float Format Halotis_engine Halotis_netlist Halotis_sta Halotis_tech Halotis_wave List Printf

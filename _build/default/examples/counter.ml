@@ -1,0 +1,50 @@
+(* A sequential circuit end-to-end: a 3-bit ripple counter made of
+   master-slave flip-flops, clocked from a primary input.  Feedback is
+   handled by the engines' relaxation DC solver; the event loop does
+   the rest.
+
+   Run with:  dune exec examples/counter.exe *)
+
+module G = Halotis_netlist.Generators
+module N = Halotis_netlist.Netlist
+module Iddm = Halotis_engine.Iddm
+module Digital = Halotis_wave.Digital
+module Figures = Halotis_report.Figures
+module DL = Halotis_tech.Default_lib
+
+let bits = 3
+let period = 5000.
+let pulses = 8
+
+let () =
+  let c = G.ripple_counter ~bits () in
+  Format.printf "%a@." N.pp_summary c.G.ctr_circuit;
+  let clk = Halotis_stim.Vectors.clock ~slope:100. ~period ~start:2000. ~pulses () in
+  let r = Iddm.run (Iddm.config DL.tech) c.G.ctr_circuit ~drives:[ (c.G.ctr_clk, clk) ] in
+  Format.printf "stats: %a@.@." Halotis_engine.Stats.pp r.Iddm.stats;
+
+  let vt = DL.vdd /. 2. in
+  let horizon = 2000. +. (period *. float_of_int pulses) in
+  let lanes =
+    Figures.lane_of_waveform ~label:"clk" ~vt r.Iddm.waveforms.(c.G.ctr_clk)
+    :: List.mapi
+         (fun i s ->
+           Figures.lane_of_waveform ~label:(Printf.sprintf "q%d" i) ~vt r.Iddm.waveforms.(s))
+         c.G.ctr_q
+  in
+  print_string (Figures.timing_diagram ~width:100 ~t0:0. ~t1:horizon lanes);
+
+  let value t =
+    List.fold_left
+      (fun acc (i, s) ->
+        if Digital.level_at r.Iddm.waveforms.(s) ~vt t then acc lor (1 lsl i) else acc)
+      0
+      (List.mapi (fun i s -> (i, s)) c.G.ctr_q)
+  in
+  print_newline ();
+  List.iter
+    (fun k ->
+      Printf.printf "after %d pulse%s: %d\n" k
+        (if k = 1 then "" else "s")
+        (value (1900. +. (period *. float_of_int k))))
+    (List.init (pulses + 1) Fun.id)

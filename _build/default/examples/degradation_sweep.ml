@@ -1,0 +1,70 @@
+(* The degradation band (paper Section 2): sweep an input pulse width
+   through a two-inverter chain and watch the output pulse shrink
+   continuously before it dies — with a CSV export for plotting.
+
+   Run with:  dune exec examples/degradation_sweep.exe *)
+
+module G = Halotis_netlist.Generators
+module N = Halotis_netlist.Netlist
+module Iddm = Halotis_engine.Iddm
+module Drive = Halotis_engine.Drive
+module Digital = Halotis_wave.Digital
+module Sim = Halotis_analog.Sim
+module DL = Halotis_tech.Default_lib
+module DM = Halotis_delay.Delay_model
+module Table = Halotis_report.Table
+
+let chain = G.inverter_chain ~n:2 ()
+let input = match N.find_signal chain "in" with Some s -> s | None -> assert false
+let vt = DL.vdd /. 2.
+
+let ddm_width kind w =
+  let drives = [ (input, Drive.pulse ~slope:100. ~at:1000. ~width:w ()) ] in
+  let r = Iddm.run (Iddm.config ~delay_kind:kind DL.tech) chain ~drives in
+  match Digital.pulses (Iddm.waveform r "out") ~vt with
+  | [ p ] -> Some p.Digital.width
+  | [] | _ :: _ :: _ -> None
+
+let analog_width w =
+  let drives = [ (input, Drive.pulse ~slope:100. ~at:1000. ~width:w ()) ] in
+  let r = Sim.run (Sim.config ~t_stop:8000. DL.tech) chain ~drives in
+  match Sim.edges r "out" with
+  | [ e1; e2 ] -> Some (e2.Digital.at -. e1.Digital.at)
+  | _ -> None
+
+let () =
+  let widths = List.init 37 (fun i -> 80. +. (10. *. float_of_int i)) in
+  let cell = function Some w -> Printf.sprintf "%.1f" w | None -> "" in
+  let rows =
+    List.map
+      (fun w ->
+        [
+          Printf.sprintf "%.0f" w;
+          cell (analog_width w);
+          cell (ddm_width DM.Ddm w);
+          cell (ddm_width DM.Cdm w);
+        ])
+      widths
+  in
+  let table =
+    Table.make ~header:[ "input_width_ps"; "analog"; "ddm"; "cdm" ] ~rows
+  in
+  Table.print table;
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "halotis_sweep.csv" in
+  let oc = open_out path in
+  output_string oc (Table.to_csv table);
+  close_out oc;
+  Printf.printf "\nCSV written to %s (empty cell = pulse eliminated)\n" path;
+  (* locate the band *)
+  let first p = List.find_opt p widths in
+  (match
+     ( first (fun w -> ddm_width DM.Ddm w <> None),
+       first (fun w ->
+           match ddm_width DM.Ddm w with Some o -> o > w -. 25. | None -> false) )
+   with
+  | Some death, Some normal ->
+      Printf.printf
+        "DDM: pulses below ~%.0f ps are eliminated; above ~%.0f ps they pass nearly \
+         unchanged; in between they come out visibly narrowed -- the degradation band.\n"
+        death normal
+  | _ -> print_endline "band not located (unexpected)")

@@ -1,0 +1,1 @@
+lib/analog/macromodel.ml: Array Float Halotis_delay Halotis_logic Halotis_netlist Halotis_tech

@@ -1,0 +1,1 @@
+lib/analog/macromodel.mli: Halotis_logic Halotis_netlist Halotis_tech Halotis_util

@@ -1,0 +1,1 @@
+lib/analog/sim.ml: Array Float Halotis_delay Halotis_engine Halotis_logic Halotis_netlist Halotis_tech Halotis_util Halotis_wave Hashtbl List Macromodel Printf

@@ -1,0 +1,1 @@
+lib/analog/sim.mli: Halotis_engine Halotis_netlist Halotis_tech Halotis_util Halotis_wave

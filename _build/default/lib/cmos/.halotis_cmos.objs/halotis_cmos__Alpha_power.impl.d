@@ -1,0 +1,1 @@
+lib/cmos/alpha_power.ml: Float Halotis_logic Halotis_tech

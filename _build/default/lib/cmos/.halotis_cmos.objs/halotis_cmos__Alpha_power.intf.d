@@ -1,0 +1,1 @@
+lib/cmos/alpha_power.mli: Halotis_logic Halotis_tech Halotis_util

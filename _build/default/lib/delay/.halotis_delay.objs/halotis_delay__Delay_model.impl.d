@@ -1,0 +1,1 @@
+lib/delay/delay_model.ml: Array Halotis_netlist Halotis_tech

@@ -1,0 +1,1 @@
+lib/delay/delay_model.mli: Halotis_netlist Halotis_tech

@@ -1,0 +1,1 @@
+lib/delay/loads.ml: Array Halotis_logic Halotis_netlist Halotis_tech

@@ -1,0 +1,1 @@
+lib/delay/loads.mli: Halotis_netlist Halotis_tech

@@ -1,0 +1,1 @@
+lib/delay/thresholds.ml: Array Halotis_netlist Halotis_tech

@@ -1,0 +1,1 @@
+lib/delay/thresholds.mli: Halotis_netlist Halotis_tech Halotis_util

@@ -1,0 +1,41 @@
+module Tech = Halotis_tech.Tech
+module Netlist = Halotis_netlist.Netlist
+
+type kind = Cdm | Ddm
+
+let kind_to_string = function Cdm -> "CDM" | Ddm -> "DDM"
+
+type request = {
+  rising_out : bool;
+  pin : int;
+  tau_in : float;
+  t_event : float;
+  last_output_start : float option;
+}
+
+type response = { tp : float; tau_out : float; tp_nominal : float; degraded : bool }
+
+let compute tech ~gate_tech ~cl kind req =
+  let p = Tech.edge gate_tech ~rising:req.rising_out in
+  let pin_factor = gate_tech.Tech.pin_factor req.pin in
+  let tp0 = Tech.base_delay p ~pin_factor ~cl ~tau_in:req.tau_in in
+  let tau_out = Tech.output_slope p ~cl in
+  match kind with
+  | Cdm -> { tp = tp0; tau_out; tp_nominal = tp0; degraded = false }
+  | Ddm -> (
+      match req.last_output_start with
+      | None -> { tp = tp0; tau_out; tp_nominal = tp0; degraded = false }
+      | Some t_last ->
+          let time_since_last = req.t_event +. tp0 -. t_last in
+          let tau = Tech.degradation_tau tech p ~cl in
+          let t0 = Tech.degradation_t0 tech p ~tau_in:req.tau_in in
+          let tp =
+            Halotis_tech.Calibrate.predicted_delay ~tp0 ~tau ~t0 ~time_since_last
+          in
+          { tp; tau_out; tp_nominal = tp0; degraded = tp < tp0 -. 1e-9 })
+
+let for_gate tech c ~loads gid kind req =
+  let g = Netlist.gate c gid in
+  let gate_tech = Tech.gate_tech tech g.Netlist.kind in
+  let cl = loads.(g.Netlist.output) in
+  compute tech ~gate_tech ~cl kind req

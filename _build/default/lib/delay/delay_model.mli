@@ -1,0 +1,57 @@
+(** The delay models of the paper.
+
+    [Cdm] is the conventional delay model the paper compares against
+    (HALOTIS-CDM): the load/slope macromodel of {!Halotis_tech.Tech}
+    with no state dependence.
+
+    [Ddm] applies the degradation law (eq. 1) on top of the same base
+    delay: given the time [T] elapsed between the previous output
+    transition and the (nominal) instant of the candidate one,
+
+    [tp = tp0 * (1 - exp (-(T - T0) / tau))]
+
+    with [tau]/[T0] from eqs. 2–3.  When [T <= T0] the computed delay
+    collapses to 0: the output ramp then starts at the input event
+    itself and annuls the previous ramp in the waveform store — which
+    is exactly how runt pulses die in this reproduction. *)
+
+type kind = Cdm | Ddm
+
+val kind_to_string : kind -> string
+
+type request = {
+  rising_out : bool;  (** direction of the candidate output transition *)
+  pin : int;  (** input pin whose event triggers the evaluation *)
+  tau_in : float;  (** slope time of the causing input transition, ps *)
+  t_event : float;  (** instant of the input event, ps *)
+  last_output_start : float option;
+      (** start of the most recent live output transition; [None] when
+          the output never switched *)
+}
+
+type response = {
+  tp : float;  (** propagation delay to the output ramp start, ps; >= 0 *)
+  tau_out : float;  (** output ramp full-swing time, ps *)
+  tp_nominal : float;  (** the undegraded [tp0], ps *)
+  degraded : bool;  (** [tp < tp_nominal] beyond tolerance *)
+}
+
+val compute :
+  Halotis_tech.Tech.t ->
+  gate_tech:Halotis_tech.Tech.gate_tech ->
+  cl:float ->
+  kind ->
+  request ->
+  response
+(** Evaluates the chosen model.  [cl] is the output load in fF. *)
+
+val for_gate :
+  Halotis_tech.Tech.t ->
+  Halotis_netlist.Netlist.t ->
+  loads:float array ->
+  Halotis_netlist.Netlist.gate_id ->
+  kind ->
+  request ->
+  response
+(** Convenience wrapper that fetches [gate_tech] and [cl] from a
+    netlist and a precomputed load table. *)

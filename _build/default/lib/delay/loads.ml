@@ -1,0 +1,28 @@
+module Netlist = Halotis_netlist.Netlist
+module Tech = Halotis_tech.Tech
+
+let signal_load tech c sid =
+  let s = Netlist.signal c sid in
+  let pin_caps =
+    Array.fold_left
+      (fun acc (gid, _pin) ->
+        let g = Netlist.gate c gid in
+        acc +. (Tech.gate_tech tech g.Netlist.kind).Tech.input_cap)
+      0. s.Netlist.loads
+  in
+  let wire = Tech.wire_cap_per_fanout tech *. float_of_int (Array.length s.Netlist.loads) in
+  let extra =
+    match s.Netlist.driver with
+    | None -> 0.
+    | Some gid -> (Netlist.gate c gid).Netlist.extra_load
+  in
+  let measurement =
+    (* A floating output still drives something in a real measurement
+       setup; charge one inverter-equivalent. *)
+    if Array.length s.Netlist.loads = 0 then
+      (Tech.gate_tech tech Halotis_logic.Gate_kind.Inv).Tech.input_cap
+    else 0.
+  in
+  pin_caps +. wire +. extra +. measurement
+
+let of_netlist tech c = Array.init (Netlist.signal_count c) (signal_load tech c)

@@ -1,0 +1,13 @@
+module Netlist = Halotis_netlist.Netlist
+module Tech = Halotis_tech.Tech
+
+let input_vt tech c gid ~pin =
+  let g = Netlist.gate c gid in
+  match g.Netlist.input_vt.(pin) with
+  | Some vt -> vt
+  | None -> (Tech.gate_tech tech g.Netlist.kind).Tech.default_vt
+
+let table tech c =
+  Array.init (Netlist.gate_count c) (fun gid ->
+      let g = Netlist.gate c gid in
+      Array.init (Array.length g.Netlist.fanin) (fun pin -> input_vt tech c gid ~pin))

@@ -1,0 +1,16 @@
+(** Per-input threshold voltages.
+
+    The IDDM gives every gate input its own switching threshold VT; the
+    netlist may override it per pin (Fig. 1's g1/g2), otherwise the
+    technology default applies. *)
+
+val input_vt :
+  Halotis_tech.Tech.t ->
+  Halotis_netlist.Netlist.t ->
+  Halotis_netlist.Netlist.gate_id ->
+  pin:int ->
+  Halotis_util.Units.voltage
+(** Effective VT of pin [pin] of a gate. *)
+
+val table : Halotis_tech.Tech.t -> Halotis_netlist.Netlist.t -> float array array
+(** [table tech c] is indexed [gate_id -> pin -> VT]. *)

@@ -1,0 +1,1 @@
+lib/engine/classic.ml: Array Dc Drive Float Halotis_delay Halotis_logic Halotis_netlist Halotis_tech Halotis_util Halotis_wave Hashtbl List Printf Stats

@@ -1,0 +1,1 @@
+lib/engine/classic.mli: Drive Halotis_netlist Halotis_tech Halotis_util Halotis_wave Stats

@@ -1,0 +1,1 @@
+lib/engine/dc.ml: Array Halotis_logic Halotis_netlist List

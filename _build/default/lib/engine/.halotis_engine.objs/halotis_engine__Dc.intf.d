@@ -1,0 +1,1 @@
+lib/engine/dc.mli: Halotis_netlist

@@ -1,0 +1,1 @@
+lib/engine/drive.ml: Float Halotis_wave List

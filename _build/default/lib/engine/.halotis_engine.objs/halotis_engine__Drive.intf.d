@@ -1,0 +1,1 @@
+lib/engine/drive.mli: Halotis_util Halotis_wave

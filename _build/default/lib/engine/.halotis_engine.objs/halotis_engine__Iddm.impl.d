@@ -1,0 +1,1 @@
+lib/engine/iddm.ml: Array Dc Drive Float Format Halotis_delay Halotis_logic Halotis_netlist Halotis_tech Halotis_util Halotis_wave Hashtbl List Printf Stats

@@ -1,0 +1,1 @@
+lib/engine/iddm.mli: Drive Format Halotis_delay Halotis_netlist Halotis_tech Halotis_util Halotis_wave Stats

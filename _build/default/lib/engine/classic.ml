@@ -1,0 +1,199 @@
+module Netlist = Halotis_netlist.Netlist
+module Check = Halotis_netlist.Check
+module Transition = Halotis_wave.Transition
+module Digital = Halotis_wave.Digital
+module Tech = Halotis_tech.Tech
+module Delay_model = Halotis_delay.Delay_model
+module Heap = Halotis_util.Heap
+module Gate_kind = Halotis_logic.Gate_kind
+module Value = Halotis_logic.Value
+
+type mode = Inertial | Transport
+
+type config = { tech : Tech.t; t_stop : float option; max_events : int; mode : mode }
+
+let config ?t_stop ?(max_events = 10_000_000) ?(mode = Inertial) tech =
+  { tech; t_stop; max_events; mode }
+
+type result = {
+  circuit : Netlist.t;
+  edges : Digital.edge list array;
+  initial_levels : bool array;
+  final_levels : bool array;
+  stats : Stats.t;
+  end_time : float;
+  truncated : bool;
+}
+
+type transaction = { tx_value : bool; tx_window : float }
+
+type state = {
+  cfg : config;
+  c : Netlist.t;
+  value : bool array; (* committed signal values *)
+  pending : ((Netlist.signal_id * transaction) Heap.handle * float * bool) list array;
+      (* per signal: scheduled driver transactions (handle, time, value) *)
+  queue : (Netlist.signal_id * transaction) Heap.t;
+  rev_edges : Digital.edge list array; (* newest first *)
+  loads : float array;
+  stats : Stats.t;
+}
+
+(* The value the driver will settle to once pending transactions fire. *)
+let scheduled_target st sid =
+  let live = List.filter (fun (h, _, _) -> Heap.mem st.queue h) st.pending.(sid) in
+  st.pending.(sid) <- live;
+  match live with (_, _, v) :: _ -> v | [] -> st.value.(sid)
+
+(* Classical inertial scheduling on signal [sid]. *)
+let schedule_inertial st sid ~at ~value ~window =
+  (* Transport preemption: kill pending transactions at or after [at]. *)
+  let keep (h, t, _) =
+    if not (Heap.mem st.queue h) then false
+    else if t >= at then begin
+      ignore (Heap.remove st.queue h);
+      st.stats.Stats.events_filtered <- st.stats.Stats.events_filtered + 1;
+      false
+    end
+    else true
+  in
+  st.pending.(sid) <- List.filter keep st.pending.(sid);
+  let target = match st.pending.(sid) with (_, _, v) :: _ -> v | [] -> st.value.(sid) in
+  if target = value then st.stats.Stats.noop_evaluations <- st.stats.Stats.noop_evaluations + 1
+  else begin
+    (* Inertial rejection: a reversal closer than the gate's window to
+       the previous pending transaction annihilates with it.  Transport
+       mode never rejects. *)
+    match st.pending.(sid) with
+    | (h, t_prev, _) :: rest when st.cfg.mode = Inertial && at -. t_prev < window ->
+        ignore (Heap.remove st.queue h);
+        st.pending.(sid) <- rest;
+        st.stats.Stats.events_filtered <- st.stats.Stats.events_filtered + 2
+    | _ ->
+        let handle = Heap.insert st.queue ~key:at (sid, { tx_value = value; tx_window = window }) in
+        st.pending.(sid) <- (handle, at, value) :: st.pending.(sid);
+        st.stats.Stats.events_scheduled <- st.stats.Stats.events_scheduled + 1
+  end
+
+let evaluate_fanout st ~now sid =
+  (* A gate with several pins on [sid] evaluates once per pin in the
+     paper's event model; one evaluation per distinct gate suffices
+     here because values, not thresholds, drive the baseline. *)
+  List.iter
+    (fun gid ->
+      let g = Netlist.gate st.c gid in
+      let ins = Array.map (fun fid -> st.value.(fid)) g.Netlist.fanin in
+      let new_out = Gate_kind.eval_bool g.Netlist.kind ins in
+      if new_out <> scheduled_target st g.Netlist.output then begin
+        let pin =
+          let rec find i = if g.Netlist.fanin.(i) = sid then i else find (i + 1) in
+          find 0
+        in
+        let req =
+          {
+            Delay_model.rising_out = new_out;
+            pin;
+            tau_in = 0.;
+            t_event = now;
+            last_output_start = None;
+          }
+        in
+        let resp =
+          Delay_model.for_gate st.cfg.tech st.c ~loads:st.loads gid Delay_model.Cdm req
+        in
+        schedule_inertial st g.Netlist.output ~at:(now +. resp.Delay_model.tp) ~value:new_out
+          ~window:resp.Delay_model.tp
+      end
+      else st.stats.Stats.noop_evaluations <- st.stats.Stats.noop_evaluations + 1)
+    (Netlist.fanout_gates st.c sid)
+
+let dc_levels c drives_tbl =
+  let input_level sid =
+    match Hashtbl.find_opt drives_tbl sid with
+    | Some (d : Drive.t) -> d.Drive.initial
+    | None -> false
+  in
+  Dc.levels c ~input_level
+
+let run cfg c ~drives =
+  let drives_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (sid, d) ->
+      Drive.check d;
+      if not (Netlist.signal c sid).Netlist.is_primary_input then
+        invalid_arg
+          (Printf.sprintf "Classic.run: drive on non-input signal %s"
+             (Netlist.signal_name c sid));
+      Hashtbl.replace drives_tbl sid d)
+    drives;
+  let levels = dc_levels c drives_tbl in
+  let nsignals = Netlist.signal_count c in
+  let st =
+    {
+      cfg;
+      c;
+      value = Array.copy levels;
+      pending = Array.make nsignals [];
+      queue = Heap.create ();
+      rev_edges = Array.make nsignals [];
+      loads = Halotis_delay.Loads.of_netlist cfg.tech c;
+      stats = Stats.create ();
+    }
+  in
+  (* Seed input switches at the ramps' 50% instants. *)
+  Hashtbl.iter
+    (fun sid (d : Drive.t) ->
+      List.iter
+        (fun (tr : Transition.t) ->
+          let at = tr.Transition.start +. (tr.Transition.slope_time /. 2.) in
+          let value =
+            match tr.Transition.polarity with
+            | Transition.Rising -> true
+            | Transition.Falling -> false
+          in
+          let handle = Heap.insert st.queue ~key:at (sid, { tx_value = value; tx_window = 0. }) in
+          st.pending.(sid) <- (handle, at, value) :: st.pending.(sid);
+          st.stats.Stats.events_scheduled <- st.stats.Stats.events_scheduled + 1)
+        d.Drive.transitions)
+    drives_tbl;
+  let end_time = ref 0. in
+  let truncated = ref false in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min st.queue with
+    | None -> continue := false
+    | Some (t, (sid, tx)) -> (
+        match cfg.t_stop with
+        | Some stop when t > stop -> continue := false
+        | Some _ | None ->
+            st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1;
+            end_time := Float.max !end_time t;
+            if st.value.(sid) <> tx.tx_value then begin
+              st.value.(sid) <- tx.tx_value;
+              let polarity =
+                if tx.tx_value then Transition.Rising else Transition.Falling
+              in
+              st.rev_edges.(sid) <- { Digital.at = t; polarity } :: st.rev_edges.(sid);
+              st.stats.Stats.transitions_emitted <-
+                st.stats.Stats.transitions_emitted + 1;
+              evaluate_fanout st ~now:t sid
+            end;
+            if st.stats.Stats.events_processed >= cfg.max_events then begin
+              truncated := true;
+              continue := false
+            end)
+  done;
+  {
+    circuit = c;
+    edges = Array.map List.rev st.rev_edges;
+    initial_levels = levels;
+    final_levels = st.value;
+    stats = st.stats;
+    end_time = !end_time;
+    truncated = !truncated;
+  }
+
+let edges_of_name result name =
+  match Netlist.find_signal result.circuit name with
+  | Some sid -> result.edges.(sid)
+  | None -> raise Not_found

@@ -1,0 +1,52 @@
+(** The conventional event-driven simulator HALOTIS is compared
+    against: boolean values, one implicit switching threshold, and the
+    classical inertial-delay rule — a pulse narrower than the gate
+    delay is rejected {e at the driving gate's output}, so either every
+    fanout sees it or none does.  This is the model whose "wrong
+    results" the paper's Fig. 1(c) demonstrates.
+
+    Scheduling semantics per gate output (textbook VHDL-style inertial
+    drivers): a new transaction preempts pending transactions scheduled
+    at or after it; a transaction landing closer than the gate's own
+    delay to the previous pending one annihilates with it (the pulse is
+    filtered and the output never moves). *)
+
+type mode =
+  | Inertial  (** pulses narrower than the gate delay annihilate (default) *)
+  | Transport  (** pure delay lines: every pulse propagates *)
+
+type config = {
+  tech : Halotis_tech.Tech.t;
+  t_stop : Halotis_util.Units.time option;
+  max_events : int;
+  mode : mode;
+}
+
+val config :
+  ?t_stop:Halotis_util.Units.time ->
+  ?max_events:int ->
+  ?mode:mode ->
+  Halotis_tech.Tech.t ->
+  config
+
+type result = {
+  circuit : Halotis_netlist.Netlist.t;
+  edges : Halotis_wave.Digital.edge list array;
+      (** committed value changes per signal, time-ordered *)
+  initial_levels : bool array;
+  final_levels : bool array;
+  stats : Stats.t;
+  end_time : Halotis_util.Units.time;
+  truncated : bool;
+}
+
+val run :
+  config ->
+  Halotis_netlist.Netlist.t ->
+  drives:(Halotis_netlist.Netlist.signal_id * Drive.t) list ->
+  result
+(** Input ramps are abstracted to instantaneous switches at their 50 %
+    point ([start + slope_time / 2]). *)
+
+val edges_of_name : result -> string -> Halotis_wave.Digital.edge list
+(** @raise Not_found for unknown names. *)

@@ -1,0 +1,17 @@
+(** DC operating point shared by all engines.
+
+    Acyclic circuits are solved exactly in topological order.  Circuits
+    with feedback (latches — the paper's metastability motivation) are
+    solved by bounded Gauss–Seidel relaxation over the gates in id
+    order; a bistable loop settles into the state that relaxation from
+    all-low reaches, which is deterministic and documented behaviour.
+    Oscillating feedback (e.g. a ring oscillator) has no fixed point
+    and is rejected. *)
+
+val levels :
+  Halotis_netlist.Netlist.t ->
+  input_level:(Halotis_netlist.Netlist.signal_id -> bool) ->
+  bool array
+(** [levels c ~input_level] is each signal's initial logic level, given
+    the primary-input levels.  Constants override everything.
+    @raise Invalid_argument when relaxation does not converge. *)

@@ -1,0 +1,315 @@
+module Netlist = Halotis_netlist.Netlist
+module Check = Halotis_netlist.Check
+module Waveform = Halotis_wave.Waveform
+module Transition = Halotis_wave.Transition
+module Digital = Halotis_wave.Digital
+module Tech = Halotis_tech.Tech
+module Delay_model = Halotis_delay.Delay_model
+module Heap = Halotis_util.Heap
+module Gate_kind = Halotis_logic.Gate_kind
+module Value = Halotis_logic.Value
+
+type config = {
+  tech : Tech.t;
+  delay_kind : Delay_model.kind;
+  cancellation : bool;
+  t_stop : float option;
+  max_events : int;
+  trace : bool;
+}
+
+let config ?(delay_kind = Delay_model.Ddm) ?(cancellation = true) ?t_stop
+    ?(max_events = 10_000_000) ?(trace = false) tech =
+  { tech; delay_kind; cancellation; t_stop; max_events; trace }
+
+type trace_entry = {
+  te_signal : Netlist.signal_id;
+  te_start : float;
+  te_gate : Netlist.gate_id;
+  te_pin : int;
+  te_cause_signal : Netlist.signal_id;
+  te_event_time : float;
+}
+
+type result = {
+  circuit : Netlist.t;
+  run_config : config;
+  waveforms : Waveform.t array;
+  stats : Stats.t;
+  end_time : float;
+  truncated : bool;
+  trace : trace_entry list;
+}
+
+(* An event: the causing ramp crossed pin [ev_pin] of gate [ev_gate]'s
+   threshold, in the direction and with the slope recorded here. *)
+type event = { ev_gate : Netlist.gate_id; ev_pin : int; ev_rising : bool; ev_tau_in : float }
+
+type state = {
+  cfg : config;
+  c : Netlist.t;
+  mutable rev_trace : trace_entry list;
+  wf : Waveform.t array;
+  vt : float array array; (* gate -> pin -> VT *)
+  loads : float array; (* signal -> fF *)
+  input_level : bool array array; (* gate -> pin -> level *)
+  out_target : bool array; (* gate -> target logic of last output transition *)
+  queue : event Heap.t;
+  pending : (event Heap.handle * float) list array array;
+      (* gate -> pin -> scheduled-but-unprocessed events, with keys *)
+  stats : Stats.t;
+}
+
+let dc_levels c drives_tbl =
+  let input_level sid =
+    match Hashtbl.find_opt drives_tbl sid with
+    | Some (d : Drive.t) -> d.Drive.initial
+    | None -> false
+  in
+  Dc.levels c ~input_level
+
+let schedule st ~key ev =
+  let handle = Heap.insert st.queue ~key ev in
+  st.pending.(ev.ev_gate).(ev.ev_pin) <-
+    (handle, key) :: st.pending.(ev.ev_gate).(ev.ev_pin);
+  st.stats.Stats.events_scheduled <- st.stats.Stats.events_scheduled + 1
+
+(* Fig. 4's "delete Ej-1": drop every pending event on this input whose
+   instant falls at or after the start of the newly appended ramp —
+   the waveform from that point on is governed by the new ramp, so
+   those crossings can no longer happen. *)
+let cancel_invalidated st ~gate ~pin ~from_time =
+  let keep (handle, key) =
+    if not (Heap.mem st.queue handle) then false
+    else if key >= from_time then begin
+      ignore (Heap.remove st.queue handle);
+      st.stats.Stats.events_filtered <- st.stats.Stats.events_filtered + 1;
+      false
+    end
+    else true
+  in
+  st.pending.(gate).(pin) <- List.filter keep st.pending.(gate).(pin)
+
+(* Propagate a freshly appended transition on [sid] to its fanout:
+   cancel invalidated pending events, then schedule the new crossing. *)
+let fan_out st sid (outcome : Waveform.append_outcome) (tr : Transition.t) =
+  let s = Netlist.signal st.c sid in
+  Array.iter
+    (fun (lg, lpin) ->
+      if st.cfg.cancellation then
+        cancel_invalidated st ~gate:lg ~pin:lpin ~from_time:tr.Transition.start;
+      if outcome.Waveform.accepted then begin
+        match Waveform.crossing_of_last st.wf.(sid) ~vt:st.vt.(lg).(lpin) with
+        | Some crossing ->
+            schedule st ~key:crossing
+              {
+                ev_gate = lg;
+                ev_pin = lpin;
+                ev_rising =
+                  (match tr.Transition.polarity with
+                  | Transition.Rising -> true
+                  | Transition.Falling -> false);
+                ev_tau_in = tr.Transition.slope_time;
+              }
+        | None -> ()
+      end)
+    s.Netlist.loads
+
+let process_event st ~now ev =
+  let g = Netlist.gate st.c ev.ev_gate in
+  st.input_level.(ev.ev_gate).(ev.ev_pin) <- ev.ev_rising;
+  let new_out = Gate_kind.eval_bool g.Netlist.kind st.input_level.(ev.ev_gate) in
+  if new_out = st.out_target.(ev.ev_gate) then
+    st.stats.Stats.noop_evaluations <- st.stats.Stats.noop_evaluations + 1
+  else begin
+    let out_sid = g.Netlist.output in
+    let req =
+      {
+        Delay_model.rising_out = new_out;
+        pin = ev.ev_pin;
+        tau_in = ev.ev_tau_in;
+        t_event = now;
+        last_output_start = Waveform.last_start st.wf.(out_sid);
+      }
+    in
+    let resp =
+      Delay_model.for_gate st.cfg.tech st.c ~loads:st.loads ev.ev_gate st.cfg.delay_kind req
+    in
+    let tr =
+      Transition.make ~start:(now +. resp.Delay_model.tp)
+        ~slope_time:resp.Delay_model.tau_out
+        ~polarity:(if new_out then Transition.Rising else Transition.Falling)
+    in
+    st.out_target.(ev.ev_gate) <- new_out;
+    let outcome = Waveform.append st.wf.(out_sid) tr in
+    st.stats.Stats.transitions_annulled <-
+      st.stats.Stats.transitions_annulled + List.length outcome.Waveform.dropped;
+    if outcome.Waveform.accepted then begin
+      st.stats.Stats.transitions_emitted <- st.stats.Stats.transitions_emitted + 1;
+      if st.cfg.trace then
+        st.rev_trace <-
+          {
+            te_signal = out_sid;
+            te_start = tr.Transition.start;
+            te_gate = ev.ev_gate;
+            te_pin = ev.ev_pin;
+            te_cause_signal = g.Netlist.fanin.(ev.ev_pin);
+            te_event_time = now;
+          }
+          :: st.rev_trace
+    end;
+    fan_out st out_sid outcome tr
+  end
+
+let run cfg c ~drives =
+  let drives_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (sid, d) ->
+      Drive.check d;
+      if not (Netlist.signal c sid).Netlist.is_primary_input then
+        invalid_arg
+          (Printf.sprintf "Iddm.run: drive on non-input signal %s" (Netlist.signal_name c sid));
+      Hashtbl.replace drives_tbl sid d)
+    drives;
+  let levels = dc_levels c drives_tbl in
+  let vdd = Tech.vdd cfg.tech in
+  let nsignals = Netlist.signal_count c and ngates = Netlist.gate_count c in
+  let wf =
+    Array.init nsignals (fun sid ->
+        Waveform.create ~initial:(if levels.(sid) then vdd else 0.) ~vdd ())
+  in
+  let input_level =
+    Array.init ngates (fun gid ->
+        Array.map (fun sid -> levels.(sid)) (Netlist.gate c gid).Netlist.fanin)
+  in
+  let out_target =
+    Array.init ngates (fun gid -> levels.((Netlist.gate c gid).Netlist.output))
+  in
+  let st =
+    {
+      cfg;
+      c;
+      rev_trace = [];
+      wf;
+      vt = Halotis_delay.Thresholds.table cfg.tech c;
+      loads = Halotis_delay.Loads.of_netlist cfg.tech c;
+      input_level;
+      out_target;
+      queue = Heap.create ();
+      pending =
+        Array.init ngates (fun gid ->
+            Array.make (Array.length (Netlist.gate c gid).Netlist.fanin) []);
+      stats = Stats.create ();
+    }
+  in
+  (* Seed: apply the primary-input drives, then schedule the crossings
+     the finished input waveforms actually contain. *)
+  Hashtbl.iter
+    (fun sid (d : Drive.t) ->
+      List.iter (fun tr -> ignore (Waveform.append st.wf.(sid) tr)) d.Drive.transitions)
+    drives_tbl;
+  Hashtbl.iter
+    (fun sid (_ : Drive.t) ->
+      let s = Netlist.signal c sid in
+      Array.iter
+        (fun (lg, lpin) ->
+          List.iter
+            (fun (crossing, (tr : Transition.t)) ->
+              schedule st ~key:crossing
+                {
+                  ev_gate = lg;
+                  ev_pin = lpin;
+                  ev_rising =
+                    (match tr.Transition.polarity with
+                    | Transition.Rising -> true
+                    | Transition.Falling -> false);
+                  ev_tau_in = tr.Transition.slope_time;
+                }
+            )
+            (Waveform.crossings_with_transitions st.wf.(sid) ~vt:st.vt.(lg).(lpin)))
+        s.Netlist.loads)
+    drives_tbl;
+  (* Main loop. *)
+  let end_time = ref 0. in
+  let truncated = ref false in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min st.queue with
+    | None -> continue := false
+    | Some (t, ev) -> (
+        match cfg.t_stop with
+        | Some stop when t > stop -> continue := false
+        | Some _ | None ->
+            st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1;
+            end_time := Float.max !end_time t;
+            process_event st ~now:t ev;
+            if st.stats.Stats.events_processed >= cfg.max_events then begin
+              truncated := true;
+              continue := false
+            end)
+  done;
+  {
+    circuit = c;
+    run_config = cfg;
+    waveforms = st.wf;
+    stats = st.stats;
+    end_time = !end_time;
+    truncated = !truncated;
+    trace = List.rev st.rev_trace;
+  }
+
+(* The most recent traced ramp on [signal] at or before [at].  The
+   trace is chronological but annulled ramps also appear in it; accept
+   only entries that still correspond to a live segment. *)
+let live_entry result ~signal ~at =
+  let live_starts =
+    List.map
+      (fun (s : Waveform.segment) -> s.Waveform.transition.Transition.start)
+      (Waveform.segments result.waveforms.(signal))
+  in
+  List.fold_left
+    (fun acc e ->
+      if
+        e.te_signal = signal
+        && e.te_start <= at
+        && List.exists (fun t -> Float.abs (t -. e.te_start) < 1e-9) live_starts
+      then
+        match acc with
+        | Some best when best.te_start >= e.te_start -> acc
+        | Some _ | None -> Some e
+      else acc)
+    None result.trace
+
+let explain result ~signal ~at =
+  let rec walk signal at acc =
+    match live_entry result ~signal ~at with
+    | None -> acc
+    | Some e -> walk e.te_cause_signal e.te_event_time (e :: acc)
+  in
+  walk signal at []
+
+let pp_explanation result fmt chain =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %a: %s (pin %d, from %s at %a) -> %s@."
+        Halotis_util.Units.pp_time e.te_start
+        (Netlist.gate_name result.circuit e.te_gate)
+        e.te_pin
+        (Netlist.signal_name result.circuit e.te_cause_signal)
+        Halotis_util.Units.pp_time e.te_event_time
+        (Netlist.signal_name result.circuit e.te_signal))
+    chain
+
+let waveform result name =
+  match Netlist.find_signal result.circuit name with
+  | Some sid -> result.waveforms.(sid)
+  | None -> raise Not_found
+
+let waveform_of_id result sid = result.waveforms.(sid)
+
+let output_edges ?vt result =
+  let vt = match vt with Some v -> v | None -> Tech.vdd result.run_config.tech /. 2. in
+  List.map
+    (fun sid ->
+      (Netlist.signal_name result.circuit sid, Digital.edges result.waveforms.(sid) ~vt))
+    (Netlist.primary_outputs result.circuit)

@@ -1,0 +1,103 @@
+(** The HALOTIS simulator: the paper's Fig. 4 algorithm.
+
+    The simulator distinguishes {e transitions} (linear ramps stored
+    per signal in {!Halotis_wave.Waveform} lists) from {e events}
+    (instants a ramp crosses one particular gate input's threshold
+    VT).  Processing one event:
+
+    + the gate input's logic level flips; the gate function is
+      evaluated;
+    + if the output value changes, the output transition is computed
+      with the configured delay model (DDM or CDM) and appended to the
+      output waveform — possibly truncating or annulling earlier ramps
+      (degradation made flesh);
+    + for every fanout input of the output signal, pending events
+      invalidated by the new ramp are {e deleted} from the event queue
+      (Fig. 4's "delete Ej-1" branch) and the new ramp's own VT
+      crossing, when it exists, is inserted.
+
+    The same engine runs in HALOTIS-DDM or HALOTIS-CDM mode depending
+    on [config.delay_kind]; [config.cancellation] exists only for the
+    ablation study (disabling it breaks the inertial treatment). *)
+
+type config = {
+  tech : Halotis_tech.Tech.t;
+  delay_kind : Halotis_delay.Delay_model.kind;
+  cancellation : bool;
+  t_stop : Halotis_util.Units.time option;
+  max_events : int;  (** safety valve against oscillating circuits *)
+  trace : bool;  (** record transition causality for {!explain} *)
+}
+
+val config :
+  ?delay_kind:Halotis_delay.Delay_model.kind ->
+  ?cancellation:bool ->
+  ?t_stop:Halotis_util.Units.time ->
+  ?max_events:int ->
+  ?trace:bool ->
+  Halotis_tech.Tech.t ->
+  config
+(** Defaults: DDM, cancellation on, no time bound, 10 million events,
+    tracing off. *)
+
+type trace_entry = {
+  te_signal : Halotis_netlist.Netlist.signal_id;  (** where the ramp landed *)
+  te_start : Halotis_util.Units.time;  (** the ramp's start instant *)
+  te_gate : Halotis_netlist.Netlist.gate_id;  (** emitting gate *)
+  te_pin : int;  (** the pin whose event triggered it *)
+  te_cause_signal : Halotis_netlist.Netlist.signal_id;  (** signal driving that pin *)
+  te_event_time : Halotis_util.Units.time;  (** when the triggering event fired *)
+}
+
+type result = {
+  circuit : Halotis_netlist.Netlist.t;
+  run_config : config;
+  waveforms : Halotis_wave.Waveform.t array;  (** indexed by signal id *)
+  stats : Stats.t;
+  end_time : Halotis_util.Units.time;  (** time of the last processed event *)
+  truncated : bool;  (** true when [max_events] stopped the run *)
+  trace : trace_entry list;
+      (** chronological causality record of every accepted output
+          transition; empty unless [config.trace] *)
+}
+
+val run :
+  config ->
+  Halotis_netlist.Netlist.t ->
+  drives:(Halotis_netlist.Netlist.signal_id * Drive.t) list ->
+  result
+(** Simulates a circuit.  Primary inputs without a drive sit at
+    logic 0.  Feedback loops are allowed when they have a DC fixed
+    point (latches); see {!Dc.levels}.
+    @raise Invalid_argument when the DC operating point does not settle
+    (oscillating feedback) or a drive names a non-input signal. *)
+
+val waveform : result -> string -> Halotis_wave.Waveform.t
+(** Looks a signal's waveform up by name.
+    @raise Not_found for unknown names. *)
+
+val waveform_of_id :
+  result -> Halotis_netlist.Netlist.signal_id -> Halotis_wave.Waveform.t
+
+val explain :
+  result ->
+  signal:Halotis_netlist.Netlist.signal_id ->
+  at:Halotis_util.Units.time ->
+  trace_entry list
+(** The causality chain (primary-input side first) of the ramp live on
+    [signal] at time [at]: each entry names the gate that emitted the
+    ramp, the pin event that triggered it, and the driving signal —
+    following which leads to the previous link.  Empty when the run was
+    not traced, the signal is a primary input, or it never switched
+    before [at]. *)
+
+val pp_explanation :
+  result -> Format.formatter -> trace_entry list -> unit
+(** One line per link: time, gate, pin, signal. *)
+
+val output_edges :
+  ?vt:Halotis_util.Units.voltage ->
+  result ->
+  (string * Halotis_wave.Digital.edge list) list
+(** Digitized primary outputs (default threshold VDD/2), in declaration
+    order. *)

@@ -1,0 +1,34 @@
+type t = {
+  mutable events_scheduled : int;
+  mutable events_processed : int;
+  mutable events_filtered : int;
+  mutable transitions_emitted : int;
+  mutable transitions_annulled : int;
+  mutable noop_evaluations : int;
+}
+
+let create () =
+  {
+    events_scheduled = 0;
+    events_processed = 0;
+    events_filtered = 0;
+    transitions_emitted = 0;
+    transitions_annulled = 0;
+    noop_evaluations = 0;
+  }
+
+let copy t =
+  {
+    events_scheduled = t.events_scheduled;
+    events_processed = t.events_processed;
+    events_filtered = t.events_filtered;
+    transitions_emitted = t.transitions_emitted;
+    transitions_annulled = t.transitions_annulled;
+    noop_evaluations = t.noop_evaluations;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "events: %d scheduled, %d processed, %d filtered; transitions: %d emitted, %d annulled; %d no-op evals"
+    t.events_scheduled t.events_processed t.events_filtered t.transitions_emitted
+    t.transitions_annulled t.noop_evaluations

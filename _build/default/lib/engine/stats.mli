@@ -1,0 +1,19 @@
+(** Event-count bookkeeping — the raw material of the paper's Table 1.
+
+    "Events" are threshold crossings scheduled on gate inputs;
+    "filtered events" are pending events cancelled by the Fig. 4 rule
+    when a newer transition truncates or annuls the waveform they were
+    computed from. *)
+
+type t = {
+  mutable events_scheduled : int;
+  mutable events_processed : int;
+  mutable events_filtered : int;  (** cancellations — Table 1's "Filtered events" *)
+  mutable transitions_emitted : int;  (** output transitions appended to waveforms *)
+  mutable transitions_annulled : int;  (** stored transitions wiped by later ones *)
+  mutable noop_evaluations : int;  (** gate evaluations that left the output unchanged *)
+}
+
+val create : unit -> t
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/liberty/ast.ml: Buffer Format List String

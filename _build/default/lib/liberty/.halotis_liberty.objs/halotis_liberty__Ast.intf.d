@@ -1,0 +1,1 @@
+lib/liberty/ast.mli: Format

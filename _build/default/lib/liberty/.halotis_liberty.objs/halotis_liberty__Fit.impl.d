@@ -1,0 +1,1 @@
+lib/liberty/fit.ml: Array Float Halotis_logic Halotis_tech Halotis_util Hashtbl Liberty List Table2d

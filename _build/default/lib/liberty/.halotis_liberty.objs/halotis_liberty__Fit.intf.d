@@ -1,0 +1,1 @@
+lib/liberty/fit.mli: Halotis_logic Halotis_tech Liberty Table2d

@@ -1,0 +1,1 @@
+lib/liberty/liberty.ml: Array Ast Format List String Table2d

@@ -1,0 +1,1 @@
+lib/liberty/liberty.mli: Ast Format Table2d

@@ -1,0 +1,1 @@
+lib/liberty/table2d.mli:

@@ -1,0 +1,1 @@
+lib/liberty/writer.ml: Array Buffer Halotis_logic Halotis_tech List Printf String

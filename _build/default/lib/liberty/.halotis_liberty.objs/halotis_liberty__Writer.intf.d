@@ -1,0 +1,1 @@
+lib/liberty/writer.mli: Halotis_logic Halotis_tech

@@ -1,0 +1,40 @@
+(** Interpretation of a parsed Liberty tree as a cell library: NLDM
+    delay/transition tables per timing arc, input pin capacitances. *)
+
+type arc = {
+  related_pin : string;
+  cell_rise : Table2d.t option;  (** delay to a rising output: (input slope, load) *)
+  cell_fall : Table2d.t option;
+  rise_transition : Table2d.t option;  (** output slope of a rising output *)
+  fall_transition : Table2d.t option;
+}
+
+type cell = {
+  cell_name : string;
+  output_pin : string;
+  input_caps : (string * float) list;  (** pin name -> capacitance, fF *)
+  arcs : arc list;  (** one per related input pin *)
+}
+
+type t = { lib_name : string; cells : cell list }
+
+type error = { message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val of_ast : Ast.group -> (t, error) result
+(** Interprets a parsed [library (...) { ... }] group.  Cells without
+    an output pin carrying timing groups are skipped. *)
+
+val parse_string : string -> (t, error) result
+val parse_file : string -> (t, error) result
+
+val find_cell : t -> string -> cell option
+
+val delay :
+  cell -> rising:bool -> pin:string -> slope:float -> load:float -> float option
+(** NLDM delay lookup on the arc related to [pin]; [None] when the arc
+    or table is absent. *)
+
+val output_slope :
+  cell -> rising:bool -> pin:string -> slope:float -> load:float -> float option

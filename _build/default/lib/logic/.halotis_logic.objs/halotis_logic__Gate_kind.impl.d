@@ -1,0 +1,1 @@
+lib/logic/gate_kind.ml: Array Format Fun List Printf String Value

@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Array Halotis_logic Hashtbl List Netlist Printf

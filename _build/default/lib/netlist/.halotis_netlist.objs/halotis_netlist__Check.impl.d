@@ -1,0 +1,1 @@
+lib/netlist/check.ml: Array Format Hashtbl List Netlist Queue String

@@ -1,0 +1,1 @@
+lib/netlist/equiv.ml: Array Check Format Halotis_logic List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/netlist/generators.ml: Array Builder Halotis_logic Halotis_util Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/netlist/hnl.ml: Array Buffer Builder Format Halotis_logic List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/netlist/hnl.mli: Format Netlist

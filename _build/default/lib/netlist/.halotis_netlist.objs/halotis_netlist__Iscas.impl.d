@@ -1,0 +1,1 @@
+lib/netlist/iscas.ml: Array Buffer Builder Filename Format Halotis_logic List Netlist Printf String

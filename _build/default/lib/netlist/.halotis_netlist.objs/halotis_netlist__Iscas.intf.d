@@ -1,0 +1,1 @@
+lib/netlist/iscas.mli: Format Lazy Netlist

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Format Halotis_logic Hashtbl List

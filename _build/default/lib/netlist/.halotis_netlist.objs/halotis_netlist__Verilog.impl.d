@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Halotis_logic List Netlist Printf String

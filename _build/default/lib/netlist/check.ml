@@ -1,0 +1,135 @@
+type issue =
+  | Undriven_signal of Netlist.signal_id
+  | Dangling_signal of Netlist.signal_id
+  | Combinational_cycle of Netlist.gate_id list
+
+let pp_issue c fmt = function
+  | Undriven_signal id -> Format.fprintf fmt "undriven signal %s" (Netlist.signal_name c id)
+  | Dangling_signal id -> Format.fprintf fmt "dangling signal %s" (Netlist.signal_name c id)
+  | Combinational_cycle gids ->
+      Format.fprintf fmt "combinational cycle: %s"
+        (String.concat " -> " (List.map (Netlist.gate_name c) gids))
+
+(* Kahn's algorithm over the gate graph; an edge g1 -> g2 exists when
+   g1's output feeds one of g2's pins. *)
+let topo_with_cycle c =
+  let ngates = Netlist.gate_count c in
+  let indegree = Array.make ngates 0 in
+  (* one edge per load *pin*: a gate wired twice to the same signal
+     contributes two edges, matching the indegree count below *)
+  let gate_succs gid =
+    let g = Netlist.gate c gid in
+    Array.to_list
+      (Array.map fst (Netlist.signal c g.Netlist.output).Netlist.loads)
+  in
+  for gid = 0 to ngates - 1 do
+    let g = Netlist.gate c gid in
+    Array.iter
+      (fun sid ->
+        match (Netlist.signal c sid).Netlist.driver with
+        | Some _ -> indegree.(gid) <- indegree.(gid) + 1
+        | None -> ())
+      g.Netlist.fanin
+  done;
+  let queue = Queue.create () in
+  Array.iteri (fun gid d -> if d = 0 then Queue.add gid queue) indegree;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let gid = Queue.pop queue in
+    order := gid :: !order;
+    incr visited;
+    List.iter
+      (fun succ ->
+        indegree.(succ) <- indegree.(succ) - 1;
+        if indegree.(succ) = 0 then Queue.add succ queue)
+      (gate_succs gid)
+  done;
+  if !visited = ngates then Ok (List.rev !order)
+  else begin
+    (* Gates never popped have final indegree > 0 and each has at least
+       one unpopped predecessor, so walking backwards must revisit a
+       gate: that closes a cycle. *)
+    let unpopped gid = indegree.(gid) > 0 in
+    let start =
+      let rec find gid = if unpopped gid then gid else find (gid + 1) in
+      find 0
+    in
+    let predecessor gid =
+      let g = Netlist.gate c gid in
+      let drivers =
+        Array.to_list g.Netlist.fanin
+        |> List.filter_map (fun sid -> (Netlist.signal c sid).Netlist.driver)
+      in
+      List.find unpopped drivers
+    in
+    let rec walk path gid =
+      if List.mem gid path then
+        let rec cut = function
+          | [] -> []
+          | x :: rest -> if x = gid then x :: rest else cut rest
+        in
+        cut path (* path is in reverse walk order = forward edge order *)
+      else walk (gid :: path) (predecessor gid)
+    in
+    Error (walk [] start)
+  end
+
+let topological_gates c = match topo_with_cycle c with Ok l -> Some l | Error _ -> None
+
+let structural_issues c =
+  let issues = ref [] in
+  Array.iter
+    (fun (s : Netlist.signal) ->
+      let driven = s.driver <> None || s.is_primary_input || s.constant <> None in
+      if not driven then issues := Undriven_signal s.signal_id :: !issues;
+      if Array.length s.loads = 0 && not s.is_primary_output && s.constant = None then
+        issues := Dangling_signal s.signal_id :: !issues)
+    (Netlist.signals c);
+  (match topo_with_cycle c with
+  | Ok _ -> ()
+  | Error cycle -> issues := Combinational_cycle cycle :: !issues);
+  List.rev !issues
+
+let levelize c =
+  match topological_gates c with
+  | None -> None
+  | Some order ->
+      let nsignals = Netlist.signal_count c in
+      let sig_level = Array.make nsignals 0 in
+      let gate_level = Array.make (Netlist.gate_count c) 0 in
+      List.iter
+        (fun gid ->
+          let g = Netlist.gate c gid in
+          let lvl =
+            Array.fold_left (fun acc sid -> max acc sig_level.(sid)) 0 g.Netlist.fanin + 1
+          in
+          gate_level.(gid) <- lvl;
+          sig_level.(g.Netlist.output) <- lvl)
+        order;
+      Some gate_level
+
+let depth c =
+  match levelize c with
+  | None -> None
+  | Some levels -> Some (Array.fold_left max 0 levels)
+
+let max_fanout c =
+  Array.fold_left
+    (fun acc (s : Netlist.signal) -> max acc (Array.length s.loads))
+    0 (Netlist.signals c)
+
+let transitive_fanin_signals c sid =
+  let seen = Hashtbl.create 64 in
+  let rec visit sid acc =
+    if Hashtbl.mem seen sid then acc
+    else begin
+      Hashtbl.add seen sid ();
+      let acc = sid :: acc in
+      match (Netlist.signal c sid).Netlist.driver with
+      | None -> acc
+      | Some gid ->
+          Array.fold_left (fun acc fid -> visit fid acc) acc (Netlist.gate c gid).Netlist.fanin
+    end
+  in
+  List.rev (visit sid [])

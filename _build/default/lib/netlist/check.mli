@@ -1,0 +1,36 @@
+(** Structural analyses over a finished {!Netlist.t}: driver checks,
+    combinational-cycle detection, levelization and fanout statistics.
+    The simulators require [topological_gates] to succeed (purely
+    combinational circuits), matching the paper's benchmark set. *)
+
+type issue =
+  | Undriven_signal of Netlist.signal_id
+      (** not a PI, not a constant, and has no driver *)
+  | Dangling_signal of Netlist.signal_id
+      (** drives nothing and is not a primary output *)
+  | Combinational_cycle of Netlist.gate_id list
+      (** a cycle through these gates (in order) *)
+
+val pp_issue : Netlist.t -> Format.formatter -> issue -> unit
+
+val structural_issues : Netlist.t -> issue list
+(** All issues, cycles reported once each. *)
+
+val topological_gates : Netlist.t -> Netlist.gate_id list option
+(** Gates in topological order (fanin before fanout), or [None] when a
+    combinational cycle exists. *)
+
+val levelize : Netlist.t -> int array option
+(** [levelize c] gives each gate its logic depth (PIs at depth 0; a
+    gate's level is 1 + max of its fanin signal levels), or [None] on a
+    cycle. *)
+
+val depth : Netlist.t -> int option
+(** Maximum gate level; [Some 0] for an empty circuit. *)
+
+val max_fanout : Netlist.t -> int
+(** Largest number of load pins on any signal. *)
+
+val transitive_fanin_signals : Netlist.t -> Netlist.signal_id -> Netlist.signal_id list
+(** Signals (including the argument) in the cone of influence of a
+    signal. *)

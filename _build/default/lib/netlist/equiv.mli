@@ -1,0 +1,26 @@
+(** Combinational equivalence checking by exhaustive functional
+    evaluation — small-scale but exact, enough for the generator zoo
+    (adders, the two multiplier architectures) and for HNL round-trip
+    confidence.
+
+    Circuits are compared on the correspondence of their primary-output
+    lists under a shared input ordering. *)
+
+type verdict =
+  | Equivalent
+  | Counterexample of { inputs : bool list; outputs_a : bool list; outputs_b : bool list }
+  | Incompatible of string  (** differing input/output counts, cycles *)
+
+val check : ?max_inputs:int -> Netlist.t -> Netlist.t -> verdict
+(** [check a b] evaluates both circuits on every input vector
+    (default limit 16 inputs, i.e. 65536 vectors).
+    Returns [Incompatible] when interfaces differ, either circuit is
+    cyclic, or the input count exceeds [max_inputs]. *)
+
+val outputs_for : Netlist.t -> inputs:bool list -> bool list
+(** Static functional evaluation of the primary outputs (declaration
+    order) for one input vector (primary-input declaration order).
+    @raise Invalid_argument on a cyclic circuit or wrong vector
+    length. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

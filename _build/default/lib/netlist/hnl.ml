@@ -1,0 +1,184 @@
+module Gate_kind = Halotis_logic.Gate_kind
+module Value = Halotis_logic.Value
+
+type error = { line : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let tokenize line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+(* A gate-line attribute: vt<pin>=<float> or load=<float>. *)
+type attr = Vt of int * float | Load of float
+
+let parse_attr lineno tok =
+  match String.index_opt tok '=' with
+  | None -> None
+  | Some i ->
+      let key = String.sub tok 0 i in
+      let value = String.sub tok (i + 1) (String.length tok - i - 1) in
+      let fvalue () =
+        match float_of_string_opt value with
+        | Some f -> f
+        | None -> fail lineno "bad numeric attribute value %S" value
+      in
+      if key = "load" then Some (Load (fvalue ()))
+      else if String.length key > 2 && String.sub key 0 2 = "vt" then begin
+        match int_of_string_opt (String.sub key 2 (String.length key - 2)) with
+        | Some pin -> Some (Vt (pin, fvalue ()))
+        | None -> fail lineno "bad attribute %S" tok
+      end
+      else fail lineno "unknown attribute %S" tok
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  try
+    let builder = ref None in
+    let ended = ref false in
+    let get_builder lineno =
+      match !builder with
+      | Some b -> b
+      | None -> fail lineno "missing 'circuit NAME' header"
+    in
+    List.iteri
+      (fun idx raw ->
+        let lineno = idx + 1 in
+        let tokens = tokenize (strip_comment raw) in
+        match tokens with
+        | [] -> ()
+        | _ when !ended -> fail lineno "content after 'end'"
+        | [ "circuit"; name ] ->
+            if !builder <> None then fail lineno "duplicate 'circuit' header";
+            builder := Some (Builder.create name)
+        | "circuit" :: _ -> fail lineno "usage: circuit NAME"
+        | "input" :: names ->
+            let b = get_builder lineno in
+            if names = [] then fail lineno "usage: input NAME...";
+            List.iter
+              (fun n ->
+                try ignore (Builder.input b n)
+                with Invalid_argument m -> fail lineno "%s" m)
+              names
+        | "output" :: names ->
+            let b = get_builder lineno in
+            if names = [] then fail lineno "usage: output NAME...";
+            List.iter (fun n -> Builder.mark_output b (Builder.signal b n)) names
+        | "gate" :: name :: kind_name :: out :: rest ->
+            let b = get_builder lineno in
+            let kind =
+              match Gate_kind.of_name kind_name with
+              | Some k -> k
+              | None -> fail lineno "unknown gate kind %S" kind_name
+            in
+            let arity = Gate_kind.arity kind in
+            let rec split_ins acc n = function
+              | tok :: rest when n > 0 -> split_ins (tok :: acc) (n - 1) rest
+              | rest -> (List.rev acc, rest)
+            in
+            let ins, attr_toks = split_ins [] arity rest in
+            if List.length ins <> arity then
+              fail lineno "gate %s: kind %s needs %d inputs" name kind_name arity;
+            let attrs = List.filter_map (parse_attr lineno) attr_toks in
+            let leftovers =
+              List.filter (fun tok -> parse_attr lineno tok = None) attr_toks
+            in
+            (match leftovers with
+            | [] -> ()
+            | tok :: _ -> fail lineno "unexpected token %S" tok);
+            let operand tok =
+              match tok with
+              | "const0" -> Builder.const b Value.L0
+              | "const1" -> Builder.const b Value.L1
+              | _ -> Builder.signal b tok
+            in
+            let inputs = List.map operand ins in
+            let output = Builder.signal b out in
+            let vt = Array.make arity None in
+            let extra_load = ref 0. in
+            List.iter
+              (function
+                | Vt (pin, v) ->
+                    if pin < 0 || pin >= arity then
+                      fail lineno "gate %s: vt pin %d out of range" name pin;
+                    vt.(pin) <- Some v
+                | Load l -> extra_load := l)
+              attrs;
+            (try
+               ignore
+                 (Builder.add_gate b kind ~name ~input_vt:(Array.to_list vt)
+                    ~extra_load:!extra_load ~inputs ~output)
+             with Invalid_argument m -> fail lineno "%s" m)
+        | [ "end" ] ->
+            ignore (get_builder lineno);
+            ended := true
+        | tok :: _ -> fail lineno "unknown directive %S" tok)
+      lines;
+    match !builder with
+    | None -> Error { line = 0; message = "empty document" }
+    | Some b ->
+        if not !ended then Error { line = List.length lines; message = "missing 'end'" }
+        else begin
+          try Ok (Builder.finalize b)
+          with Invalid_argument m -> Error { line = 0; message = m }
+        end
+  with Parse_error e -> Error e
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "circuit %s\n" (Netlist.name c);
+  (match Netlist.primary_inputs c with
+  | [] -> ()
+  | ins -> pr "input %s\n" (String.concat " " (List.map (Netlist.signal_name c) ins)));
+  (match Netlist.primary_outputs c with
+  | [] -> ()
+  | outs -> pr "output %s\n" (String.concat " " (List.map (Netlist.signal_name c) outs)));
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let operand sid =
+        let s = Netlist.signal c sid in
+        match s.Netlist.constant with
+        | Some Value.L0 -> "const0"
+        | Some Value.L1 -> "const1"
+        | Some (Value.X | Value.Z) | None -> s.Netlist.signal_name
+      in
+      let ins = Array.to_list (Array.map operand g.Netlist.fanin) in
+      let attrs = Buffer.create 16 in
+      Array.iteri
+        (fun pin vt ->
+          match vt with
+          | Some v -> Printf.ksprintf (Buffer.add_string attrs) " vt%d=%g" pin v
+          | None -> ())
+        g.Netlist.input_vt;
+      if g.Netlist.extra_load <> 0. then
+        Printf.ksprintf (Buffer.add_string attrs) " load=%g" g.Netlist.extra_load;
+      pr "gate %s %s %s %s%s\n" g.Netlist.gate_name
+        (Gate_kind.name g.Netlist.kind)
+        (Netlist.signal_name c g.Netlist.output)
+        (String.concat " " ins) (Buffer.contents attrs))
+    (Netlist.gates c);
+  pr "end\n";
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,1 @@
+lib/power/activity.ml: Array Halotis_delay Halotis_engine Halotis_netlist Halotis_tech Halotis_wave Int List

@@ -1,0 +1,1 @@
+lib/power/activity.mli: Halotis_engine Halotis_util

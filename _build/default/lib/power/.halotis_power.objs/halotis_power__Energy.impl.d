@@ -1,0 +1,1 @@
+lib/power/energy.ml: Activity Array Halotis_delay Halotis_netlist Halotis_tech

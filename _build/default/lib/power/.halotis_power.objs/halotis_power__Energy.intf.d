@@ -1,0 +1,1 @@
+lib/power/energy.mli: Activity Halotis_netlist Halotis_tech

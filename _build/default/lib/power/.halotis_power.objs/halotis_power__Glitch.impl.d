@@ -1,0 +1,1 @@
+lib/power/glitch.ml: Array Float Format Halotis_wave Hashtbl List String

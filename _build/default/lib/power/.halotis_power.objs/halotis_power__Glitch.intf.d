@@ -1,0 +1,1 @@
+lib/power/glitch.mli: Format Halotis_util Halotis_wave

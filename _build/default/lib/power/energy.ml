@@ -1,0 +1,24 @@
+module Netlist = Halotis_netlist.Netlist
+module Tech = Halotis_tech.Tech
+
+type estimate = {
+  total_fj : float;
+  per_signal_fj : (string * float) array;
+  label : string;
+}
+
+let of_report tech c (report : Activity.report) =
+  let vdd = Tech.vdd tech in
+  let loads = Halotis_delay.Loads.of_netlist tech c in
+  let per_signal_fj =
+    Array.mapi
+      (fun sid (name, count) ->
+        (name, 0.5 *. loads.(sid) *. vdd *. vdd *. float_of_int count))
+      report.Activity.per_signal
+  in
+  let total_fj = Array.fold_left (fun acc (_, e) -> acc +. e) 0. per_signal_fj in
+  { total_fj; per_signal_fj; label = report.Activity.engine_label }
+
+let savings_pct ~reference ~candidate =
+  if reference.total_fj = 0. then 0.
+  else 100. *. (candidate.total_fj -. reference.total_fj) /. reference.total_fj

@@ -1,0 +1,19 @@
+(** Dynamic-energy estimation from switching counts.
+
+    Standard CV² accounting: each committed transition on a signal
+    charges or discharges that signal's load, costing
+    [1/2 * C_L * VDD^2].  Units: fF x V^2 = fJ. *)
+
+type estimate = {
+  total_fj : float;
+  per_signal_fj : (string * float) array;
+  label : string;
+}
+
+val of_report :
+  Halotis_tech.Tech.t -> Halotis_netlist.Netlist.t -> Activity.report -> estimate
+(** Combines an activity report with the netlist's load table. *)
+
+val savings_pct : reference:estimate -> candidate:estimate -> float
+(** Percentage by which [candidate] exceeds [reference] — the glitch
+    power overestimation expressed in energy. *)

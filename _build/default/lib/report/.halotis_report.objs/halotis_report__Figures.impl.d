@@ -1,0 +1,1 @@
+lib/report/figures.ml: Array Buffer Halotis_wave List Printf String

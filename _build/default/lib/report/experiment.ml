@@ -1,0 +1,43 @@
+type observation = {
+  metric : string;
+  paper : string;
+  measured : string;
+  agrees : bool option;
+  note : string;
+}
+
+type t = { exp_id : string; title : string; observations : observation list }
+
+let observation ?agrees ?(note = "") ~metric ~paper ~measured () =
+  { metric; paper; measured; agrees; note }
+
+let make ~exp_id ~title observations = { exp_id; title; observations }
+
+let verdict = function Some true -> "OK" | Some false -> "DIVERGES" | None -> "qualitative"
+
+let render t =
+  let buf = Buffer.create 512 in
+  Printf.ksprintf (Buffer.add_string buf) "=== %s: %s ===\n" t.exp_id t.title;
+  List.iter
+    (fun o ->
+      Printf.ksprintf (Buffer.add_string buf) "  %-38s paper: %-22s measured: %-22s [%s]%s\n"
+        o.metric o.paper o.measured (verdict o.agrees)
+        (if o.note = "" then "" else " -- " ^ o.note))
+    t.observations;
+  Buffer.contents buf
+
+let render_markdown ts =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun t ->
+      Printf.ksprintf (Buffer.add_string buf) "## %s — %s\n\n" t.exp_id t.title;
+      Buffer.add_string buf "| Metric | Paper | Measured | Verdict | Note |\n";
+      Buffer.add_string buf "|---|---|---|---|---|\n";
+      List.iter
+        (fun o ->
+          Printf.ksprintf (Buffer.add_string buf) "| %s | %s | %s | %s | %s |\n" o.metric
+            o.paper o.measured (verdict o.agrees) o.note)
+        t.observations;
+      Buffer.add_char buf '\n')
+    ts;
+  Buffer.contents buf

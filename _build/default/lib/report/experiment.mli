@@ -1,0 +1,30 @@
+(** Structured experiment records: each benchmark emits a set of
+    [observation]s so EXPERIMENTS.md's paper-vs-measured bookkeeping is
+    generated, not hand-copied. *)
+
+type observation = {
+  metric : string;
+  paper : string;  (** what the paper reports, verbatim-ish *)
+  measured : string;
+  agrees : bool option;  (** [None] when the comparison is qualitative *)
+  note : string;
+}
+
+type t = {
+  exp_id : string;  (** e.g. "TAB1", "FIG6" *)
+  title : string;
+  observations : observation list;
+}
+
+val observation :
+  ?agrees:bool -> ?note:string -> metric:string -> paper:string -> measured:string -> unit ->
+  observation
+
+val make : exp_id:string -> title:string -> observation list -> t
+
+val render : t -> string
+(** Human-readable block with one line per observation. *)
+
+val render_markdown : t list -> string
+(** A markdown section per experiment, table of observations — the
+    format EXPERIMENTS.md embeds. *)

@@ -1,0 +1,58 @@
+type t = { header : string list; rows : string list list }
+
+let make ~header ~rows =
+  let width = List.length header in
+  let pad row =
+    let missing = width - List.length row in
+    if missing > 0 then row @ List.init missing (fun _ -> "") else row
+  in
+  { header; rows = List.map pad rows }
+
+let column_widths t =
+  let consider widths row =
+    List.mapi
+      (fun i cell ->
+        let current = try List.nth widths i with Failure _ -> 0 in
+        max current (String.length cell))
+      row
+  in
+  List.fold_left consider (List.map String.length t.header) t.rows
+
+let render t =
+  let widths = column_widths t in
+  let buf = Buffer.create 512 in
+  let line ch =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Buffer.add_string buf (Printf.sprintf " %-*s |" w cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  line '-';
+  row t.header;
+  line '=';
+  List.iter row t.rows;
+  line '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let quote cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line cells = String.concat "," (List.map quote cells) in
+  String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"

@@ -1,0 +1,15 @@
+(** Plain-text table rendering for benchmark reports. *)
+
+type t
+
+val make : header:string list -> rows:string list list -> t
+(** Rows shorter than the header are padded with empty cells. *)
+
+val render : t -> string
+(** ASCII box drawing with column auto-sizing. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val to_csv : t -> string
+(** Comma-separated export (quotes cells containing commas). *)

@@ -1,0 +1,1 @@
+lib/sta/hazard.ml: Array Float Format Halotis_delay Halotis_netlist Halotis_tech Halotis_util List

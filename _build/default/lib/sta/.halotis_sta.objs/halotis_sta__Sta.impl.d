@@ -1,0 +1,1 @@
+lib/sta/sta.ml: Array Float Format Halotis_delay Halotis_logic Halotis_netlist Halotis_tech Halotis_util List

@@ -1,0 +1,1 @@
+lib/sta/sta.mli: Format Halotis_netlist Halotis_tech Halotis_util

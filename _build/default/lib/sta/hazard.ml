@@ -1,0 +1,120 @@
+module Netlist = Halotis_netlist.Netlist
+module Check = Halotis_netlist.Check
+module Tech = Halotis_tech.Tech
+
+type window = { earliest : float; latest : float }
+type kind = Timing | Function
+type site = { hz_gate : Netlist.gate_id; hz_kind : kind; hz_window_overlap : float }
+
+type t = {
+  circuit : Netlist.t;
+  windows : window option array; (* per signal *)
+  site_list : site list;
+}
+
+let analyze ?(input_slope = 100.) tech c =
+  let order =
+    match Check.topological_gates c with
+    | Some order -> order
+    | None -> invalid_arg "Hazard.analyze: circuit has a combinational cycle"
+  in
+  let loads = Halotis_delay.Loads.of_netlist tech c in
+  let nsignals = Netlist.signal_count c in
+  let windows = Array.make nsignals None in
+  (* conservative upper bound on the slope of the ramps a signal can
+     carry, needed because tp grows with the input slope *)
+  let max_slope = Array.make nsignals input_slope in
+  Array.iter
+    (fun (s : Netlist.signal) ->
+      if s.Netlist.is_primary_input then
+        windows.(s.Netlist.signal_id) <- Some { earliest = 0.; latest = input_slope })
+    (Netlist.signals c);
+  List.iter
+    (fun gid ->
+      let g = Netlist.gate c gid in
+      let gt = Tech.gate_tech tech g.Netlist.kind in
+      let cl = loads.(g.Netlist.output) in
+      let tau_out ~rising = Tech.output_slope (Tech.edge gt ~rising) ~cl in
+      let tau_out_max = Float.max (tau_out ~rising:true) (tau_out ~rising:false) in
+      let acc = ref None in
+      Array.iteri
+        (fun pin fid ->
+          match windows.(fid) with
+          | None -> ()
+          | Some win ->
+              let pf = gt.Tech.pin_factor pin in
+              let tp ~rising ~tau_in =
+                Tech.base_delay (Tech.edge gt ~rising) ~pin_factor:pf ~cl ~tau_in
+              in
+              (* earliest: fastest edge, sharpest plausible slope *)
+              let tp_min = Float.min (tp ~rising:true ~tau_in:0.) (tp ~rising:false ~tau_in:0.) in
+              let tp_max =
+                Float.max
+                  (tp ~rising:true ~tau_in:max_slope.(fid) +. tau_out ~rising:true)
+                  (tp ~rising:false ~tau_in:max_slope.(fid) +. tau_out ~rising:false)
+              in
+              let e = win.earliest +. tp_min and l = win.latest +. tp_max in
+              acc :=
+                Some
+                  (match !acc with
+                  | None -> { earliest = e; latest = l }
+                  | Some w -> { earliest = Float.min w.earliest e; latest = Float.max w.latest l }))
+        g.Netlist.fanin;
+      windows.(g.Netlist.output) <- !acc;
+      max_slope.(g.Netlist.output) <- tau_out_max)
+    order;
+  (* collision sites: pairwise window overlap on >= 2 switching inputs *)
+  let site_list = ref [] in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let wins =
+        Array.to_list g.Netlist.fanin
+        |> List.filter_map (fun fid -> windows.(fid))
+      in
+      if List.length wins >= 2 then begin
+        let arr = Array.of_list wins in
+        let overlap = ref 0. in
+        for i = 0 to Array.length arr - 1 do
+          for j = i + 1 to Array.length arr - 1 do
+            let a = arr.(i) and b = arr.(j) in
+            let o = Float.min a.latest b.latest -. Float.max a.earliest b.earliest in
+            if o > !overlap then overlap := o
+          done
+        done;
+        let site =
+          if !overlap > 0. then
+            { hz_gate = g.Netlist.gate_id; hz_kind = Timing; hz_window_overlap = !overlap }
+          else { hz_gate = g.Netlist.gate_id; hz_kind = Function; hz_window_overlap = 0. }
+        in
+        site_list := site :: !site_list
+      end)
+    (Netlist.gates c);
+  let site_list =
+    List.sort
+      (fun a b ->
+        match (a.hz_kind, b.hz_kind) with
+        | Timing, Function -> -1
+        | Function, Timing -> 1
+        | (Timing | Function), _ ->
+            Float.compare b.hz_window_overlap a.hz_window_overlap)
+      !site_list
+  in
+  { circuit = c; windows; site_list }
+
+let window t sid = t.windows.(sid)
+let sites t = t.site_list
+let timing_sites t = List.filter (fun s -> s.hz_kind = Timing) t.site_list
+let is_hazardous t gid = List.exists (fun s -> s.hz_gate = gid) t.site_list
+
+let pp_sites c fmt sites =
+  List.iter
+    (fun s ->
+      match s.hz_kind with
+      | Timing ->
+          Format.fprintf fmt "  %-16s timing, overlap %a@."
+            (Netlist.gate_name c s.hz_gate)
+            Halotis_util.Units.pp_time s.hz_window_overlap
+      | Function ->
+          Format.fprintf fmt "  %-16s function hazard only@."
+            (Netlist.gate_name c s.hz_gate))
+    sites

@@ -1,0 +1,1 @@
+lib/stim/stimfile.ml: Buffer Format Halotis_engine Halotis_netlist Halotis_wave Hashtbl List Printf String

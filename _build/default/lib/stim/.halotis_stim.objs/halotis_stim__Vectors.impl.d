@@ -1,0 +1,1 @@
+lib/stim/vectors.ml: Format Halotis_engine Halotis_util List

@@ -1,0 +1,1 @@
+lib/stim/vectors.mli: Format Halotis_engine Halotis_netlist Halotis_util

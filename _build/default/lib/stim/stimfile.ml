@@ -1,0 +1,106 @@
+module Drive = Halotis_engine.Drive
+module Transition = Halotis_wave.Transition
+module Netlist = Halotis_netlist.Netlist
+
+type error = { line : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type t = { slope : float; entries : (string * Drive.t) list }
+
+let tokenize line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with None -> line | Some i -> String.sub line 0 i
+
+let parse_level lineno tok =
+  match tok with
+  | "0" -> false
+  | "1" -> true
+  | _ -> fail lineno "bad level %S (expected 0 or 1)" tok
+
+let parse_change lineno tok =
+  match String.index_opt tok '@' with
+  | None -> fail lineno "bad change %S (expected LEVEL@TIME)" tok
+  | Some i ->
+      let level = parse_level lineno (String.sub tok 0 i) in
+      let time_str = String.sub tok (i + 1) (String.length tok - i - 1) in
+      (match float_of_string_opt time_str with
+      | Some time when time >= 0. -> (time, level)
+      | Some _ | None -> fail lineno "bad time %S" time_str)
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  try
+    let slope = ref 100. in
+    let entries = ref [] in
+    let seen = Hashtbl.create 8 in
+    List.iteri
+      (fun idx raw ->
+        let lineno = idx + 1 in
+        match tokenize (strip_comment raw) with
+        | [] -> ()
+        | [ "slope"; v ] -> (
+            match float_of_string_opt v with
+            | Some s when s > 0. -> slope := s
+            | Some _ | None -> fail lineno "bad slope %S" v)
+        | "slope" :: _ -> fail lineno "usage: slope PICOSECONDS"
+        | "input" :: name :: initial :: changes ->
+            if Hashtbl.mem seen name then fail lineno "duplicate input %S" name;
+            Hashtbl.add seen name ();
+            let initial = parse_level lineno initial in
+            let changes = List.map (parse_change lineno) changes in
+            let drive = Drive.of_levels ~slope:!slope ~initial changes in
+            entries := (name, drive) :: !entries
+        | [ "input" ] | [ "input"; _ ] -> fail lineno "usage: input NAME INITIAL [LEVEL@TIME...]"
+        | tok :: _ -> fail lineno "unknown directive %S" tok)
+      lines;
+    Ok { slope = !slope; entries = List.rev !entries }
+  with Parse_error e -> Error e
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Printf.ksprintf (Buffer.add_string buf) "slope %g\n" t.slope;
+  List.iter
+    (fun (name, (d : Drive.t)) ->
+      Printf.ksprintf (Buffer.add_string buf) "input %s %d" name
+        (if d.Drive.initial then 1 else 0);
+      let level = ref d.Drive.initial in
+      List.iter
+        (fun (tr : Transition.t) ->
+          level := not !level;
+          Printf.ksprintf (Buffer.add_string buf) " %d@%g"
+            (if !level then 1 else 0)
+            tr.Transition.start)
+        d.Drive.transitions;
+      Buffer.add_char buf '\n')
+    t.entries;
+  Buffer.contents buf
+
+let bind t circuit =
+  let inputs = Netlist.primary_inputs circuit in
+  let rec resolve acc = function
+    | [] -> Ok (List.rev acc)
+    | (name, drive) :: rest -> (
+        match Netlist.find_signal circuit name with
+        | None -> Error (Printf.sprintf "stimulus names unknown signal %S" name)
+        | Some sid ->
+            if not (List.mem sid inputs) then
+              Error (Printf.sprintf "stimulus entry %S is not a primary input" name)
+            else resolve ((sid, drive) :: acc) rest)
+  in
+  resolve [] t.entries

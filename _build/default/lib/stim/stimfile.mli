@@ -1,0 +1,37 @@
+(** HSV — the HALOTIS stimulus-vector file format.
+
+    A line-oriented companion to HNL:
+
+    {v
+    # stimulus for eq2
+    slope 100                  # input ramp slope in ps (default 100)
+    input a0 0                 # constant low
+    input a1 1                 # constant high
+    input b0 0 1@3000 0@6000   # initial 0, rise at 3 ns, fall at 6 ns
+    v}
+
+    Levels are [0]/[1]; change instants are in picoseconds. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+type t = {
+  slope : Halotis_util.Units.time;
+  entries : (string * Halotis_engine.Drive.t) list;  (** in file order *)
+}
+
+val parse_string : string -> (t, error) result
+val parse_file : string -> (t, error) result
+
+val to_string : t -> string
+(** Prints a document that {!parse_string} reads back equivalently. *)
+
+val bind :
+  t ->
+  Halotis_netlist.Netlist.t ->
+  ((Halotis_netlist.Netlist.signal_id * Halotis_engine.Drive.t) list, string) result
+(** Resolves entry names against a circuit's primary inputs.  Errors on
+    unknown names or entries naming non-input signals; inputs without
+    an entry default to constant 0 (they are simply absent from the
+    returned list). *)

@@ -1,0 +1,61 @@
+(** Stimulus vectors: operand sequences for the arithmetic circuits,
+    including the two multiplication sequences of the paper's
+    evaluation (Figs. 6/7, Tables 1/2). *)
+
+type mult_op = { op_a : int; op_b : int }
+
+val pp_mult_op : Format.formatter -> mult_op -> unit
+(** Prints ["ExB"]-style hex, as in the paper's figures. *)
+
+val paper_sequence_a : mult_op list
+(** 0x0, 7x7, 5xA, Ex6, FxF — the Fig. 6 / Table 1 row 1 sequence. *)
+
+val paper_sequence_b : mult_op list
+(** 0x0, FxF, 0x0, FxF, 0x0 — the Fig. 7 / Table 1 row 2 sequence. *)
+
+val expected_product : mult_op -> int
+
+val random_ops : bits:int -> count:int -> seed:int -> mult_op list
+(** Uniformly random operand pairs. *)
+
+val walking_ones : bits:int -> int list
+(** The classic delay-test pattern [0; 1; 0; 2; 0; 4; ...]: each bit
+    pulses alone against a quiet background. *)
+
+val gray_code : bits:int -> int list
+(** All [2^bits] values in Gray order: exactly one input bit changes
+    per vector, isolating single-input transitions. *)
+
+val bit : int -> int -> bool
+(** [bit v i] is bit [i] of [v]. *)
+
+val bus_drives :
+  slope:Halotis_util.Units.time ->
+  period:Halotis_util.Units.time ->
+  bits:Halotis_netlist.Netlist.signal_id list ->
+  values:int list ->
+  (Halotis_netlist.Netlist.signal_id * Halotis_engine.Drive.t) list
+(** [bus_drives ~slope ~period ~bits ~values] drives a bus (LSB-first
+    signal list) through a sequence of integer values, one every
+    [period]; the first value is the initial (t=0) state and each
+    subsequent value is applied at [k * period]. *)
+
+val clock :
+  ?duty:float ->
+  slope:Halotis_util.Units.time ->
+  period:Halotis_util.Units.time ->
+  start:Halotis_util.Units.time ->
+  pulses:int ->
+  unit ->
+  Halotis_engine.Drive.t
+(** A clock drive: [pulses] rising edges at [start], [start + period],
+    ..., each high for [duty * period] (default 0.5), initially low. *)
+
+val multiplier_drives :
+  slope:Halotis_util.Units.time ->
+  period:Halotis_util.Units.time ->
+  a_bits:Halotis_netlist.Netlist.signal_id list ->
+  b_bits:Halotis_netlist.Netlist.signal_id list ->
+  mult_op list ->
+  (Halotis_netlist.Netlist.signal_id * Halotis_engine.Drive.t) list
+(** Drives both operand buses through an operation sequence. *)

@@ -1,0 +1,1 @@
+lib/tech/calibrate.ml: Float Halotis_util List

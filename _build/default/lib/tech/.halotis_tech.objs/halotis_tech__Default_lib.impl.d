@@ -1,0 +1,1 @@
+lib/tech/default_lib.ml: Halotis_logic Tech

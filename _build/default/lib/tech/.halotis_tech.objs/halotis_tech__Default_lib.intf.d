@@ -1,0 +1,1 @@
+lib/tech/default_lib.mli: Halotis_util Tech

@@ -1,0 +1,1 @@
+lib/tech/tech.ml: Float Halotis_logic

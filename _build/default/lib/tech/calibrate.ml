@@ -1,0 +1,29 @@
+type fit = { fit_tau : float; fit_t0 : float; fit_r2 : float }
+
+let predicted_delay ~tp0 ~tau ~t0 ~time_since_last =
+  if tp0 <= 0. then 0.
+  else begin
+    let raw = tp0 *. (1. -. Float.exp (-.(time_since_last -. t0) /. tau)) in
+    Halotis_util.Approx.clamp ~lo:0. ~hi:tp0 raw
+  end
+
+let fit_degradation ~tp0 ~samples =
+  if tp0 <= 0. then None
+  else begin
+    let informative =
+      List.filter_map
+        (fun (t, tp) ->
+          if tp > 0. && tp < tp0 then Some (t, Float.log (1. -. (tp /. tp0))) else None)
+        samples
+    in
+    match Halotis_util.Linfit.linear_regression informative with
+    | None -> None
+    | Some (slope, intercept) ->
+        if slope >= 0. then None
+        else begin
+          let tau = -1. /. slope in
+          let t0 = intercept *. tau in
+          let r2 = Halotis_util.Linfit.r_squared informative ~a:slope ~b:intercept in
+          Some { fit_tau = tau; fit_t0 = t0; fit_r2 = r2 }
+        end
+  end

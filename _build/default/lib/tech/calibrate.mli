@@ -1,0 +1,26 @@
+(** Fitting DDM parameters from measurements, the way the authors
+    fitted eqs. 1–3 to HSPICE.
+
+    Eq. 1 linearises as
+    [ln (1 - tp / tp0) = -(T - T0) / tau], i.e. a line in [T] with
+    slope [-1 / tau] and intercept [T0 / tau]; ordinary least squares
+    recovers both parameters. *)
+
+type fit = {
+  fit_tau : float;  (** ps *)
+  fit_t0 : float;  (** ps *)
+  fit_r2 : float;  (** goodness of the linearised fit *)
+}
+
+val fit_degradation : tp0:float -> samples:(float * float) list -> fit option
+(** [fit_degradation ~tp0 ~samples] takes [(T, tp)] pairs — output
+    delay [tp] observed when the gate output last switched [T] ps
+    earlier — and the nominal delay [tp0].  Samples with
+    [tp >= tp0] or [tp <= 0] carry no degradation information and are
+    ignored; [None] when fewer than two informative samples remain or
+    the regression is degenerate (non-negative slope). *)
+
+val predicted_delay : tp0:float -> tau:float -> t0:float -> time_since_last:float -> float
+(** Eq. 1 itself: [tp0 * (1 - exp (-(T - T0) / tau))], clamped to
+    [\[0, tp0\]].  Shared with the delay model so tests can check the
+    fit round-trips. *)

@@ -1,0 +1,93 @@
+module Gate_kind = Halotis_logic.Gate_kind
+
+let vdd = 5.0
+
+(* Inverter edges are the reference point; every other cell is derived
+   by family/arity scaling, the usual shortcut when no foundry data is
+   available.  Falling edges are slightly faster (stronger NMOS). *)
+let inv_rise =
+  {
+    Tech.d0 = 55.0;
+    d_load = 7.0;
+    d_slope = 0.12;
+    s0 = 70.0;
+    s_load = 9.0;
+    ddm_a = 190.0;
+    ddm_b = 26.0;
+    ddm_c = 1.35;
+  }
+
+let inv_fall =
+  {
+    Tech.d0 = 48.0;
+    d_load = 6.2;
+    d_slope = 0.11;
+    s0 = 62.0;
+    s_load = 8.0;
+    ddm_a = 170.0;
+    ddm_b = 24.0;
+    ddm_c = 1.25;
+  }
+
+let scale k (p : Tech.edge_params) =
+  {
+    p with
+    Tech.d0 = p.Tech.d0 *. k;
+    s0 = p.s0 *. k;
+    ddm_a = p.ddm_a *. k;
+  }
+
+let default_pin_factor i = 1.0 +. (0.08 *. float_of_int i)
+
+let cell ?(pin_factor = default_pin_factor) ~rise_k ~fall_k ~input_cap () =
+  {
+    Tech.rise = scale rise_k inv_rise;
+    fall = scale fall_k inv_fall;
+    input_cap;
+    default_vt = vdd /. 2.;
+    pin_factor;
+  }
+
+(* Stack penalty: each input beyond the second slows the series stack. *)
+let arity_k n = 1.0 +. (0.15 *. float_of_int (max 0 (n - 2)))
+
+let lookup kind =
+  match kind with
+  | Gate_kind.Inv -> cell ~rise_k:1.0 ~fall_k:1.0 ~input_cap:6.0 ()
+  | Gate_kind.Buf -> cell ~rise_k:1.8 ~fall_k:1.8 ~input_cap:5.0 ()
+  | Gate_kind.Nand n ->
+      (* parallel pull-up: fast rise; series pull-down: slow fall *)
+      cell ~rise_k:(1.1 *. arity_k n) ~fall_k:(1.35 *. arity_k n) ~input_cap:5.5 ()
+  | Gate_kind.Nor n ->
+      cell ~rise_k:(1.45 *. arity_k n) ~fall_k:(1.1 *. arity_k n) ~input_cap:5.5 ()
+  | Gate_kind.And n -> cell ~rise_k:(1.7 *. arity_k n) ~fall_k:(1.8 *. arity_k n) ~input_cap:5.0 ()
+  | Gate_kind.Or n -> cell ~rise_k:(1.8 *. arity_k n) ~fall_k:(1.7 *. arity_k n) ~input_cap:5.0 ()
+  | Gate_kind.Xor n | Gate_kind.Xnor n ->
+      cell ~rise_k:(2.2 *. arity_k n) ~fall_k:(2.2 *. arity_k n) ~input_cap:9.0 ()
+  | Gate_kind.Aoi21 | Gate_kind.Oai21 -> cell ~rise_k:1.5 ~fall_k:1.5 ~input_cap:6.0 ()
+  | Gate_kind.Mux2 -> cell ~rise_k:2.0 ~fall_k:2.0 ~input_cap:7.0 ()
+
+let tech = Tech.create ~name:"synthetic-0.6um" ~vdd ~wire_cap_per_fanout:2.0 ~lookup ()
+
+let fast_lookup kind =
+  let gt = lookup kind in
+  let quicken (p : Tech.edge_params) =
+    {
+      p with
+      Tech.d0 = p.Tech.d0 *. 0.6;
+      d_load = p.d_load *. 0.7;
+      s0 = p.s0 *. 0.6;
+      s_load = p.s_load *. 0.7;
+      ddm_a = p.ddm_a *. 0.6;
+      ddm_b = p.ddm_b *. 0.7;
+    }
+  in
+  {
+    gt with
+    Tech.rise = quicken gt.Tech.rise;
+    fall = quicken gt.Tech.fall;
+    input_cap = gt.Tech.input_cap *. 0.8;
+  }
+
+let fast_tech =
+  Tech.create ~name:"synthetic-0.6um-fast" ~vdd ~wire_cap_per_fanout:1.5 ~lookup:fast_lookup ()

@@ -1,0 +1,21 @@
+(** The synthetic 0.6 um-flavoured CMOS library used throughout the
+    reproduction.
+
+    The paper's multiplier was designed in a 0.6 um technology at
+    VDD = 5 V.  We do not have the authors' cell library; these numbers
+    are chosen in the ranges published in the companion DDM papers
+    (PATMOS'97/'00, ISCAS'00): inverter intrinsic delay of a few tens
+    of ps, output slopes of ~100 ps at typical loads, degradation tau
+    of the order of 100 ps and T0 a fraction of the input slope.  The
+    calibration test (see [Calibrate]) checks these parameters are
+    self-consistent with the analog substrate. *)
+
+val tech : Tech.t
+(** VDD = 5 V, wire cap 2 fF per fanout pin. *)
+
+val fast_tech : Tech.t
+(** A scaled variant (~40 % faster, lighter loads) used by ablation
+    benches to show parameter sensitivity. *)
+
+val vdd : Halotis_util.Units.voltage
+(** Convenience: [Tech.vdd tech]. *)

@@ -1,0 +1,44 @@
+type edge_params = {
+  d0 : float;
+  d_load : float;
+  d_slope : float;
+  s0 : float;
+  s_load : float;
+  ddm_a : float;
+  ddm_b : float;
+  ddm_c : float;
+}
+
+type gate_tech = {
+  rise : edge_params;
+  fall : edge_params;
+  input_cap : float;
+  default_vt : float;
+  pin_factor : int -> float;
+}
+
+type t = {
+  tech_name : string;
+  tech_vdd : float;
+  wire_cap : float;
+  lookup : Halotis_logic.Gate_kind.t -> gate_tech;
+}
+
+let create ~name ~vdd ?(wire_cap_per_fanout = 2.0) ~lookup () =
+  if vdd <= 0. then invalid_arg "Tech.create: vdd must be positive";
+  { tech_name = name; tech_vdd = vdd; wire_cap = wire_cap_per_fanout; lookup }
+
+let name t = t.tech_name
+let vdd t = t.tech_vdd
+let wire_cap_per_fanout t = t.wire_cap
+let gate_tech t kind = t.lookup kind
+let edge gt ~rising = if rising then gt.rise else gt.fall
+
+let base_delay p ~pin_factor ~cl ~tau_in =
+  pin_factor *. (p.d0 +. (p.d_load *. cl) +. (p.d_slope *. tau_in))
+
+let output_slope p ~cl = Float.max 1.0 (p.s0 +. (p.s_load *. cl))
+
+let degradation_tau t p ~cl = Float.max 1.0 ((p.ddm_a +. (p.ddm_b *. cl)) /. t.tech_vdd)
+
+let degradation_t0 t p ~tau_in = Float.max 0.0 ((0.5 -. (p.ddm_c /. t.tech_vdd)) *. tau_in)

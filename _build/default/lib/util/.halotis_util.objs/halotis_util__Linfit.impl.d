@@ -1,0 +1,1 @@
+lib/util/linfit.ml: Array Float List

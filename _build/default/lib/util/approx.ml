@@ -1,0 +1,13 @@
+let default_eps = 1e-6
+
+let equal ?(eps = default_eps) a b = Float.abs (a -. b) <= eps
+let leq ?(eps = default_eps) a b = a <= b +. eps
+let geq ?(eps = default_eps) a b = a >= b -. eps
+let lt ?(eps = default_eps) a b = a < b -. eps
+let gt ?(eps = default_eps) a b = a > b +. eps
+
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x
+
+let is_finite x = Float.is_finite x

@@ -1,0 +1,49 @@
+(** Binary min-heap with removable entries and deterministic ordering.
+
+    This is the backbone of the HALOTIS event queue: the Fig. 4
+    simulation algorithm needs to cancel a *pending* event when a newer
+    transition invalidates it, so every insertion returns a handle that
+    supports O(log n) removal.
+
+    Entries are ordered by their [float] key; ties are broken by
+    insertion order (FIFO), which makes simulations deterministic. *)
+
+type 'a t
+(** A heap holding payloads of type ['a]. *)
+
+type 'a handle
+(** A handle onto an inserted entry, usable to remove it later. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of live entries. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val insert : 'a t -> key:float -> 'a -> 'a handle
+(** [insert h ~key v] adds [v] with priority [key] and returns its
+    handle. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** [pop_min h] removes and returns the entry with the smallest key
+    (FIFO among equal keys), or [None] if the heap is empty. *)
+
+val peek_min : 'a t -> (float * 'a) option
+(** [peek_min h] is like {!pop_min} without removing the entry. *)
+
+val remove : 'a t -> 'a handle -> bool
+(** [remove h hd] deletes the entry behind [hd].  Returns [false] when
+    the entry was already popped or removed (removal is idempotent). *)
+
+val mem : 'a t -> 'a handle -> bool
+(** [mem h hd] is true while the entry behind [hd] is still queued. *)
+
+val key_of : 'a t -> 'a handle -> float option
+(** [key_of h hd] is the key of a still-queued entry. *)
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** [to_sorted_list h] drains nothing: returns the live entries in pop
+    order.  O(n log n); intended for tests and debugging. *)

@@ -1,0 +1,98 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let linear_regression samples =
+  let n = List.length samples in
+  if n < 2 then None
+  else begin
+    let xs = List.map fst samples and ys = List.map snd samples in
+    let mx = mean xs and my = mean ys in
+    let sxx = List.fold_left (fun acc x -> acc +. ((x -. mx) *. (x -. mx))) 0. xs in
+    let sxy =
+      List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0. samples
+    in
+    if sxx = 0. then None
+    else begin
+      let a = sxy /. sxx in
+      Some (a, my -. (a *. mx))
+    end
+  end
+
+let r_squared samples ~a ~b =
+  let ys = List.map snd samples in
+  let my = mean ys in
+  let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. my) *. (y -. my))) 0. ys in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) ->
+        let r = y -. ((a *. x) +. b) in
+        acc +. (r *. r))
+      0. samples
+  in
+  if ss_tot = 0. then if ss_res = 0. then 1. else 0. else 1. -. (ss_res /. ss_tot)
+
+(* Ordinary least squares via the normal equations, solved by Gaussian
+   elimination with partial pivoting.  Dimensions are tiny (number of
+   regressors + 1), so numerical sophistication is unnecessary. *)
+let multiple_regression rows =
+  match rows with
+  | [] -> None
+  | (first, _) :: _ ->
+      let k = Array.length first + 1 in
+      if List.length rows < k then None
+      else if List.exists (fun (xs, _) -> Array.length xs <> k - 1) rows then None
+      else begin
+        (* design row: [1; x1; ...; xn] *)
+        let design (xs, _) = Array.append [| 1. |] xs in
+        let a = Array.make_matrix k k 0. in
+        let b = Array.make k 0. in
+        List.iter
+          (fun ((_, y) as row) ->
+            let d = design row in
+            for i = 0 to k - 1 do
+              b.(i) <- b.(i) +. (d.(i) *. y);
+              for j = 0 to k - 1 do
+                a.(i).(j) <- a.(i).(j) +. (d.(i) *. d.(j))
+              done
+            done)
+          rows;
+        (* Gaussian elimination with partial pivoting *)
+        let singular = ref false in
+        for col = 0 to k - 1 do
+          let pivot = ref col in
+          for r = col + 1 to k - 1 do
+            if Float.abs a.(r).(col) > Float.abs a.(!pivot).(col) then pivot := r
+          done;
+          if Float.abs a.(!pivot).(col) < 1e-12 then singular := true
+          else begin
+            if !pivot <> col then begin
+              let tmp = a.(col) in
+              a.(col) <- a.(!pivot);
+              a.(!pivot) <- tmp;
+              let tb = b.(col) in
+              b.(col) <- b.(!pivot);
+              b.(!pivot) <- tb
+            end;
+            for r = col + 1 to k - 1 do
+              let f = a.(r).(col) /. a.(col).(col) in
+              for c = col to k - 1 do
+                a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+              done;
+              b.(r) <- b.(r) -. (f *. b.(col))
+            done
+          end
+        done;
+        if !singular then None
+        else begin
+          let x = Array.make k 0. in
+          for i = k - 1 downto 0 do
+            let s = ref b.(i) in
+            for j = i + 1 to k - 1 do
+              s := !s -. (a.(i).(j) *. x.(j))
+            done;
+            x.(i) <- !s /. a.(i).(i)
+          done;
+          Some x
+        end
+      end

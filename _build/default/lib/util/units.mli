@@ -1,0 +1,42 @@
+(** Physical scalars used throughout HALOTIS.
+
+    All times are in picoseconds, voltages in volts and capacitances in
+    femtofarads, carried as plain [float]s.  This module centralises the
+    conventions and the formatting helpers so the rest of the code never
+    hard-codes a unit conversion. *)
+
+type time = float
+(** Time in picoseconds. *)
+
+type voltage = float
+(** Voltage in volts. *)
+
+type capacitance = float
+(** Capacitance in femtofarads. *)
+
+val ps : float -> time
+(** [ps x] is [x] picoseconds. *)
+
+val ns : float -> time
+(** [ns x] is [x] nanoseconds expressed in picoseconds. *)
+
+val time_to_ns : time -> float
+(** [time_to_ns t] converts a picosecond time to nanoseconds. *)
+
+val volts : float -> voltage
+(** [volts x] is [x] volts. *)
+
+val ff : float -> capacitance
+(** [ff x] is [x] femtofarads. *)
+
+val pp_time : Format.formatter -> time -> unit
+(** Prints a time with an adaptive unit ([ps] or [ns]). *)
+
+val pp_voltage : Format.formatter -> voltage -> unit
+(** Prints a voltage in volts with three decimals. *)
+
+val pp_capacitance : Format.formatter -> capacitance -> unit
+(** Prints a capacitance in femtofarads. *)
+
+val time_to_string : time -> string
+(** [time_to_string t] is [Format.asprintf "%a" pp_time t]. *)

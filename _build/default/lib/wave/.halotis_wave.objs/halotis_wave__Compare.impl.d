@@ -1,0 +1,1 @@
+lib/wave/compare.ml: Digital Float Format Halotis_util List Transition

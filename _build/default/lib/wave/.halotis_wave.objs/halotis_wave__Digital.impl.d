@@ -1,0 +1,1 @@
+lib/wave/digital.ml: Array Float Format Halotis_util List Transition Waveform

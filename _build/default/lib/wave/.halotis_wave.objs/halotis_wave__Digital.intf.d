@@ -1,0 +1,1 @@
+lib/wave/digital.mli: Format Halotis_util Transition Waveform

@@ -1,0 +1,1 @@
+lib/wave/measure.ml: Digital Float Format Halotis_util List Transition

@@ -1,0 +1,1 @@
+lib/wave/transition.ml: Float Format Halotis_util

@@ -1,0 +1,1 @@
+lib/wave/transition.mli: Format Halotis_util

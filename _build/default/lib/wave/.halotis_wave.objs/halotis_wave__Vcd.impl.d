@@ -1,0 +1,1 @@
+lib/wave/vcd.ml: Buffer Char Digital Float List Printf String Transition Waveform

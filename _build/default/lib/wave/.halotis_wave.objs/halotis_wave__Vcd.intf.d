@@ -1,0 +1,1 @@
+lib/wave/vcd.mli: Digital Halotis_util Waveform

@@ -1,0 +1,1 @@
+lib/wave/vcd_reader.ml: Digital Format Hashtbl List Seq String Transition

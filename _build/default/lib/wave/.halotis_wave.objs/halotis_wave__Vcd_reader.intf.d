@@ -1,0 +1,1 @@
+lib/wave/vcd_reader.mli: Digital Format

@@ -1,0 +1,1 @@
+lib/wave/waveform.ml: Array Halotis_util List Transition

@@ -1,0 +1,1 @@
+lib/wave/waveform.mli: Halotis_util Transition

@@ -1,0 +1,58 @@
+type report = {
+  matched : int;
+  missing : int;
+  extra : int;
+  mean_offset : float;
+  max_offset : float;
+}
+
+(* Greedy in-order matching: advance through both lists; a pair matches
+   when polarities agree and the times are within tolerance, otherwise
+   the earlier edge is declared unmatched and skipped. *)
+let edges ~tolerance ~reference ~candidate =
+  let rec walk refs cands matched missing extra sum maxo =
+    match (refs, cands) with
+    | [], [] ->
+        {
+          matched;
+          missing;
+          extra;
+          mean_offset = (if matched = 0 then 0. else sum /. float_of_int matched);
+          max_offset = maxo;
+        }
+    | [], _ :: rest -> walk [] rest matched missing (extra + 1) sum maxo
+    | _ :: rest, [] -> walk rest [] matched (missing + 1) extra sum maxo
+    | (r : Digital.edge) :: rrest, (c : Digital.edge) :: crest ->
+        let dt = Float.abs (c.Digital.at -. r.Digital.at) in
+        if dt <= tolerance && Transition.equal_polarity r.Digital.polarity c.Digital.polarity
+        then walk rrest crest (matched + 1) missing extra (sum +. dt) (Float.max maxo dt)
+        else if c.Digital.at < r.Digital.at then
+          walk refs crest matched missing (extra + 1) sum maxo
+        else walk rrest cands matched (missing + 1) extra sum maxo
+  in
+  walk reference candidate 0 0 0 0. 0.
+
+let perfect r = r.missing = 0 && r.extra = 0
+
+let agreement r =
+  let total = r.matched + r.missing + r.extra in
+  if total = 0 then 1.0 else float_of_int r.matched /. float_of_int total
+
+let merge reports =
+  let matched = List.fold_left (fun acc r -> acc + r.matched) 0 reports in
+  let missing = List.fold_left (fun acc r -> acc + r.missing) 0 reports in
+  let extra = List.fold_left (fun acc r -> acc + r.extra) 0 reports in
+  let sum = List.fold_left (fun acc r -> acc +. (r.mean_offset *. float_of_int r.matched)) 0. reports in
+  let max_offset = List.fold_left (fun acc r -> Float.max acc r.max_offset) 0. reports in
+  {
+    matched;
+    missing;
+    extra;
+    mean_offset = (if matched = 0 then 0. else sum /. float_of_int matched);
+    max_offset;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "%d matched, %d missing, %d extra; offsets mean %a max %a" r.matched
+    r.missing r.extra Halotis_util.Units.pp_time r.mean_offset Halotis_util.Units.pp_time
+    r.max_offset

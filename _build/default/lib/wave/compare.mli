@@ -1,0 +1,35 @@
+(** Quantitative comparison of digitized waveforms across engines —
+    what "HALOTIS-DDM results are very similar to HSPICE" means in
+    numbers.
+
+    Edges from two sources are greedily matched in time order within a
+    tolerance window; the report counts matches, misses and extras and
+    measures the time offsets of matched pairs. *)
+
+type report = {
+  matched : int;
+  missing : int;  (** reference edges with no candidate counterpart *)
+  extra : int;  (** candidate edges with no reference counterpart *)
+  mean_offset : Halotis_util.Units.time;  (** mean |t_cand - t_ref| over matches *)
+  max_offset : Halotis_util.Units.time;
+}
+
+val edges :
+  tolerance:Halotis_util.Units.time ->
+  reference:Digital.edge list ->
+  candidate:Digital.edge list ->
+  report
+(** Matches candidate edges to reference edges of the same polarity
+    within [tolerance].  Both lists must be time-ordered. *)
+
+val perfect : report -> bool
+(** No misses, no extras. *)
+
+val agreement : report -> float
+(** [matched / (matched + missing + extra)]; 1.0 when lists agree
+    edge-for-edge (and 1.0 for two empty lists). *)
+
+val merge : report list -> report
+(** Aggregates per-signal reports into a circuit-level one. *)
+
+val pp : Format.formatter -> report -> unit

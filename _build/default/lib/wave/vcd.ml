@@ -1,0 +1,71 @@
+type signal_dump = {
+  dump_name : string;
+  dump_initial : bool;
+  dump_edges : Digital.edge list;
+}
+
+let ident_of_index i =
+  (* VCD identifiers: printable ASCII 33..126; use a base-94 encoding. *)
+  let base = 94 and first = 33 in
+  let rec build i acc =
+    let digit = Char.chr (first + (i mod base)) in
+    let acc = String.make 1 digit ^ acc in
+    if i < base then acc else build ((i / base) - 1) acc
+  in
+  build i ""
+
+let render ?(timescale_ps = 1) ?(module_name = "halotis") dumps =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "$date reproduction run $end\n";
+  pr "$version HALOTIS-ocaml $end\n";
+  pr "$timescale %dps $end\n" timescale_ps;
+  pr "$scope module %s $end\n" module_name;
+  List.iteri
+    (fun i d -> pr "$var wire 1 %s %s $end\n" (ident_of_index i) d.dump_name)
+    dumps;
+  pr "$upscope $end\n$enddefinitions $end\n";
+  pr "$dumpvars\n";
+  List.iteri
+    (fun i d -> pr "%c%s\n" (if d.dump_initial then '1' else '0') (ident_of_index i))
+    dumps;
+  pr "$end\n";
+  let changes =
+    List.concat
+      (List.mapi
+         (fun i d ->
+           List.map
+             (fun (e : Digital.edge) ->
+               let tick =
+                 int_of_float (Float.round (e.Digital.at /. float_of_int timescale_ps))
+               in
+               let bit =
+                 match e.Digital.polarity with Transition.Rising -> '1' | Falling -> '0'
+               in
+               (tick, i, bit))
+             d.dump_edges)
+         dumps)
+  in
+  let sorted = List.sort compare changes in
+  let last_tick = ref (-1) in
+  List.iter
+    (fun (tick, i, bit) ->
+      if tick <> !last_tick then begin
+        pr "#%d\n" tick;
+        last_tick := tick
+      end;
+      pr "%c%s\n" bit (ident_of_index i))
+    sorted;
+  Buffer.contents buf
+
+let of_waveform ~name ~vt w =
+  {
+    dump_name = name;
+    dump_initial = Waveform.initial w > vt;
+    dump_edges = Digital.edges w ~vt;
+  }
+
+let write_file path dumps =
+  let oc = open_out path in
+  output_string oc (render dumps);
+  close_out oc

@@ -1,0 +1,22 @@
+(** Value-change-dump (VCD) export of digitized waveforms, so runs can
+    be inspected in GTKWave or any standard viewer. *)
+
+type signal_dump = {
+  dump_name : string;
+  dump_initial : bool;
+  dump_edges : Digital.edge list;
+}
+
+val render :
+  ?timescale_ps:int ->
+  ?module_name:string ->
+  signal_dump list ->
+  string
+(** [render dumps] produces a complete VCD document.  Edge times are
+    rounded to multiples of [timescale_ps] (default 1). *)
+
+val of_waveform :
+  name:string -> vt:Halotis_util.Units.voltage -> Waveform.t -> signal_dump
+(** Digitizes one waveform under threshold [vt]. *)
+
+val write_file : string -> signal_dump list -> unit

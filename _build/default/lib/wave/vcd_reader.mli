@@ -1,0 +1,21 @@
+(** Reader for the subset of VCD that {!Vcd.render} produces (and most
+    digital tools emit for scalar wires): timescale, 1-bit [$var]
+    declarations, [$dumpvars] initial values, and [#time] change
+    records.  Vector variables and real values are rejected. *)
+
+type signal = {
+  rd_name : string;
+  rd_initial : bool;
+  rd_edges : Digital.edge list;  (** times in ps, chronological *)
+}
+
+type t = { timescale_ps : float; signals : signal list }
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : string -> (t, error) result
+val parse_file : string -> (t, error) result
+
+val find : t -> string -> signal option

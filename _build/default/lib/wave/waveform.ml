@@ -1,0 +1,118 @@
+type segment = { transition : Transition.t; v_start : Halotis_util.Units.voltage }
+
+type t = {
+  vdd : Halotis_util.Units.voltage;
+  initial : Halotis_util.Units.voltage;
+  mutable segs : segment array; (* chronological; live prefix of length len *)
+  mutable len : int;
+}
+
+let create ?(initial = 0.) ~vdd () =
+  if vdd <= 0. then invalid_arg "Waveform.create: vdd must be positive";
+  { vdd; initial; segs = [||]; len = 0 }
+
+let vdd w = w.vdd
+let initial w = w.initial
+let segment_count w = w.len
+
+let segments w = Array.to_list (Array.sub w.segs 0 w.len)
+let transitions w = List.map (fun s -> s.transition) (segments w)
+let last_segment w = if w.len = 0 then None else Some w.segs.(w.len - 1)
+
+let last_start w =
+  match last_segment w with None -> None | Some s -> Some s.transition.Transition.start
+
+(* Index of the last segment with start <= t, or -1. *)
+let locate w t =
+  let rec search lo hi =
+    (* invariant: segs.(lo).start <= t (when lo >= 0), segs.(hi).start > t (when hi < len) *)
+    if hi - lo <= 1 then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if w.segs.(mid).transition.Transition.start <= t then search mid hi else search lo mid
+    end
+  in
+  if w.len = 0 || w.segs.(0).transition.Transition.start > t then -1 else search 0 w.len
+
+let value_at w t =
+  let i = locate w t in
+  if i < 0 then w.initial
+  else begin
+    let s = w.segs.(i) in
+    Transition.value_at ~vdd:w.vdd ~v_start:s.v_start s.transition t
+  end
+
+type append_outcome = { dropped : Transition.t list; accepted : bool }
+
+let push w seg =
+  if w.len = Array.length w.segs then begin
+    let grown = Array.make (max 16 (2 * w.len)) seg in
+    Array.blit w.segs 0 grown 0 w.len;
+    w.segs <- grown
+  end;
+  w.segs.(w.len) <- seg;
+  w.len <- w.len + 1
+
+let append w tr =
+  let t0 = tr.Transition.start in
+  (* Annul stored transitions starting at or after the new one. *)
+  let dropped = ref [] in
+  while w.len > 0 && w.segs.(w.len - 1).transition.Transition.start >= t0 do
+    w.len <- w.len - 1;
+    dropped := w.segs.(w.len).transition :: !dropped
+  done;
+  let v_start = value_at w t0 in
+  let at_rail =
+    match tr.Transition.polarity with
+    | Transition.Rising -> v_start >= w.vdd
+    | Transition.Falling -> v_start <= 0.
+  in
+  if at_rail then { dropped = !dropped; accepted = false }
+  else begin
+    push w { transition = tr; v_start };
+    { dropped = !dropped; accepted = true }
+  end
+
+let crossing_of_last w ~vt =
+  match last_segment w with
+  | None -> None
+  | Some s -> Transition.crossing ~vdd:w.vdd ~v_start:s.v_start s.transition ~vt
+
+let crossings_with_transitions w ~vt =
+  let raw = ref [] in
+  for i = 0 to w.len - 1 do
+    let s = w.segs.(i) in
+    match Transition.crossing ~vdd:w.vdd ~v_start:s.v_start s.transition ~vt with
+    | None -> ()
+    | Some c ->
+        let valid =
+          (* Strict: a ramp truncated exactly at the crossing instant
+             only touches the threshold and does not cross it. *)
+          if i = w.len - 1 then true
+          else c < w.segs.(i + 1).transition.Transition.start
+        in
+        if valid then raw := (c, s.transition) :: !raw
+  done;
+  let chronological = List.rev !raw in
+  (* Exact-touch boundaries can record a crossing without the matching
+     return crossing; enforce polarity alternation so the digital view
+     is always consistent. *)
+  let first_expected = if w.initial <= vt then Transition.Rising else Transition.Falling in
+  let rec filter expected = function
+    | [] -> []
+    | (t, tr) :: rest ->
+        if Transition.equal_polarity tr.Transition.polarity expected then
+          (t, tr) :: filter (Transition.opposite expected) rest
+        else filter expected rest
+  in
+  filter first_expected chronological
+
+let crossings w ~vt =
+  List.map
+    (fun (t, tr) -> (t, tr.Transition.polarity))
+    (crossings_with_transitions w ~vt)
+
+let sample w ~t0 ~t1 ~dt =
+  if dt <= 0. then invalid_arg "Waveform.sample: dt must be positive";
+  let rec loop t acc = if t > t1 then List.rev acc else loop (t +. dt) ((t, value_at w t) :: acc) in
+  loop t0 []

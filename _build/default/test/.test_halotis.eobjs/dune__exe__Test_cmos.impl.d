@@ -1,0 +1,1 @@
+test/test_cmos.ml: Alcotest Float Halotis_cmos Halotis_engine Halotis_logic Halotis_netlist Halotis_tech Halotis_wave List Printf

@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Array Float Halotis_delay Halotis_logic Halotis_netlist Halotis_tech Printf QCheck QCheck_alcotest

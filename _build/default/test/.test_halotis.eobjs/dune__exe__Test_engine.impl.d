@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Float Format Halotis_delay Halotis_engine Halotis_logic Halotis_netlist Halotis_stim Halotis_tech Halotis_wave List Printf QCheck QCheck_alcotest String

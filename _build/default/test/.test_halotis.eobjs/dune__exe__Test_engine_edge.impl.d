@@ -1,0 +1,1 @@
+test/test_engine_edge.ml: Alcotest Array Float Format Halotis_engine Halotis_logic Halotis_netlist Halotis_tech Halotis_wave List Printf QCheck QCheck_alcotest String

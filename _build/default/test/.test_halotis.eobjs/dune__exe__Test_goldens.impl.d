@@ -1,0 +1,1 @@
+test/test_goldens.ml: Alcotest Float Halotis_delay Halotis_engine Halotis_netlist Halotis_sta Halotis_stim Halotis_tech Halotis_wave Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_liberty.ml: Alcotest Float Halotis_liberty Halotis_logic Halotis_stim Halotis_tech Halotis_util Halotis_wave List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Halotis_logic List Printf QCheck QCheck_alcotest

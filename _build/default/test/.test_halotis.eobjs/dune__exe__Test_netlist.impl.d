@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bool Filename Format Halotis_engine Halotis_logic Halotis_netlist Halotis_stim Hashtbl Lazy List Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Format Halotis_delay Halotis_engine Halotis_netlist Halotis_power Halotis_stim Halotis_tech Halotis_wave List String

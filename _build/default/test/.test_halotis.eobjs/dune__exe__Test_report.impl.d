@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Halotis_report Halotis_wave String

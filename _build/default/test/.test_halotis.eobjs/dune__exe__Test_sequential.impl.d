@@ -1,0 +1,1 @@
+test/test_sequential.ml: Alcotest Array Fun Halotis_engine Halotis_netlist Halotis_stim Halotis_tech Halotis_wave List Printf

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Float Format Halotis_delay Halotis_engine Halotis_logic Halotis_netlist Halotis_sta Halotis_tech Halotis_util Halotis_wave List QCheck QCheck_alcotest String

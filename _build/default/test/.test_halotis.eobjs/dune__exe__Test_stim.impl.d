@@ -1,0 +1,1 @@
+test/test_stim.ml: Alcotest Filename Format Halotis_engine Halotis_netlist Halotis_stim Halotis_wave List Result Sys

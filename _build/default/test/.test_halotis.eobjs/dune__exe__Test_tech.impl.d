@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Float Halotis_logic Halotis_tech List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float Halotis_util Int List QCheck QCheck_alcotest

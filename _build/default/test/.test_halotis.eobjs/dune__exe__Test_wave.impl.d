@@ -1,0 +1,1 @@
+test/test_wave.ml: Alcotest Filename Float Format Halotis_wave List QCheck QCheck_alcotest String Sys

@@ -1,0 +1,91 @@
+(* Golden regression pins.
+
+   These values are DELIBERATELY brittle: they pin the exact event
+   counts and timings of the canonical paper workloads under the
+   default technology, so that any change to the engine semantics, the
+   delay models or the default library shows up as a diff here.  When a
+   change is intentional (e.g. recalibrating the library), update the
+   constants together with EXPERIMENTS.md. *)
+
+module G = Halotis_netlist.Generators
+module N = Halotis_netlist.Netlist
+module Iddm = Halotis_engine.Iddm
+module Classic = Halotis_engine.Classic
+module Drive = Halotis_engine.Drive
+module Stats = Halotis_engine.Stats
+module D = Halotis_wave.Digital
+module DL = Halotis_tech.Default_lib
+module DM = Halotis_delay.Delay_model
+module V = Halotis_stim.Vectors
+module Sta = Halotis_sta.Sta
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let mult = lazy (G.array_multiplier ~m:4 ~n:4 ())
+
+let run kind ops =
+  let m = Lazy.force mult in
+  let drives =
+    V.multiplier_drives ~slope:100. ~period:5000. ~a_bits:m.G.ma_bits ~b_bits:m.G.mb_bits ops
+  in
+  Iddm.run (Iddm.config ~delay_kind:kind DL.tech) m.G.mult_circuit ~drives
+
+let test_table1_event_counts () =
+  let ra = run DM.Ddm V.paper_sequence_a in
+  checki "DDM seqA events" 430 ra.Iddm.stats.Stats.events_processed;
+  checki "DDM seqA filtered" 27 ra.Iddm.stats.Stats.events_filtered;
+  let rb = run DM.Ddm V.paper_sequence_b in
+  checki "DDM seqB events" 636 rb.Iddm.stats.Stats.events_processed;
+  checki "DDM seqB filtered" 64 rb.Iddm.stats.Stats.events_filtered;
+  let ca = run DM.Cdm V.paper_sequence_a in
+  checki "CDM seqA events" 454 ca.Iddm.stats.Stats.events_processed;
+  let cb = run DM.Cdm V.paper_sequence_b in
+  checki "CDM seqB events" 720 cb.Iddm.stats.Stats.events_processed
+
+let test_fig1_edge_counts () =
+  let f = G.fig1_circuit () in
+  let drives = [ (f.G.sig_in, Drive.pulse ~slope:100. ~at:1000. ~width:225. ()) ] in
+  let r = Iddm.run (Iddm.config DL.tech) f.G.circuit ~drives in
+  let count name = D.edge_count (Iddm.waveform r name) ~vt:2.5 in
+  checki "out0" 2 (count "out0");
+  checki "out1c" 2 (count "out1c");
+  checki "out2c" 0 (count "out2c");
+  let rc = Classic.run (Classic.config DL.tech) f.G.circuit ~drives in
+  checki "classic out1c" 2 (List.length (Classic.edges_of_name rc "out1c"));
+  checki "classic out2c" 2 (List.length (Classic.edges_of_name rc "out2c"))
+
+let test_sta_worst_mult4x4 () =
+  let m = Lazy.force mult in
+  let worst = Sta.worst (Sta.analyze DL.tech m.G.mult_circuit) in
+  checkb
+    (Printf.sprintf "pinned 8738.3 ps, got %.1f" worst)
+    true
+    (Float.abs (worst -. 8738.3) < 0.5)
+
+let test_degradation_sweep_pins () =
+  (* the 2-inverter chain transfer curve at three canonical widths *)
+  let c = G.inverter_chain ~n:2 () in
+  let input = match N.find_signal c "in" with Some s -> s | None -> assert false in
+  let out_width w =
+    let drives = [ (input, Drive.pulse ~slope:100. ~at:1000. ~width:w ()) ] in
+    let r = Iddm.run (Iddm.config DL.tech) c ~drives in
+    match D.pulses (Iddm.waveform r "out") ~vt:2.5 with
+    | [ p ] -> p.D.width
+    | [] -> 0.
+    | _ -> -1.
+  in
+  checkb "125 filtered" true (out_width 125. = 0.);
+  checkb "150 -> ~112" true (Float.abs (out_width 150. -. 111.9) < 1.);
+  checkb "300 -> ~300" true (Float.abs (out_width 300. -. 299.6) < 1.)
+
+let tests =
+  [
+    ( "goldens",
+      [
+        Alcotest.test_case "table1 event counts" `Quick test_table1_event_counts;
+        Alcotest.test_case "fig1 edge counts" `Quick test_fig1_edge_counts;
+        Alcotest.test_case "sta worst" `Quick test_sta_worst_mult4x4;
+        Alcotest.test_case "degradation pins" `Quick test_degradation_sweep_pins;
+      ] );
+  ]

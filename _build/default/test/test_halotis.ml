@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "halotis"
+    (Test_util.tests @ Test_logic.tests @ Test_netlist.tests @ Test_wave.tests
+   @ Test_tech.tests @ Test_delay.tests @ Test_engine.tests @ Test_analog.tests
+   @ Test_stim.tests @ Test_power.tests @ Test_report.tests @ Test_integration.tests
+   @ Test_sta.tests @ Test_liberty.tests @ Test_engine_edge.tests
+   @ Test_sequential.tests @ Test_cmos.tests @ Test_goldens.tests)

@@ -1,0 +1,165 @@
+(* Tests for Halotis_tech: parameter plumbing, eq. 1–3 behaviour, and
+   the calibration fitter. *)
+
+module Tech = Halotis_tech.Tech
+module DL = Halotis_tech.Default_lib
+module Cal = Halotis_tech.Calibrate
+module Gate_kind = Halotis_logic.Gate_kind
+
+let checkb = Alcotest.(check bool)
+let checkf msg = Alcotest.(check (float 1e-6)) msg
+
+let test_default_lib_sane () =
+  checkf "vdd" 5.0 (Tech.vdd DL.tech);
+  List.iter
+    (fun kind ->
+      let gt = Tech.gate_tech DL.tech kind in
+      List.iter
+        (fun rising ->
+          let p = Tech.edge gt ~rising in
+          checkb "d0 > 0" true (p.Tech.d0 > 0.);
+          checkb "d_load >= 0" true (p.Tech.d_load >= 0.);
+          checkb "s0 > 0" true (p.Tech.s0 > 0.);
+          checkb "ddm_a > 0" true (p.Tech.ddm_a > 0.);
+          checkb "ddm_c in range" true (p.Tech.ddm_c > 0. && p.Tech.ddm_c < Tech.vdd DL.tech))
+        [ true; false ];
+      checkb "input cap" true (gt.Tech.input_cap > 0.);
+      checkb "vt inside rails" true
+        (gt.Tech.default_vt > 0. && gt.Tech.default_vt < Tech.vdd DL.tech);
+      checkf "pin factor 0" 1.0 (gt.Tech.pin_factor 0);
+      checkb "pin factor grows" true (gt.Tech.pin_factor 2 >= gt.Tech.pin_factor 0))
+    Gate_kind.all_basic
+
+let test_fast_tech_faster () =
+  List.iter
+    (fun kind ->
+      let slow = Tech.gate_tech DL.tech kind and fast = Tech.gate_tech DL.fast_tech kind in
+      checkb "d0 smaller" true (fast.Tech.rise.Tech.d0 < slow.Tech.rise.Tech.d0);
+      checkb "cap smaller" true (fast.Tech.input_cap < slow.Tech.input_cap))
+    Gate_kind.all_basic
+
+let inv_rise () = Tech.edge (Tech.gate_tech DL.tech Gate_kind.Inv) ~rising:true
+
+let test_base_delay_monotone_load () =
+  let p = inv_rise () in
+  let d cl = Tech.base_delay p ~pin_factor:1.0 ~cl ~tau_in:100. in
+  checkb "grows with load" true (d 20. > d 5.);
+  checkb "grows with slope" true
+    (Tech.base_delay p ~pin_factor:1.0 ~cl:10. ~tau_in:300.
+    > Tech.base_delay p ~pin_factor:1.0 ~cl:10. ~tau_in:50.);
+  checkb "pin factor scales" true
+    (Tech.base_delay p ~pin_factor:1.2 ~cl:10. ~tau_in:100.
+    > Tech.base_delay p ~pin_factor:1.0 ~cl:10. ~tau_in:100.)
+
+let test_output_slope () =
+  let p = inv_rise () in
+  checkb "grows with load" true (Tech.output_slope p ~cl:30. > Tech.output_slope p ~cl:5.);
+  (* degenerate parameter set is clamped, never zero or negative *)
+  let degenerate = { p with Tech.s0 = -100.; s_load = 0. } in
+  checkf "clamped" 1.0 (Tech.output_slope degenerate ~cl:0.)
+
+let test_degradation_params () =
+  let p = inv_rise () in
+  checkb "tau grows with load" true
+    (Tech.degradation_tau DL.tech p ~cl:30. > Tech.degradation_tau DL.tech p ~cl:5.);
+  checkb "t0 grows with slope" true
+    (Tech.degradation_t0 DL.tech p ~tau_in:300. > Tech.degradation_t0 DL.tech p ~tau_in:50.);
+  checkb "t0 nonnegative" true (Tech.degradation_t0 DL.tech p ~tau_in:0. >= 0.)
+
+(* --- eq. 1 (predicted_delay) --- *)
+
+let test_eq1_limits () =
+  let tp0 = 120. and tau = 80. and t0 = 20. in
+  checkf "T -> inf" tp0 (Cal.predicted_delay ~tp0 ~tau ~t0 ~time_since_last:1e9);
+  checkf "T = T0" 0. (Cal.predicted_delay ~tp0 ~tau ~t0 ~time_since_last:t0);
+  checkf "T < T0 clamps" 0. (Cal.predicted_delay ~tp0 ~tau ~t0 ~time_since_last:(t0 -. 50.));
+  let half = Cal.predicted_delay ~tp0 ~tau ~t0 ~time_since_last:(t0 +. (tau *. Float.log 2.)) in
+  checkf "half at T0+tau ln2" (tp0 /. 2.) half
+
+let prop_eq1_monotone =
+  QCheck.Test.make ~name:"eq.1 delay monotone in T" ~count:300
+    QCheck.(triple (float_range 10. 500.) (float_range 10. 500.) (pair (float_range 0. 100.) (float_range 0. 2000.)))
+    (fun (tp0, tau, (t0, t)) ->
+      let d1 = Cal.predicted_delay ~tp0 ~tau ~t0 ~time_since_last:t in
+      let d2 = Cal.predicted_delay ~tp0 ~tau ~t0 ~time_since_last:(t +. 50.) in
+      d2 >= d1 -. 1e-9)
+
+let prop_eq1_bounded =
+  QCheck.Test.make ~name:"eq.1 delay within [0, tp0]" ~count:300
+    QCheck.(triple (float_range 1. 500.) (float_range 1. 500.) (pair (float_range 0. 100.) (float_range (-500.) 5000.)))
+    (fun (tp0, tau, (t0, t)) ->
+      let d = Cal.predicted_delay ~tp0 ~tau ~t0 ~time_since_last:t in
+      d >= 0. && d <= tp0)
+
+(* --- calibration fit --- *)
+
+let test_fit_roundtrip () =
+  let tp0 = 150. and tau = 90. and t0 = 25. in
+  let samples =
+    List.init 20 (fun i ->
+        let t = t0 +. (10. *. float_of_int (i + 1)) in
+        (t, Cal.predicted_delay ~tp0 ~tau ~t0 ~time_since_last:t))
+  in
+  match Cal.fit_degradation ~tp0 ~samples with
+  | Some fit ->
+      Alcotest.(check (float 0.5)) "tau recovered" tau fit.Cal.fit_tau;
+      Alcotest.(check (float 0.5)) "t0 recovered" t0 fit.Cal.fit_t0;
+      checkb "r2 ~ 1" true (fit.Cal.fit_r2 > 0.999)
+  | None -> Alcotest.fail "expected a fit"
+
+let test_fit_ignores_uninformative () =
+  let tp0 = 100. in
+  (* saturated samples (tp = tp0) and dead samples (tp <= 0) are noise *)
+  let samples =
+    [ (1000., 100.); (2000., 100.); (10., 0.); (50., 30.); (80., 55.); (120., 74.) ]
+  in
+  match Cal.fit_degradation ~tp0 ~samples with
+  | Some fit -> checkb "tau positive" true (fit.Cal.fit_tau > 0.)
+  | None -> Alcotest.fail "expected a fit from informative subset"
+
+let test_fit_degenerate () =
+  checkb "no samples" true (Cal.fit_degradation ~tp0:100. ~samples:[] = None);
+  checkb "bad tp0" true (Cal.fit_degradation ~tp0:0. ~samples:[ (1., 1.) ] = None);
+  (* anti-degradation (delay growing toward short T) has positive slope *)
+  let samples = [ (10., 90.); (100., 50.); (200., 20.) ] in
+  checkb "wrong-sign slope" true (Cal.fit_degradation ~tp0:100. ~samples = None)
+
+let prop_fit_recovers_random_params =
+  QCheck.Test.make ~name:"fit recovers synthetic (tau, T0)" ~count:100
+    QCheck.(triple (float_range 50. 300.) (float_range 20. 200.) (float_range 0. 80.))
+    (fun (tp0, tau, t0) ->
+      let samples =
+        List.init 15 (fun i ->
+            let t = t0 +. (tau /. 4. *. float_of_int (i + 1)) in
+            (t, Cal.predicted_delay ~tp0 ~tau ~t0 ~time_since_last:t))
+      in
+      match Cal.fit_degradation ~tp0 ~samples with
+      | Some fit ->
+          Float.abs (fit.Cal.fit_tau -. tau) /. tau < 0.05
+          && Float.abs (fit.Cal.fit_t0 -. t0) < 2.
+      | None -> false)
+
+let tests =
+  [
+    ( "tech.library",
+      [
+        Alcotest.test_case "default lib sane" `Quick test_default_lib_sane;
+        Alcotest.test_case "fast tech faster" `Quick test_fast_tech_faster;
+        Alcotest.test_case "base delay monotone" `Quick test_base_delay_monotone_load;
+        Alcotest.test_case "output slope" `Quick test_output_slope;
+        Alcotest.test_case "degradation params" `Quick test_degradation_params;
+      ] );
+    ( "tech.eq1",
+      [
+        Alcotest.test_case "limits" `Quick test_eq1_limits;
+        QCheck_alcotest.to_alcotest prop_eq1_monotone;
+        QCheck_alcotest.to_alcotest prop_eq1_bounded;
+      ] );
+    ( "tech.calibrate",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_fit_roundtrip;
+        Alcotest.test_case "ignores uninformative" `Quick test_fit_ignores_uninformative;
+        Alcotest.test_case "degenerate" `Quick test_fit_degenerate;
+        QCheck_alcotest.to_alcotest prop_fit_recovers_random_params;
+      ] );
+  ]
