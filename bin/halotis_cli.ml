@@ -1,7 +1,10 @@
 (* halotis — command-line front end.
 
    Subcommands:
-     halotis check    CIRCUIT.hnl
+     halotis lint     CIRCUIT.hnl [--stim STIM.hsv] [--liberty LIB]
+                      [--format text|json] [--enable R] [--disable R]
+                      [--severity R=LEVEL] [--strict] [--list-rules]
+     halotis check    CIRCUIT.hnl            (thin alias for lint)
      halotis generate KIND [-o FILE] [--m N] [--n N] [--bits N] ...
      halotis simulate CIRCUIT.hnl --stim STIM.hsv [--model ddm|cdm|classic]
                       [--vcd FILE] [--diagram] [--t-stop PS]
@@ -27,6 +30,10 @@ module Sta = Halotis_sta.Sta
 module Liberty = Halotis_liberty.Liberty
 module Lib_fit = Halotis_liberty.Fit
 module Lib_writer = Halotis_liberty.Writer
+module Lint = Halotis_lint.Lint
+module Rule = Halotis_lint.Rule
+module Finding = Halotis_lint.Finding
+module LJson = Halotis_lint.Json
 
 let vt = DL.vdd /. 2.
 
@@ -45,11 +52,17 @@ let load_circuit path =
     | Error e -> Error (Format.asprintf "%s: %a" path Hnl.pp_error e)
     | exception Sys_error m -> Error m
 
-let load_drives path circuit =
+let load_stimfile path =
   match Stimfile.parse_file path with
   | Error e -> Error (Format.asprintf "%s: %a" path Stimfile.pp_error e)
   | exception Sys_error m -> Error m
-  | Ok stim -> Stimfile.bind stim circuit
+  | Ok stim -> Ok stim
+
+let load_liberty path =
+  match Liberty.parse_file path with
+  | Ok lib -> Ok lib
+  | Error e -> Error (Format.asprintf "%s: %a" path Liberty.pp_error e)
+  | exception Sys_error m -> Error m
 
 let load_tech = function
   | None -> DL.tech
@@ -79,22 +92,76 @@ let or_die = function
       prerr_endline ("halotis: " ^ m);
       exit 1
 
-(* --- check --- *)
+(* --- lint / check --- *)
 
+(* Pre-flight pass wired into simulate/compare: engine-relevant rules
+   only, warnings and errors, on stderr, never fatal (an actual cycle
+   still fails inside the engine's own topological sort). *)
+let preflight ?stim tech c =
+  List.iter
+    (fun f -> Format.eprintf "preflight: %a@." Finding.pp f)
+    (Lint.preflight ?stim ~tech c)
+
+let run_lint path stim_path liberty_path format strict disables enables severities
+    fanout_threshold list_rules =
+  let json = format = `Json in
+  if list_rules then begin
+    (if json then print_endline (LJson.to_string (Lint.rules_json ()))
+     else
+       List.iter
+         (fun (r : Rule.t) ->
+           Printf.printf "%-6s %-8s %-8s %s\n" r.Rule.id
+             (Finding.domain_to_string r.Rule.domain)
+             (Finding.severity_to_string r.Rule.severity)
+             r.Rule.doc)
+         Rule.all);
+    0
+  end
+  else begin
+    let path =
+      match path with
+      | Some p -> p
+      | None ->
+          prerr_endline "halotis: lint needs a CIRCUIT argument (or --list-rules)";
+          (* cmdliner's cli_error code, so 1 stays reserved for
+             "warnings under --strict" *)
+          exit 124
+    in
+    let c = or_die (load_circuit path) in
+    let liberty = Option.map (fun p -> or_die (load_liberty p)) liberty_path in
+    let tech =
+      match liberty with
+      | None -> DL.tech
+      | Some lib ->
+          fst (Lib_fit.to_tech ~base:DL.tech ~kind_of_cell:Lib_fit.default_kind_of_cell lib)
+    in
+    let stim = Option.map (fun p -> or_die (load_stimfile p)) stim_path in
+    let overrides =
+      List.map (fun id -> (id, `Off)) disables
+      @ List.map (fun id -> (id, `On)) enables
+      @ List.map (fun (id, level) -> (id, `Severity level)) severities
+    in
+    let config = { Rule.default_config with Rule.overrides; fanout_threshold } in
+    let findings = Lint.run ~config ~tech ?liberty ?stim c in
+    (* Human-readable findings go to stderr; stdout carries only the
+       JSON document so `--format json` stays machine-parseable. *)
+    if json then print_endline (LJson.to_string (Lint.report_to_json findings))
+    else Format.eprintf "%a" Lint.pp_text findings;
+    Format.eprintf "lint: %s: %s@." (N.name c) (Lint.summary findings);
+    Lint.exit_code ~strict findings
+  end
+
+(* `check` stays as a thin alias for lint at default configuration; its
+   structural summary moves to stderr so stdout stays clean. *)
 let run_check path =
   let c = or_die (load_circuit path) in
-  Format.printf "%a@." N.pp_summary c;
+  Format.eprintf "%a@." N.pp_summary c;
   (match Check.depth c with
-  | Some d -> Printf.printf "logic depth: %d\n" d
-  | None -> print_endline "logic depth: n/a (cyclic)");
-  Printf.printf "max fanout: %d\n" (Check.max_fanout c);
-  match Check.structural_issues c with
-  | [] ->
-      print_endline "structure: clean";
-      0
-  | issues ->
-      List.iter (fun i -> Format.printf "issue: %a@." (Check.pp_issue c) i) issues;
-      1
+  | Some d -> Format.eprintf "logic depth: %d@." d
+  | None -> Format.eprintf "logic depth: n/a (cyclic)@.");
+  Format.eprintf "max fanout: %d@." (Check.max_fanout c);
+  run_lint (Some path) None None `Text false [] [] [] Rule.default_config.Rule.fanout_threshold
+    false
 
 (* --- generate --- *)
 
@@ -169,7 +236,9 @@ let print_power_report tech c (r : Iddm.result) =
 let run_simulate path stim_path model t_stop vcd_path diagram liberty report =
   let tech = load_tech liberty in
   let c = or_die (load_circuit path) in
-  let drives = or_die (load_drives stim_path c) in
+  let stim = or_die (load_stimfile stim_path) in
+  preflight ~stim tech c;
+  let drives = or_die (Stimfile.bind stim c) in
   let horizon =
     match t_stop with
     | Some t -> t
@@ -251,7 +320,9 @@ let run_simulate path stim_path model t_stop vcd_path diagram liberty report =
 
 let run_compare path stim_path t_stop =
   let c = or_die (load_circuit path) in
-  let drives = or_die (load_drives stim_path c) in
+  let stim = or_die (load_stimfile stim_path) in
+  preflight ~stim DL.tech c;
+  let drives = or_die (Stimfile.bind stim c) in
   let horizon = match t_stop with Some t -> t | None -> 25_000. in
   let rd = Iddm.run (Iddm.config ~t_stop:horizon DL.tech) c ~drives in
   let rc = Iddm.run (Iddm.config ~delay_kind:DM.Cdm ~t_stop:horizon DL.tech) c ~drives in
@@ -333,7 +404,8 @@ let run_timing path input_slope liberty period =
 
 let run_explain path stim_path signal_name at t_stop =
   let c = or_die (load_circuit path) in
-  let drives = or_die (load_drives stim_path c) in
+  let stim = or_die (load_stimfile stim_path) in
+  let drives = or_die (Stimfile.bind stim c) in
   let sid =
     match N.find_signal c signal_name with
     | Some s -> s
@@ -469,8 +541,92 @@ let t_stop_arg =
     & opt (some float) None
     & info [ "t-stop" ] ~docv:"PS" ~doc:"Simulation horizon in picoseconds.")
 
+let rule_id_conv =
+  let parse s =
+    match Rule.find s with
+    | Some r -> Ok r.Rule.id
+    | None -> Error (`Msg (Printf.sprintf "unknown rule %S (see --list-rules)" s))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let severity_override_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | None -> Error (`Msg "expected RULE=LEVEL, e.g. NL005=error")
+    | Some i -> (
+        let id = String.sub s 0 i in
+        let level = String.sub s (i + 1) (String.length s - i - 1) in
+        match (Rule.find id, Finding.severity_of_string (String.lowercase_ascii level)) with
+        | Some r, Some sev -> Ok (r.Rule.id, sev)
+        | None, _ -> Error (`Msg (Printf.sprintf "unknown rule %S (see --list-rules)" id))
+        | _, None ->
+            Error (`Msg (Printf.sprintf "unknown level %S (error, warning or info)" level)))
+  in
+  let print fmt (id, sev) =
+    Format.fprintf fmt "%s=%s" id (Finding.severity_to_string sev)
+  in
+  Arg.conv (parse, print)
+
+let lint_cmd =
+  let doc = "rule-based static analysis of a netlist, its stimuli and libraries" in
+  let circuit =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"CIRCUIT" ~doc:"HNL or ISCAS netlist file.")
+  in
+  let stim =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "stim"; "s" ] ~docv:"STIM" ~doc:"Also lint this HSV stimulus file.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"text (findings on stderr) or json (report document on stdout).")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit 1 when warnings remain.")
+  in
+  let disables =
+    Arg.(
+      value
+      & opt_all rule_id_conv []
+      & info [ "disable" ] ~docv:"RULE" ~doc:"Disable a rule (repeatable).")
+  in
+  let enables =
+    Arg.(
+      value
+      & opt_all rule_id_conv []
+      & info [ "enable" ] ~docv:"RULE"
+          ~doc:"Re-enable a rule after $(b,--disable) (repeatable).")
+  in
+  let severities =
+    Arg.(
+      value
+      & opt_all severity_override_conv []
+      & info [ "severity" ] ~docv:"RULE=LEVEL"
+          ~doc:"Override a rule's severity, e.g. NL005=error (repeatable).")
+  in
+  let fanout_threshold =
+    Arg.(
+      value
+      & opt int Rule.default_config.Rule.fanout_threshold
+      & info [ "fanout-threshold" ] ~docv:"N" ~doc:"Load-pin budget for NL005.")
+  in
+  let list_rules =
+    Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule registry and exit.")
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run_lint $ circuit $ stim $ liberty_arg $ format $ strict $ disables $ enables
+      $ severities $ fanout_threshold $ list_rules)
+
 let check_cmd =
-  let doc = "structural checks on an HNL netlist" in
+  let doc = "structural checks on an HNL netlist (alias for lint with default rules)" in
   Cmd.v (Cmd.info "check" ~doc) Term.(const run_check $ circuit_arg)
 
 let generate_cmd =
@@ -614,6 +770,7 @@ let main_cmd =
   let doc = "HALOTIS: logic timing simulation with the inertial and degradation delay model" in
   Cmd.group (Cmd.info "halotis" ~version:"1.0.0" ~doc)
     [
+      lint_cmd;
       check_cmd;
       generate_cmd;
       simulate_cmd;

@@ -1,0 +1,29 @@
+(* Emits doc/lint.md from the rule registry.  `dune runtest` diffs the
+   committed file against this output, so the documentation cannot
+   drift from the code; refresh with `dune promote`. *)
+
+let () =
+  print_string
+    {|# `halotis lint` — rule reference
+
+<!-- Generated from the registry in lib/lint/rule.ml by
+     doc/gen_lint_doc.ml; refresh with `dune promote`. -->
+
+`halotis lint CIRCUIT [--stim STIM.hsv] [--liberty LIB]` runs every
+enabled rule over a netlist and, when given, its stimulus file and
+Liberty library.  Findings print to stderr (text) or stdout (`--format
+json`); the exit code is `2` when errors remain, `1` when warnings
+remain under `--strict`, and `0` otherwise.
+
+Rules are selected with `--disable RULE`, re-enabled with `--enable
+RULE`, and re-levelled with `--severity RULE=error|warning|info`.
+`--fanout-threshold N` configures NL005.  `halotis check` is a thin
+alias running every rule at default severity.
+
+The same netlist, tech and stimulus rules run as a pre-flight warning
+pass inside `halotis simulate` and `halotis compare`.
+
+## Rules
+
+|};
+  print_string (Halotis_lint.Lint.rules_markdown ())

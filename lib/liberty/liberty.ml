@@ -102,9 +102,11 @@ let cell_of_group (cg : Ast.group) =
   match output with
   | None -> None
   | Some out ->
+      (* Cells with an output pin but no timing groups are kept with
+         [arcs = []] so static analysis can flag them; consumers that
+         need tables ([Fit.to_tech]) skip them. *)
       let arcs = List.map arc_of_timing (Ast.find_groups out "timing") in
-      if arcs = [] then None
-      else Some { cell_name; output_pin = pin_name out; input_caps; arcs }
+      Some { cell_name; output_pin = pin_name out; input_caps; arcs }
 
 let of_ast (g : Ast.group) =
   try

@@ -24,7 +24,9 @@ val pp_error : Format.formatter -> error -> unit
 
 val of_ast : Ast.group -> (t, error) result
 (** Interprets a parsed [library (...) { ... }] group.  Cells without
-    an output pin carrying timing groups are skipped. *)
+    any recognisable output pin are skipped; cells whose output pin
+    carries no timing groups are kept with [arcs = []] (static analysis
+    flags them, table consumers skip them). *)
 
 val parse_string : string -> (t, error) result
 val parse_file : string -> (t, error) result

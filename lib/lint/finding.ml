@@ -1,0 +1,131 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+type domain = Netlist | Tech | Liberty | Stim
+
+let domain_to_string = function
+  | Netlist -> "netlist"
+  | Tech -> "tech"
+  | Liberty -> "liberty"
+  | Stim -> "stim"
+
+let domain_of_string = function
+  | "netlist" -> Some Netlist
+  | "tech" -> Some Tech
+  | "liberty" -> Some Liberty
+  | "stim" -> Some Stim
+  | _ -> None
+
+type location =
+  | Circuit
+  | Signal of string
+  | Gate of string
+  | Gates of string list
+  | Pin of string * int
+  | Kind of string
+  | Cell of string
+  | Entry of string
+
+let location_strings = function
+  | Circuit -> ("circuit", "")
+  | Signal s -> ("signal", s)
+  | Gate g -> ("gate", g)
+  | Gates gs -> ("gates", String.concat " -> " gs)
+  | Pin (g, pin) -> ("pin", Printf.sprintf "%s.%d" g pin)
+  | Kind k -> ("kind", k)
+  | Cell ce -> ("cell", ce)
+  | Entry e -> ("entry", e)
+
+let location_of_strings kind name =
+  match kind with
+  | "circuit" -> Some Circuit
+  | "signal" -> Some (Signal name)
+  | "gate" -> Some (Gate name)
+  | "gates" ->
+      Some
+        (Gates
+           (String.split_on_char '-' name
+           |> List.concat_map (fun part ->
+                  match String.trim part with "" | ">" -> [] | s ->
+                    [ (if String.length s > 0 && s.[0] = '>' then
+                         String.trim (String.sub s 1 (String.length s - 1))
+                       else s) ])))
+  | "pin" -> (
+      match String.rindex_opt name '.' with
+      | Some i -> (
+          let gate = String.sub name 0 i in
+          let pin = String.sub name (i + 1) (String.length name - i - 1) in
+          match int_of_string_opt pin with Some p -> Some (Pin (gate, p)) | None -> None)
+      | None -> None)
+  | "kind" -> Some (Kind name)
+  | "cell" -> Some (Cell name)
+  | "entry" -> Some (Entry name)
+  | _ -> None
+
+type t = {
+  rule : string;
+  severity : severity;
+  domain : domain;
+  location : location;
+  message : string;
+}
+
+let pp fmt f =
+  let kind, name = location_strings f.location in
+  if name = "" then
+    Format.fprintf fmt "%s %s: %s" (severity_to_string f.severity) f.rule f.message
+  else
+    Format.fprintf fmt "%s %s [%s %s]: %s" (severity_to_string f.severity) f.rule kind
+      name f.message
+
+let compare a b =
+  match Int.compare (severity_rank b.severity) (severity_rank a.severity) with
+  | 0 -> (
+      match String.compare a.rule b.rule with
+      | 0 -> String.compare a.message b.message
+      | c -> c)
+  | c -> c
+
+let to_json f =
+  let kind, name = location_strings f.location in
+  Json.Obj
+    [
+      ("rule", Json.Str f.rule);
+      ("severity", Json.Str (severity_to_string f.severity));
+      ("domain", Json.Str (domain_to_string f.domain));
+      ("location", Json.Obj [ ("kind", Json.Str kind); ("name", Json.Str name) ]);
+      ("message", Json.Str f.message);
+    ]
+
+let of_json j =
+  let str field = Option.bind (Json.member field j) Json.to_str in
+  let loc =
+    match Json.member "location" j with
+    | Some l -> (
+        match
+          ( Option.bind (Json.member "kind" l) Json.to_str,
+            Option.bind (Json.member "name" l) Json.to_str )
+        with
+        | Some kind, Some name -> location_of_strings kind name
+        | _ -> None)
+    | None -> None
+  in
+  match
+    ( str "rule",
+      Option.bind (str "severity") severity_of_string,
+      Option.bind (str "domain") domain_of_string,
+      loc,
+      str "message" )
+  with
+  | Some rule, Some severity, Some domain, Some location, Some message ->
+      Ok { rule; severity; domain; location; message }
+  | _ -> Error "finding object missing or malformed fields"

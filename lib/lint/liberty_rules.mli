@@ -1,0 +1,7 @@
+(** Liberty library rules (LB rules): structural completeness of timing
+    arcs, NLDM table monotonicity in load, and the residual of the
+    linear CDM fit ([Fit.to_tech]) that turns tables into simulator
+    coefficients. *)
+
+val run :
+  Rule.config -> base:Halotis_tech.Tech.t -> Halotis_liberty.Liberty.t -> Finding.t list

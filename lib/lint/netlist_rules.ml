@@ -1,0 +1,73 @@
+module N = Halotis_netlist.Netlist
+module Check = Halotis_netlist.Check
+module Value = Halotis_logic.Value
+
+let run config c =
+  let findings = ref [] in
+  let push = function Some f -> findings := f :: !findings | None -> () in
+  (* NL001/NL002/NL004 — driver and load faults, per signal. *)
+  Array.iter
+    (fun (s : N.signal) ->
+      let driven = s.N.driver <> None || s.N.is_primary_input || s.N.constant <> None in
+      if not driven then
+        push
+          (Rule.emit config Rule.nl001
+             (Finding.Signal s.N.signal_name)
+             "no driver: every gate reading it sees X forever");
+      if Array.length s.N.loads = 0 && not s.N.is_primary_output && s.N.constant = None
+      then
+        if s.N.is_primary_input then
+          push
+            (Rule.emit config Rule.nl004
+               (Finding.Signal s.N.signal_name)
+               "primary input drives nothing; stimulus applied to it is wasted")
+        else
+          push
+            (Rule.emit config Rule.nl002
+               (Finding.Signal s.N.signal_name)
+               "drives nothing and is not a primary output");
+      (* NL005 — fanout budget. *)
+      let fanout = Array.length s.N.loads in
+      if fanout > config.Rule.fanout_threshold then
+        push
+          (Rule.emit config Rule.nl005
+             (Finding.Signal s.N.signal_name)
+             "%d load pins exceed the fanout threshold of %d" fanout
+             config.Rule.fanout_threshold))
+    (N.signals c);
+  (* NL003 — every feedback SCC, not just one witness cycle. *)
+  List.iter
+    (fun scc ->
+      let names = List.map (N.gate_name c) scc in
+      push
+        (Rule.emit config Rule.nl003 (Finding.Gates names)
+           "%d gate%s form a combinational feedback loop; event-driven simulation \
+            cannot order them"
+           (List.length scc)
+           (if List.length scc = 1 then "" else "s")))
+    (Check.sccs c);
+  (* NL006 — gates no primary input can influence. *)
+  let reachable = Check.pi_reachable_gates c in
+  Array.iter
+    (fun (g : N.gate) ->
+      if not reachable.(g.N.gate_id) then
+        push
+          (Rule.emit config Rule.nl006 (Finding.Gate g.N.gate_name)
+             "unreachable from every primary input; its output can never respond to \
+              stimulus"))
+    (N.gates c);
+  (* NL007 — outputs already determined by tie cells. *)
+  let const = Check.constant_signals c in
+  Array.iter
+    (fun (g : N.gate) ->
+      match const.(g.N.output) with
+      | Value.L0 | Value.L1 ->
+          push
+            (Rule.emit config Rule.nl007 (Finding.Gate g.N.gate_name)
+               "output %s is the constant %c under tie-cell propagation; the gate is \
+                foldable"
+               (N.signal_name c g.N.output)
+               (Value.to_char const.(g.N.output)))
+      | Value.X | Value.Z -> ())
+    (N.gates c);
+  List.rev !findings

@@ -1,0 +1,6 @@
+(** Structural rules (NL rules) over a finished netlist, built on the
+    analyses of [Halotis_netlist.Check]: driver faults, all feedback
+    SCCs, unused inputs, fanout budget, PI-reachability and
+    constant-foldable logic. *)
+
+val run : Rule.config -> Halotis_netlist.Netlist.t -> Finding.t list

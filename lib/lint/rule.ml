@@ -1,0 +1,160 @@
+type t = {
+  id : string;
+  domain : Finding.domain;
+  severity : Finding.severity;
+  doc : string;
+  example : string;
+}
+
+let rule id domain severity doc example = { id; domain; severity; doc; example }
+
+let nl001 =
+  rule "NL001" Finding.Netlist Finding.Error
+    "signal has no driver, is not a primary input and is not a tie cell"
+    "`gate g inv y ghost` where `ghost` is never produced"
+
+let nl002 =
+  rule "NL002" Finding.Netlist Finding.Warning
+    "internal signal drives nothing and is not a primary output"
+    "`gate g inv d b` where `d` is read by nothing and not an output"
+
+let nl003 =
+  rule "NL003" Finding.Netlist Finding.Error
+    "combinational feedback: gates form a strongly connected component"
+    "`gate f1 nand2 x a y` + `gate f2 inv y x`"
+
+let nl004 =
+  rule "NL004" Finding.Netlist Finding.Info
+    "primary input is connected to no gate and no output"
+    "`input a b unused` where `unused` appears on no gate line"
+
+let nl005 =
+  rule "NL005" Finding.Netlist Finding.Warning
+    "signal fanout exceeds the configured threshold"
+    "one net loading 40 pins with `--fanout-threshold 32`"
+
+let nl006 =
+  rule "NL006" Finding.Netlist Finding.Warning
+    "gate is unreachable from every primary input"
+    "a feedback pair fed only by itself, or a const-only cone"
+
+let nl007 =
+  rule "NL007" Finding.Netlist Finding.Info
+    "gate output is fixed by tie cells and could be folded at compile time"
+    "`gate g nor2 r const1 b` — the output is always 0"
+
+let tk001 =
+  rule "TK001" Finding.Tech Finding.Error
+    "output slope tau_out = s0 + s_load*CL is not positive at a representative load"
+    "a fitted `s0 = -120 ps` at light loads"
+
+let tk002 =
+  rule "TK002" Finding.Tech Finding.Error
+    "degradation tau (eq. 2) is not positive at a representative load"
+    "`ddm_a < 0` with small `ddm_b * CL`"
+
+let tk003 =
+  rule "TK003" Finding.Tech Finding.Warning
+    "degradation T0 (eq. 3) is negative: ddm_c exceeds VDD/2"
+    "`ddm_c = 3 V` at `VDD = 5 V`"
+
+let tk004 =
+  rule "TK004" Finding.Tech Finding.Error
+    "input threshold VT lies outside the open interval (0, VDD)"
+    "`vt0=6.0` on a gate pin at `VDD = 5 V`"
+
+let tk005 =
+  rule "TK005" Finding.Tech Finding.Error
+    "conventional delay tp0 is not positive at a representative operating point"
+    "a fitted `d0 = -80 ps` at light load and fast input"
+
+let tk006 =
+  rule "TK006" Finding.Tech Finding.Warning
+    "rise/fall delay asymmetry exceeds the sanity bound"
+    "rise 300 ps vs fall 40 ps (7.5x) at mid grid"
+
+let lb001 =
+  rule "LB001" Finding.Liberty Finding.Warning
+    "cell is missing timing arcs or delay/transition tables"
+    "an output pin with no `timing ()` group, or an arc without `cell_fall`"
+
+let lb002 =
+  rule "LB002" Finding.Liberty Finding.Warning
+    "NLDM table is not monotone in output load"
+    "`values (\"40, 250, 30\", ...)` — delay drops as CL grows"
+
+let lb003 =
+  rule "LB003" Finding.Liberty Finding.Warning
+    "linear delay-model fit residual exceeds the RMSE bound"
+    "tables so non-linear the CDM plane misses by > 25 ps RMSE"
+
+let st001 =
+  rule "ST001" Finding.Stim Finding.Error
+    "stimulus entry drives a signal that is not a primary input"
+    "`input G22 0 1@2000` where G22 is an output"
+
+let st002 =
+  rule "ST002" Finding.Stim Finding.Warning
+    "change instants are not strictly increasing as written"
+    "`input a 0 1@5000 0@3000`"
+
+let st003 =
+  rule "ST003" Finding.Stim Finding.Warning
+    "pulse is narrower than the input slope and will be degraded or filtered"
+    "`input a 0 1@1000 0@1050` under `slope 100`"
+
+let all =
+  [
+    nl001; nl002; nl003; nl004; nl005; nl006; nl007;
+    tk001; tk002; tk003; tk004; tk005; tk006;
+    lb001; lb002; lb003;
+    st001; st002; st003;
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun r -> r.id = id) all
+
+type config = {
+  overrides : (string * [ `Off | `On | `Severity of Finding.severity ]) list;
+  fanout_threshold : int;
+  asymmetry_bound : float;
+  rmse_bound : float;
+  loads : float list;
+  slopes : float list;
+}
+
+let default_config =
+  {
+    overrides = [];
+    fanout_threshold = 32;
+    asymmetry_bound = 3.0;
+    rmse_bound = 25.0;
+    loads = [ 5.; 20.; 80. ];
+    slopes = [ 50.; 200. ];
+  }
+
+let resolve config rule =
+  List.fold_left
+    (fun acc (id, action) -> if String.uppercase_ascii id = rule.id then action else acc)
+    `On config.overrides
+
+let enabled config rule = resolve config rule <> `Off
+
+let severity config rule =
+  match resolve config rule with `Severity s -> s | `Off | `On -> rule.severity
+
+let emit config rule location fmt =
+  Format.kasprintf
+    (fun message ->
+      if enabled config rule then
+        Some
+          {
+            Finding.rule = rule.id;
+            severity = severity config rule;
+            domain = rule.domain;
+            location;
+            message;
+          }
+      else None)
+    fmt

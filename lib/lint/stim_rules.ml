@@ -1,0 +1,60 @@
+module Stimfile = Halotis_stim.Stimfile
+module Drive = Halotis_engine.Drive
+module Transition = Halotis_wave.Transition
+module N = Halotis_netlist.Netlist
+
+let run config (stim : Stimfile.t) c =
+  let findings = ref [] in
+  let push = function Some f -> findings := f :: !findings | None -> () in
+  let inputs = N.primary_inputs c in
+  List.iter
+    (fun (name, (drive : Drive.t)) ->
+      let loc = Finding.Entry name in
+      (* ST001 — entries must bind to primary inputs. *)
+      (match N.find_signal c name with
+      | None ->
+          push
+            (Rule.emit config Rule.st001 loc "no signal named %S in circuit %s" name
+               (N.name c))
+      | Some sid ->
+          if not (List.mem sid inputs) then
+            push
+              (Rule.emit config Rule.st001 loc
+                 "%S is %s, not a primary input; the engine cannot drive it" name
+                 (if (N.signal c sid).N.is_primary_output then "a primary output"
+                  else "an internal signal")));
+      (* ST003 — consecutive transitions closer than the slope: the
+         ramp never completes before being reversed (a runt pulse). *)
+      let rec scan = function
+        | (a : Transition.t) :: (b : Transition.t) :: rest ->
+            let width = b.Transition.start -. a.Transition.start in
+            if width < a.Transition.slope_time then
+              push
+                (Rule.emit config Rule.st003 loc
+                   "%.0f ps pulse at t = %.0f ps is narrower than the %.0f ps slope; \
+                    it will be degraded or filtered (paper fig. 1)"
+                   width a.Transition.start a.Transition.slope_time);
+            scan (b :: rest)
+        | [ _ ] | [] -> ()
+      in
+      scan drive.Drive.transitions)
+    stim.Stimfile.entries;
+  (* ST002 — ordering faults are only visible in the raw text: binding
+     sorts and deduplicates before the engine ever sees them. *)
+  List.iter
+    (fun (name, changes) ->
+      let rec scan = function
+        | (t1, _) :: ((t2, _) :: _ as rest) ->
+            if t2 <= t1 then
+              push
+                (Rule.emit config Rule.st002 (Finding.Entry name)
+                   "change at %g ps written after change at %g ps; instants must \
+                    strictly increase"
+                   t2 t1)
+            else ();
+            scan rest
+        | [ _ ] | [] -> ()
+      in
+      scan changes)
+    stim.Stimfile.raw_changes;
+  List.rev !findings

@@ -1,0 +1,10 @@
+(** Stimulus rules (ST rules): binding of entries to primary inputs, raw
+    change-instant ordering, and runt pulses narrower than the input
+    slope — exactly the inputs the paper's Fig. 1 degradation machinery
+    would immediately attenuate. *)
+
+val run :
+  Rule.config ->
+  Halotis_stim.Stimfile.t ->
+  Halotis_netlist.Netlist.t ->
+  Finding.t list

@@ -1,11 +1,14 @@
 type issue =
   | Undriven_signal of Netlist.signal_id
   | Dangling_signal of Netlist.signal_id
+  | Unused_primary_input of Netlist.signal_id
   | Combinational_cycle of Netlist.gate_id list
 
 let pp_issue c fmt = function
   | Undriven_signal id -> Format.fprintf fmt "undriven signal %s" (Netlist.signal_name c id)
   | Dangling_signal id -> Format.fprintf fmt "dangling signal %s" (Netlist.signal_name c id)
+  | Unused_primary_input id ->
+      Format.fprintf fmt "unused primary input %s" (Netlist.signal_name c id)
   | Combinational_cycle gids ->
       Format.fprintf fmt "combinational cycle: %s"
         (String.concat " -> " (List.map (Netlist.gate_name c) gids))
@@ -65,17 +68,81 @@ let topo_with_cycle c =
     in
     let rec walk path gid =
       if List.mem gid path then
-        let rec cut = function
+        (* [path] is most-recent-first; the entries from its head down
+           to the revisited gate are the cycle (anything older is the
+           acyclic tail walked before entering it).  Head-first order is
+           forward edge order: each kept gate feeds the next, and the
+           revisited gate feeds the head. *)
+        let rec take = function
           | [] -> []
-          | x :: rest -> if x = gid then x :: rest else cut rest
+          | x :: rest -> if x = gid then [ x ] else x :: take rest
         in
-        cut path (* path is in reverse walk order = forward edge order *)
+        take path
       else walk (gid :: path) (predecessor gid)
     in
     Error (walk [] start)
   end
 
 let topological_gates c = match topo_with_cycle c with Ok l -> Some l | Error _ -> None
+
+let find_cycle c = match topo_with_cycle c with Ok _ -> None | Error cycle -> Some cycle
+
+(* Iterative Tarjan over the gate graph (explicit frame stack: gate
+   graphs can be deep enough that recursion is a liability). *)
+let sccs c =
+  let n = Netlist.gate_count c in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let result = ref [] in
+  let succs gid = Netlist.fanout_gates c (Netlist.gate c gid).Netlist.output in
+  let frames = Stack.create () in
+  let open_frame gid =
+    index.(gid) <- !counter;
+    lowlink.(gid) <- !counter;
+    incr counter;
+    stack := gid :: !stack;
+    on_stack.(gid) <- true;
+    Stack.push (gid, ref (succs gid)) frames
+  in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      open_frame root;
+      while not (Stack.is_empty frames) do
+        let gid, remaining = Stack.top frames in
+        match !remaining with
+        | succ :: rest ->
+            remaining := rest;
+            if index.(succ) = -1 then open_frame succ
+            else if on_stack.(succ) then lowlink.(gid) <- min lowlink.(gid) index.(succ)
+        | [] ->
+            ignore (Stack.pop frames);
+            (match Stack.top_opt frames with
+            | Some (parent, _) -> lowlink.(parent) <- min lowlink.(parent) lowlink.(gid)
+            | None -> ());
+            if lowlink.(gid) = index.(gid) then begin
+              let rec pop acc =
+                match !stack with
+                | member :: rest ->
+                    stack := rest;
+                    on_stack.(member) <- false;
+                    if member = gid then member :: acc else pop (member :: acc)
+                | [] -> assert false
+              in
+              let component = pop [] in
+              let cyclic =
+                match component with
+                | [ only ] -> List.mem only (succs only) (* self-loop *)
+                | _ -> true
+              in
+              if cyclic then result := component :: !result
+            end
+      done
+    end
+  done;
+  List.rev !result
 
 let structural_issues c =
   let issues = ref [] in
@@ -84,11 +151,11 @@ let structural_issues c =
       let driven = s.driver <> None || s.is_primary_input || s.constant <> None in
       if not driven then issues := Undriven_signal s.signal_id :: !issues;
       if Array.length s.loads = 0 && not s.is_primary_output && s.constant = None then
-        issues := Dangling_signal s.signal_id :: !issues)
+        if s.is_primary_input then
+          issues := Unused_primary_input s.signal_id :: !issues
+        else issues := Dangling_signal s.signal_id :: !issues)
     (Netlist.signals c);
-  (match topo_with_cycle c with
-  | Ok _ -> ()
-  | Error cycle -> issues := Combinational_cycle cycle :: !issues);
+  List.iter (fun scc -> issues := Combinational_cycle scc :: !issues) (sccs c);
   List.rev !issues
 
 let levelize c =
@@ -133,3 +200,60 @@ let transitive_fanin_signals c sid =
     end
   in
   List.rev (visit sid [])
+
+let pi_reachable_gates c =
+  let nsignals = Netlist.signal_count c in
+  let ngates = Netlist.gate_count c in
+  let sig_seen = Array.make nsignals false in
+  let gate_seen = Array.make ngates false in
+  let queue = Queue.create () in
+  List.iter
+    (fun sid ->
+      sig_seen.(sid) <- true;
+      Queue.add sid queue)
+    (Netlist.primary_inputs c);
+  while not (Queue.is_empty queue) do
+    let sid = Queue.pop queue in
+    List.iter
+      (fun gid ->
+        if not gate_seen.(gid) then begin
+          gate_seen.(gid) <- true;
+          let out = (Netlist.gate c gid).Netlist.output in
+          if not sig_seen.(out) then begin
+            sig_seen.(out) <- true;
+            Queue.add out queue
+          end
+        end)
+      (Netlist.fanout_gates c sid)
+  done;
+  gate_seen
+
+let constant_signals c =
+  let nsignals = Netlist.signal_count c in
+  let value = Array.make nsignals Halotis_logic.Value.X in
+  Array.iter
+    (fun (s : Netlist.signal) ->
+      match s.Netlist.constant with
+      | Some v -> value.(s.Netlist.signal_id) <- v
+      | None -> ())
+    (Netlist.signals c);
+  (* Fixpoint constant propagation; converges on cyclic graphs too
+     because values only move X -> rail, never back. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (g : Netlist.gate) ->
+        let out = g.Netlist.output in
+        if Halotis_logic.Value.equal value.(out) Halotis_logic.Value.X then begin
+          let ins = Array.map (fun sid -> value.(sid)) g.Netlist.fanin in
+          let v = Halotis_logic.Gate_kind.eval g.Netlist.kind ins in
+          match v with
+          | Halotis_logic.Value.L0 | Halotis_logic.Value.L1 ->
+              value.(out) <- v;
+              changed := true
+          | Halotis_logic.Value.X | Halotis_logic.Value.Z -> ()
+        end)
+      (Netlist.gates c)
+  done;
+  value

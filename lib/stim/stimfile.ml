@@ -10,7 +10,11 @@ exception Parse_error of error
 
 let fail line fmt = Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
 
-type t = { slope : float; entries : (string * Drive.t) list }
+type t = {
+  slope : float;
+  entries : (string * Drive.t) list;
+  raw_changes : (string * (float * bool) list) list;
+}
 
 let tokenize line =
   String.split_on_char ' ' line
@@ -41,6 +45,7 @@ let parse_string text =
   try
     let slope = ref 100. in
     let entries = ref [] in
+    let raws = ref [] in
     let seen = Hashtbl.create 8 in
     List.iteri
       (fun idx raw ->
@@ -58,11 +63,12 @@ let parse_string text =
             let initial = parse_level lineno initial in
             let changes = List.map (parse_change lineno) changes in
             let drive = Drive.of_levels ~slope:!slope ~initial changes in
-            entries := (name, drive) :: !entries
+            entries := (name, drive) :: !entries;
+            raws := (name, changes) :: !raws
         | [ "input" ] | [ "input"; _ ] -> fail lineno "usage: input NAME INITIAL [LEVEL@TIME...]"
         | tok :: _ -> fail lineno "unknown directive %S" tok)
       lines;
-    Ok { slope = !slope; entries = List.rev !entries }
+    Ok { slope = !slope; entries = List.rev !entries; raw_changes = List.rev !raws }
   with Parse_error e -> Error e
 
 let parse_file path =

@@ -19,6 +19,10 @@ val pp_error : Format.formatter -> error -> unit
 type t = {
   slope : Halotis_util.Units.time;
   entries : (string * Halotis_engine.Drive.t) list;  (** in file order *)
+  raw_changes : (string * (float * bool) list) list;
+      (** per entry, the [(time, level)] pairs exactly as written —
+          {!Halotis_engine.Drive.of_levels} sorts and deduplicates, so
+          ordering faults are only visible here (see [Halotis_lint]) *)
 }
 
 val parse_string : string -> (t, error) result

@@ -37,8 +37,14 @@ let edge gt ~rising = if rising then gt.rise else gt.fall
 let base_delay p ~pin_factor ~cl ~tau_in =
   pin_factor *. (p.d0 +. (p.d_load *. cl) +. (p.d_slope *. tau_in))
 
-let output_slope p ~cl = Float.max 1.0 (p.s0 +. (p.s_load *. cl))
+let raw_output_slope p ~cl = p.s0 +. (p.s_load *. cl)
 
-let degradation_tau t p ~cl = Float.max 1.0 ((p.ddm_a +. (p.ddm_b *. cl)) /. t.tech_vdd)
+let raw_degradation_tau t p ~cl = (p.ddm_a +. (p.ddm_b *. cl)) /. t.tech_vdd
 
-let degradation_t0 t p ~tau_in = Float.max 0.0 ((0.5 -. (p.ddm_c /. t.tech_vdd)) *. tau_in)
+let raw_degradation_t0 t p ~tau_in = (0.5 -. (p.ddm_c /. t.tech_vdd)) *. tau_in
+
+let output_slope p ~cl = Float.max 1.0 (raw_output_slope p ~cl)
+
+let degradation_tau t p ~cl = Float.max 1.0 (raw_degradation_tau t p ~cl)
+
+let degradation_t0 t p ~tau_in = Float.max 0.0 (raw_degradation_t0 t p ~tau_in)

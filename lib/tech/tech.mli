@@ -70,3 +70,17 @@ val degradation_tau : t -> edge_params -> cl:float -> float
 
 val degradation_t0 : t -> edge_params -> tau_in:float -> float
 (** Eq. 3's T0 (ps); clamped to >= 0. *)
+
+(** The [raw_*] variants below skip the engine-side clamps.  The clamps
+    keep a simulation numerically alive, but they also hide physically
+    meaningless parameter sets; static validation ([Halotis_lint]) must
+    see the unclamped values. *)
+
+val raw_output_slope : edge_params -> cl:float -> float
+(** [s0 + s_load * CL], unclamped — may be <= 0 for a bad fit. *)
+
+val raw_degradation_tau : t -> edge_params -> cl:float -> float
+(** Eq. 2's tau before the 1 ps floor. *)
+
+val raw_degradation_t0 : t -> edge_params -> tau_in:float -> float
+(** Eq. 3's T0 before the >= 0 clamp; negative when [ddm_c > VDD/2]. *)

@@ -1,0 +1,125 @@
+(* End-to-end tests of the `halotis lint` command: exit codes 0/1/2 and
+   machine-parseable JSON on stdout.  The executable and the example
+   data are declared as dune deps, so paths are relative to the test's
+   build directory. *)
+
+module Json = Halotis_lint.Json
+module Lint = Halotis_lint.Lint
+
+(* Anchor on the test binary so the paths resolve both under `dune
+   runtest` (cwd = build dir) and `dune exec` (cwd = invocation dir). *)
+let build_root = Filename.concat (Filename.dirname Sys.executable_name) ".."
+let exe = Filename.concat build_root (Filename.concat "bin" "halotis_cli.exe")
+
+let data f =
+  Filename.concat build_root
+    (Filename.concat "examples" (Filename.concat "data" f))
+
+let run_capture args =
+  let out = Filename.temp_file "halotis_cli" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> /dev/null" (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let status = Sys.command cmd in
+  let ic = open_in_bin out in
+  let n = in_channel_length ic in
+  let stdout = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (status, stdout)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_exit_clean () =
+  let status, _ = run_capture [ "lint"; data "c17.hnl" ] in
+  checki "clean circuit exits 0" 0 status;
+  let status, _ = run_capture [ "lint"; data "c17.hnl"; "--strict" ] in
+  checki "clean circuit exits 0 under --strict" 0 status
+
+let test_exit_warnings_strict () =
+  (* Disabling ST001 leaves only warnings (non-monotone + runt pulse). *)
+  let args =
+    [ "lint"; data "c17.hnl"; "--stim"; data "c17_flawed.hsv"; "--disable"; "ST001" ]
+  in
+  let status, _ = run_capture args in
+  checki "warnings exit 0 without --strict" 0 status;
+  let status, _ = run_capture (args @ [ "--strict" ]) in
+  checki "warnings exit 1 with --strict" 1 status
+
+let test_exit_errors () =
+  let status, _ = run_capture [ "lint"; data "flawed.hnl" ] in
+  checki "errors exit 2" 2 status
+
+let test_severity_promotion () =
+  (* Promoting a warning rule to error flips the exit code to 2. *)
+  let status, _ =
+    run_capture
+      [
+        "lint"; data "c17.hnl"; "--stim"; data "c17_flawed.hsv";
+        "--disable"; "ST001"; "--severity"; "ST003=error";
+      ]
+  in
+  checki "promoted warning exits 2" 2 status
+
+let test_json_stdout_parses () =
+  let status, stdout =
+    run_capture
+      [
+        "lint"; data "flawed.hnl"; "--stim"; data "c17_flawed.hsv";
+        "--liberty"; data "flawed.lib"; "--format"; "json";
+      ]
+  in
+  checki "flawed inputs exit 2" 2 status;
+  match Json.parse stdout with
+  | Error e -> Alcotest.failf "stdout is not valid JSON: %s" e
+  | Ok j -> (
+      checkb "tool tag" true (Json.member "tool" j = Some (Json.Str "halotis-lint"));
+      match Lint.findings_of_json j with
+      | Error e -> Alcotest.fail e
+      | Ok findings ->
+          checkb "has errors" true (Lint.errors findings > 0);
+          (* one finding from every domain: the acceptance criterion *)
+          List.iter
+            (fun domain ->
+              checkb
+                (Halotis_lint.Finding.domain_to_string domain ^ " domain present")
+                true
+                (List.exists
+                   (fun (f : Halotis_lint.Finding.t) -> f.Halotis_lint.Finding.domain = domain)
+                   findings))
+            [
+              Halotis_lint.Finding.Netlist; Halotis_lint.Finding.Tech;
+              Halotis_lint.Finding.Liberty; Halotis_lint.Finding.Stim;
+            ])
+
+let test_list_rules_json () =
+  let status, stdout = run_capture [ "lint"; "--list-rules"; "--format"; "json" ] in
+  checki "list-rules exits 0" 0 status;
+  match Json.parse stdout with
+  | Error e -> Alcotest.failf "rule list is not valid JSON: %s" e
+  | Ok j ->
+      checki "all rules listed" (List.length Halotis_lint.Rule.all)
+        (List.length (Json.to_list j))
+
+let test_check_alias () =
+  let status, _ = run_capture [ "check"; data "c17.hnl" ] in
+  checki "check alias clean" 0 status;
+  let status, _ = run_capture [ "check"; data "flawed.hnl" ] in
+  checki "check alias flawed" 2 status
+
+let tests =
+  [
+    ( "cli.lint",
+      [
+        Alcotest.test_case "exit 0 on clean" `Quick test_exit_clean;
+        Alcotest.test_case "exit 1 on strict warnings" `Quick test_exit_warnings_strict;
+        Alcotest.test_case "exit 2 on errors" `Quick test_exit_errors;
+        Alcotest.test_case "severity promotion" `Quick test_severity_promotion;
+        Alcotest.test_case "json stdout parses" `Quick test_json_stdout_parses;
+        Alcotest.test_case "list-rules json" `Quick test_list_rules_json;
+        Alcotest.test_case "check alias" `Quick test_check_alias;
+      ] );
+  ]

@@ -140,7 +140,7 @@ let test_cycle_detection () =
   checkb "no topo order" true (Check.topological_gates c = None);
   checkb "cycle reported" true
     (List.exists
-       (function Check.Combinational_cycle _ -> true | Check.Undriven_signal _ | Check.Dangling_signal _ -> false)
+       (function Check.Combinational_cycle _ -> true | _ -> false)
        (Check.structural_issues c));
   checkb "no levelize" true (Check.levelize c = None)
 
@@ -158,9 +158,9 @@ let test_undriven_dangling () =
   let c = Builder.finalize b in
   let issues = Check.structural_issues c in
   checkb "undriven" true
-    (List.exists (function Check.Undriven_signal _ -> true | Check.Dangling_signal _ | Check.Combinational_cycle _ -> false) issues);
+    (List.exists (function Check.Undriven_signal _ -> true | _ -> false) issues);
   checkb "dangling" true
-    (List.exists (function Check.Dangling_signal _ -> true | Check.Undriven_signal _ | Check.Combinational_cycle _ -> false) issues)
+    (List.exists (function Check.Dangling_signal _ -> true | _ -> false) issues)
 
 let test_levelize_depth () =
   let c = G.inverter_chain ~n:4 () in
@@ -777,5 +777,135 @@ let tests =
           Alcotest.test_case "tie cells refused" `Quick test_bench_writer_multiplier;
           Alcotest.test_case "complex cells refused" `Quick test_bench_writer_complex_cells;
           Alcotest.test_case "clock helper" `Quick test_clock_drive;
+        ] );
+    ]
+
+(* --- check analyses: levelize, depth, fanin cones, cycles, SCCs --- *)
+
+(* a -> g1 -> g2 -> g3 (chain), plus b joining at g2: depth 3 *)
+let chain_circuit () =
+  let b = Builder.create "chain" in
+  let a = Builder.input b "a" in
+  let bb = Builder.input b "b" in
+  let w1 = Builder.signal b "w1" in
+  let w2 = Builder.signal b "w2" in
+  let y = Builder.signal b "y" in
+  let _ = Builder.add_gate b Gate_kind.Inv ~name:"g1" ~inputs:[ a ] ~output:w1 in
+  let _ = Builder.add_gate b (Gate_kind.Nand 2) ~name:"g2" ~inputs:[ w1; bb ] ~output:w2 in
+  let _ = Builder.add_gate b Gate_kind.Inv ~name:"g3" ~inputs:[ w2 ] ~output:y in
+  Builder.mark_output b y;
+  Builder.finalize b
+
+(* two disjoint feedback loops: {f1,f2} and the self-loop {s} *)
+let two_scc_circuit () =
+  let b = Builder.create "loops" in
+  let a = Builder.input b "a" in
+  let w1 = Builder.signal b "w1" in
+  let w2 = Builder.signal b "w2" in
+  let _ = Builder.add_gate b (Gate_kind.Nand 2) ~name:"f1" ~inputs:[ a; w2 ] ~output:w1 in
+  let _ = Builder.add_gate b Gate_kind.Inv ~name:"f2" ~inputs:[ w1 ] ~output:w2 in
+  Builder.mark_output b w1;
+  let s = Builder.signal b "s" in
+  let _ = Builder.add_gate b (Gate_kind.And 2) ~name:"s" ~inputs:[ s; a ] ~output:s in
+  Builder.mark_output b s;
+  Builder.finalize b
+
+let test_levelize_depth () =
+  let c = chain_circuit () in
+  (match Check.levelize c with
+  | None -> Alcotest.fail "chain is acyclic"
+  | Some levels ->
+      let level name =
+        match N.find_gate c name with
+        | Some g -> levels.((g :> int))
+        | None -> Alcotest.failf "no gate %s" name
+      in
+      checki "g1 level" 1 (level "g1");
+      checki "g2 level" 2 (level "g2");
+      checki "g3 level" 3 (level "g3"));
+  checkb "depth" true (Check.depth c = Some 3);
+  let empty = Builder.finalize (Builder.create "empty") in
+  checkb "empty depth" true (Check.depth empty = Some 0);
+  checkb "cyclic depth" true (Check.depth (two_scc_circuit ()) = None)
+
+let test_transitive_fanin () =
+  let c = chain_circuit () in
+  let names sid =
+    Check.transitive_fanin_signals c sid
+    |> List.map (N.signal_name c)
+    |> List.sort String.compare
+  in
+  let sig_of name =
+    match N.find_signal c name with
+    | Some s -> s
+    | None -> Alcotest.failf "no signal %s" name
+  in
+  checkb "cone of y is everything" true
+    (names (sig_of "y") = [ "a"; "b"; "w1"; "w2"; "y" ]);
+  checkb "cone of w1 excludes b" true (names (sig_of "w1") = [ "a"; "w1" ]);
+  checkb "cone of a PI is itself" true (names (sig_of "b") = [ "b" ])
+
+let test_find_cycle_witness () =
+  let c = two_scc_circuit () in
+  match Check.find_cycle c with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some cycle ->
+      checkb "non-empty" true (cycle <> []);
+      (* each gate's output must feed the next gate (cyclically) *)
+      let n = List.length cycle in
+      List.iteri
+        (fun i g ->
+          let next = List.nth cycle ((i + 1) mod n) in
+          let out = (N.gate c g).N.output in
+          checkb
+            (Printf.sprintf "%s feeds %s" (N.gate_name c g) (N.gate_name c next))
+            true
+            (List.mem next (N.fanout_gates c out)))
+        cycle
+
+let test_sccs_enumerates_all () =
+  let c = two_scc_circuit () in
+  let sccs =
+    Check.sccs c
+    |> List.map (fun scc -> List.sort String.compare (List.map (N.gate_name c) scc))
+    |> List.sort compare
+  in
+  checkb "both regions, including the self-loop" true
+    (sccs = [ [ "f1"; "f2" ]; [ "s" ] ]);
+  checki "acyclic circuit has none" 0 (List.length (Check.sccs (chain_circuit ())));
+  checki "c17 has none" 0
+    (List.length (Check.sccs (Lazy.force Halotis_netlist.Iscas.c17)))
+
+let test_unused_pi_vs_dangling () =
+  let b = Builder.create "pins" in
+  let a = Builder.input b "a" in
+  let _unused = Builder.input b "unused" in
+  let d = Builder.signal b "d" in
+  let _ = Builder.add_gate b Gate_kind.Inv ~name:"g" ~inputs:[ a ] ~output:d in
+  let c = Builder.finalize b in
+  let issues = Check.structural_issues c in
+  let unused_pis =
+    List.filter_map
+      (function Check.Unused_primary_input s -> Some (N.signal_name c s) | _ -> None)
+      issues
+  in
+  let dangling =
+    List.filter_map
+      (function Check.Dangling_signal s -> Some (N.signal_name c s) | _ -> None)
+      issues
+  in
+  checkb "unused PI reported as such" true (unused_pis = [ "unused" ]);
+  checkb "dangling internal reported as such" true (dangling = [ "d" ])
+
+let tests =
+  tests
+  @ [
+      ( "netlist.analyses",
+        [
+          Alcotest.test_case "levelize and depth" `Quick test_levelize_depth;
+          Alcotest.test_case "transitive fanin cone" `Quick test_transitive_fanin;
+          Alcotest.test_case "cycle witness is a cycle" `Quick test_find_cycle_witness;
+          Alcotest.test_case "sccs enumerates all regions" `Quick test_sccs_enumerates_all;
+          Alcotest.test_case "unused PI vs dangling" `Quick test_unused_pi_vs_dangling;
         ] );
     ]
