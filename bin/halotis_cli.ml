@@ -33,7 +33,11 @@ module Lib_writer = Halotis_liberty.Writer
 module Lint = Halotis_lint.Lint
 module Rule = Halotis_lint.Rule
 module Finding = Halotis_lint.Finding
-module LJson = Halotis_lint.Json
+module Json = Halotis_util.Json
+module Site = Halotis_fault.Site
+module Inject = Halotis_fault.Inject
+module Campaign = Halotis_fault.Campaign
+module Fault_report = Halotis_fault.Fault_report
 
 let vt = DL.vdd /. 2.
 
@@ -92,6 +96,23 @@ let or_die = function
       prerr_endline ("halotis: " ^ m);
       exit 1
 
+(* Default simulation horizon: last stimulus change + slack for
+   propagation. *)
+let horizon_of_drives drives t_stop =
+  match t_stop with
+  | Some t -> t
+  | None ->
+      let last =
+        List.fold_left
+          (fun acc (_, (d : Halotis_engine.Drive.t)) ->
+            List.fold_left
+              (fun acc (tr : Halotis_wave.Transition.t) ->
+                Float.max acc tr.Halotis_wave.Transition.start)
+              acc d.Halotis_engine.Drive.transitions)
+          0. drives
+      in
+      last +. 10_000.
+
 (* --- lint / check --- *)
 
 (* Pre-flight pass wired into simulate/compare: engine-relevant rules
@@ -106,7 +127,7 @@ let run_lint path stim_path liberty_path format strict disables enables severiti
     fanout_threshold list_rules =
   let json = format = `Json in
   if list_rules then begin
-    (if json then print_endline (LJson.to_string (Lint.rules_json ()))
+    (if json then print_endline (Json.to_string (Lint.rules_json ()))
      else
        List.iter
          (fun (r : Rule.t) ->
@@ -145,7 +166,7 @@ let run_lint path stim_path liberty_path format strict disables enables severiti
     let findings = Lint.run ~config ~tech ?liberty ?stim c in
     (* Human-readable findings go to stderr; stdout carries only the
        JSON document so `--format json` stays machine-parseable. *)
-    if json then print_endline (LJson.to_string (Lint.report_to_json findings))
+    if json then print_endline (Json.to_string (Lint.report_to_json findings))
     else Format.eprintf "%a" Lint.pp_text findings;
     Format.eprintf "lint: %s: %s@." (N.name c) (Lint.summary findings);
     Lint.exit_code ~strict findings
@@ -239,22 +260,7 @@ let run_simulate path stim_path model t_stop vcd_path diagram liberty report =
   let stim = or_die (load_stimfile stim_path) in
   preflight ~stim tech c;
   let drives = or_die (Stimfile.bind stim c) in
-  let horizon =
-    match t_stop with
-    | Some t -> t
-    | None ->
-        (* last stimulus change + slack for propagation *)
-        let last =
-          List.fold_left
-            (fun acc (_, (d : Halotis_engine.Drive.t)) ->
-              List.fold_left
-                (fun acc (tr : Halotis_wave.Transition.t) ->
-                  Float.max acc tr.Halotis_wave.Transition.start)
-                acc d.Halotis_engine.Drive.transitions)
-            0. drives
-        in
-        last +. 10_000.
-  in
+  let horizon = horizon_of_drives drives t_stop in
   (match model with
   | `Ddm | `Cdm ->
       let kind = if model = `Ddm then DM.Ddm else DM.Cdm in
@@ -345,6 +351,68 @@ let run_compare path stim_path t_stop =
     (Table.make ~header:[ "output"; "analog"; "ddm"; "cdm"; "classic" ] ~rows);
   Format.printf "ddm: %a@." Halotis_engine.Stats.pp rd.Iddm.stats;
   Format.printf "cdm: %a@." Halotis_engine.Stats.pp rc.Iddm.stats;
+  0
+
+(* --- faults --- *)
+
+let run_faults path stim_path engine n seed width slope t_stop exhaustive grid format
+    vcd_dir liberty =
+  let tech = load_tech liberty in
+  let c = or_die (load_circuit path) in
+  let stim = or_die (load_stimfile stim_path) in
+  let drives = or_die (Stimfile.bind stim c) in
+  let horizon = horizon_of_drives drives t_stop in
+  let pulse =
+    try Inject.pulse ~slope ~width ()
+    with Invalid_argument m ->
+      prerr_endline ("halotis: " ^ m);
+      exit 1
+  in
+  let cfg = Campaign.config ~engine ~seed ~n ~pulse ~t_stop:horizon () in
+  let sites =
+    if not exhaustive then None
+    else
+      let baseline = Iddm.run (Iddm.config ~t_stop:horizon tech) c ~drives in
+      Some (Site.exhaustive ~baseline ~times:(Site.grid ~t0:0. ~t1:horizon ~points:grid))
+  in
+  let campaign = Campaign.run ?sites cfg tech c ~drives in
+  (* Summary to stderr so stdout carries only the report document. *)
+  Format.eprintf "faults: %s: %s@." (N.name c) (Fault_report.summary campaign);
+  (match format with
+  | `Json -> print_endline (Fault_report.to_string campaign)
+  | `Text -> print_string (Fault_report.to_text campaign));
+  (match vcd_dir with
+  | Some _ when engine = Campaign.Classic_inertial ->
+      prerr_endline "halotis: --vcd-dir needs a waveform engine (ddm or cdm); ignored"
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let kind = if engine = Campaign.Cdm then DM.Cdm else DM.Ddm in
+      List.iteri
+        (fun i (v : Campaign.verdict) ->
+          if v.Campaign.vd_outcome = Campaign.Propagated then begin
+            let r =
+              Inject.run_iddm
+                (Iddm.config ~delay_kind:kind ~t_stop:horizon tech)
+                c ~drives ~site:v.Campaign.vd_site ~pulse
+            in
+            let dumps =
+              Array.to_list
+                (Array.map
+                   (fun (s : N.signal) ->
+                     Vcd.of_waveform ~name:s.N.signal_name ~vt
+                       r.Iddm.waveforms.(s.N.signal_id))
+                   (N.signals c))
+            in
+            let file =
+              Filename.concat dir
+                (Printf.sprintf "site%03d_%s.vcd" i
+                   (N.gate_name c v.Campaign.vd_site.Site.st_gate))
+            in
+            Vcd.write_file file dumps;
+            Printf.eprintf "vcd written to %s\n" file
+          end)
+        campaign.Campaign.cam_verdicts
+  | None -> ());
   0
 
 (* --- export-verilog --- *)
@@ -685,6 +753,68 @@ let simulate_cmd =
       const run_simulate $ circuit_arg $ stim_arg $ model_arg $ t_stop_arg $ vcd $ diagram
       $ liberty_arg $ report)
 
+let faults_cmd =
+  let doc = "SET fault-injection campaign: soft-error robustness analysis" in
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ddm", Campaign.Ddm);
+               ("cdm", Campaign.Cdm);
+               ("classic", Campaign.Classic_inertial);
+             ])
+          Campaign.Ddm
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"ddm (default), cdm or classic.")
+  in
+  let n =
+    Arg.(
+      value & opt int 100
+      & info [ "n"; "injections" ] ~docv:"N" ~doc:"Number of PRNG-sampled injections.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign PRNG seed.")
+  in
+  let width =
+    Arg.(
+      value & opt float 150.
+      & info [ "width" ] ~docv:"PS" ~doc:"SET pulse width in picoseconds.")
+  in
+  let slope =
+    Arg.(
+      value & opt float 100.
+      & info [ "slope" ] ~docv:"PS" ~doc:"SET ramp slope in picoseconds.")
+  in
+  let exhaustive =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:"Strike every gate output on a time grid instead of sampling.")
+  in
+  let grid =
+    Arg.(
+      value & opt int 8
+      & info [ "grid" ] ~docv:"N" ~doc:"Grid points per node under $(b,--exhaustive).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"text or json report on stdout.")
+  in
+  let vcd_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd-dir" ] ~docv:"DIR"
+          ~doc:"Re-run each propagated strike and dump its waveforms as VCD here.")
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      const run_faults $ circuit_arg $ stim_arg $ engine $ n $ seed $ width $ slope
+      $ t_stop_arg $ exhaustive $ grid $ format $ vcd_dir $ liberty_arg)
+
 let export_cmd =
   let doc = "export a netlist as structural Verilog" in
   let output =
@@ -775,6 +905,7 @@ let main_cmd =
       generate_cmd;
       simulate_cmd;
       compare_cmd;
+      faults_cmd;
       timing_cmd;
       export_cmd;
       characterize_cmd;

@@ -115,7 +115,7 @@ let dc_levels c drives_tbl =
   in
   Dc.levels c ~input_level
 
-let run cfg c ~drives =
+let run ?(injections = []) cfg c ~drives =
   let drives_tbl = Hashtbl.create 16 in
   List.iter
     (fun (sid, d) ->
@@ -156,6 +156,21 @@ let run cfg c ~drives =
           st.stats.Stats.events_scheduled <- st.stats.Stats.events_scheduled + 1)
         d.Drive.transitions)
     drives_tbl;
+  (* Injections: forced value toggles on arbitrary signals (the
+     boolean abstraction of a SET pulse).  They go into the queue but
+     deliberately NOT into the signal's pending-transaction list: a
+     particle strike is not a driver transaction, so earlier driver
+     activity must not preempt it.  Fanout gates still apply the
+     classical inertial filter to the pulse they observe. *)
+  List.iter
+    (fun (sid, toggles) ->
+      if sid < 0 || sid >= nsignals then
+        invalid_arg "Classic.run: injection on unknown signal";
+      List.iter
+        (fun (at, value) ->
+          ignore (Heap.insert st.queue ~key:at (sid, { tx_value = value; tx_window = 0. })))
+        toggles)
+    injections;
   let end_time = ref 0. in
   let truncated = ref false in
   let continue = ref true in

@@ -41,12 +41,21 @@ type result = {
 }
 
 val run :
+  ?injections:(Halotis_netlist.Netlist.signal_id * (Halotis_util.Units.time * bool) list) list ->
   config ->
   Halotis_netlist.Netlist.t ->
   drives:(Halotis_netlist.Netlist.signal_id * Drive.t) list ->
   result
 (** Input ramps are abstracted to instantaneous switches at their 50 %
-    point ([start + slope_time / 2]). *)
+    point ([start + slope_time / 2]).
+
+    [injections] are forced [(time, value)] toggles on arbitrary
+    signals — the boolean abstraction of a SET strike.  Fanout gates
+    apply the classical inertial filter to the resulting pulse, which
+    is precisely the model {!Halotis_fault} campaigns compare against
+    the IDDM treatment.
+    @raise Invalid_argument when an injection names an unknown
+    signal. *)
 
 val edges_of_name : result -> string -> Halotis_wave.Digital.edge list
 (** @raise Not_found for unknown names. *)

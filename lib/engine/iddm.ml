@@ -41,9 +41,19 @@ type result = {
   trace : trace_entry list;
 }
 
-(* An event: the causing ramp crossed pin [ev_pin] of gate [ev_gate]'s
-   threshold, in the direction and with the slope recorded here. *)
-type event = { ev_gate : Netlist.gate_id; ev_pin : int; ev_rising : bool; ev_tau_in : float }
+type injection = {
+  inj_signal : Netlist.signal_id;
+  inj_transitions : Transition.t list;
+}
+
+(* A pin event: the causing ramp crossed pin [ev_pin] of gate
+   [ev_gate]'s threshold, in the direction and with the slope recorded
+   here.  An injection event splices external transitions (a SET
+   pulse) into a signal's waveform when its instant is reached, so the
+   spliced ramps degrade and threshold-cross like native ones. *)
+type event =
+  | Pin_event of { ev_gate : Netlist.gate_id; ev_pin : int; ev_rising : bool; ev_tau_in : float }
+  | Inject_event of injection
 
 type state = {
   cfg : config;
@@ -68,10 +78,12 @@ let dc_levels c drives_tbl =
   in
   Dc.levels c ~input_level
 
-let schedule st ~key ev =
-  let handle = Heap.insert st.queue ~key ev in
-  st.pending.(ev.ev_gate).(ev.ev_pin) <-
-    (handle, key) :: st.pending.(ev.ev_gate).(ev.ev_pin);
+let schedule st ~key ~gate ~pin ~rising ~tau_in =
+  let handle =
+    Heap.insert st.queue ~key
+      (Pin_event { ev_gate = gate; ev_pin = pin; ev_rising = rising; ev_tau_in = tau_in })
+  in
+  st.pending.(gate).(pin) <- (handle, key) :: st.pending.(gate).(pin);
   st.stats.Stats.events_scheduled <- st.stats.Stats.events_scheduled + 1
 
 (* Fig. 4's "delete Ej-1": drop every pending event on this input whose
@@ -101,46 +113,42 @@ let fan_out st sid (outcome : Waveform.append_outcome) (tr : Transition.t) =
       if outcome.Waveform.accepted then begin
         match Waveform.crossing_of_last st.wf.(sid) ~vt:st.vt.(lg).(lpin) with
         | Some crossing ->
-            schedule st ~key:crossing
-              {
-                ev_gate = lg;
-                ev_pin = lpin;
-                ev_rising =
-                  (match tr.Transition.polarity with
-                  | Transition.Rising -> true
-                  | Transition.Falling -> false);
-                ev_tau_in = tr.Transition.slope_time;
-              }
+            schedule st ~key:crossing ~gate:lg ~pin:lpin
+              ~rising:
+                (match tr.Transition.polarity with
+                | Transition.Rising -> true
+                | Transition.Falling -> false)
+              ~tau_in:tr.Transition.slope_time
         | None -> ()
       end)
     s.Netlist.loads
 
-let process_event st ~now ev =
-  let g = Netlist.gate st.c ev.ev_gate in
-  st.input_level.(ev.ev_gate).(ev.ev_pin) <- ev.ev_rising;
-  let new_out = Gate_kind.eval_bool g.Netlist.kind st.input_level.(ev.ev_gate) in
-  if new_out = st.out_target.(ev.ev_gate) then
+let process_pin_event st ~now ~gate ~pin ~rising ~tau_in =
+  let g = Netlist.gate st.c gate in
+  st.input_level.(gate).(pin) <- rising;
+  let new_out = Gate_kind.eval_bool g.Netlist.kind st.input_level.(gate) in
+  if new_out = st.out_target.(gate) then
     st.stats.Stats.noop_evaluations <- st.stats.Stats.noop_evaluations + 1
   else begin
     let out_sid = g.Netlist.output in
     let req =
       {
         Delay_model.rising_out = new_out;
-        pin = ev.ev_pin;
-        tau_in = ev.ev_tau_in;
+        pin;
+        tau_in;
         t_event = now;
         last_output_start = Waveform.last_start st.wf.(out_sid);
       }
     in
     let resp =
-      Delay_model.for_gate st.cfg.tech st.c ~loads:st.loads ev.ev_gate st.cfg.delay_kind req
+      Delay_model.for_gate st.cfg.tech st.c ~loads:st.loads gate st.cfg.delay_kind req
     in
     let tr =
       Transition.make ~start:(now +. resp.Delay_model.tp)
         ~slope_time:resp.Delay_model.tau_out
         ~polarity:(if new_out then Transition.Rising else Transition.Falling)
     in
-    st.out_target.(ev.ev_gate) <- new_out;
+    st.out_target.(gate) <- new_out;
     let outcome = Waveform.append st.wf.(out_sid) tr in
     st.stats.Stats.transitions_annulled <-
       st.stats.Stats.transitions_annulled + List.length outcome.Waveform.dropped;
@@ -151,9 +159,9 @@ let process_event st ~now ev =
           {
             te_signal = out_sid;
             te_start = tr.Transition.start;
-            te_gate = ev.ev_gate;
-            te_pin = ev.ev_pin;
-            te_cause_signal = g.Netlist.fanin.(ev.ev_pin);
+            te_gate = gate;
+            te_pin = pin;
+            te_cause_signal = g.Netlist.fanin.(pin);
             te_event_time = now;
           }
           :: st.rev_trace
@@ -161,7 +169,26 @@ let process_event st ~now ev =
     fan_out st out_sid outcome tr
   end
 
-let run cfg c ~drives =
+(* Splice an injection's transitions into the victim waveform exactly
+   as a driving gate would append its own ramps: degradation,
+   truncation and event cancellation all apply.  The splice itself is
+   external stimulus, so — like primary-input drives — it does not
+   count towards [transitions_emitted]. *)
+let process_injection st inj =
+  List.iter
+    (fun (tr : Transition.t) ->
+      let outcome = Waveform.append st.wf.(inj.inj_signal) tr in
+      fan_out st inj.inj_signal outcome tr)
+    inj.inj_transitions
+
+let process_event st ~now ev =
+  match ev with
+  | Pin_event { ev_gate; ev_pin; ev_rising; ev_tau_in } ->
+      process_pin_event st ~now ~gate:ev_gate ~pin:ev_pin ~rising:ev_rising
+        ~tau_in:ev_tau_in
+  | Inject_event inj -> process_injection st inj
+
+let run ?(injections = []) cfg c ~drives =
   let drives_tbl = Hashtbl.create 16 in
   List.iter
     (fun (sid, d) ->
@@ -215,20 +242,27 @@ let run cfg c ~drives =
         (fun (lg, lpin) ->
           List.iter
             (fun (crossing, (tr : Transition.t)) ->
-              schedule st ~key:crossing
-                {
-                  ev_gate = lg;
-                  ev_pin = lpin;
-                  ev_rising =
-                    (match tr.Transition.polarity with
-                    | Transition.Rising -> true
-                    | Transition.Falling -> false);
-                  ev_tau_in = tr.Transition.slope_time;
-                }
-            )
+              schedule st ~key:crossing ~gate:lg ~pin:lpin
+                ~rising:
+                  (match tr.Transition.polarity with
+                  | Transition.Rising -> true
+                  | Transition.Falling -> false)
+                ~tau_in:tr.Transition.slope_time)
             (Waveform.crossings_with_transitions st.wf.(sid) ~vt:st.vt.(lg).(lpin)))
         s.Netlist.loads)
     drives_tbl;
+  (* Injections enter the queue as first-class events so the splice
+     happens at its instant, after any earlier native activity on the
+     victim has been appended. *)
+  List.iter
+    (fun inj ->
+      if inj.inj_signal < 0 || inj.inj_signal >= nsignals then
+        invalid_arg "Iddm.run: injection on unknown signal";
+      match inj.inj_transitions with
+      | [] -> ()
+      | first :: _ ->
+          ignore (Heap.insert st.queue ~key:first.Transition.start (Inject_event inj)))
+    injections;
   (* Main loop. *)
   let end_time = ref 0. in
   let truncated = ref false in
@@ -240,7 +274,12 @@ let run cfg c ~drives =
         match cfg.t_stop with
         | Some stop when t > stop -> continue := false
         | Some _ | None ->
-            st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1;
+            (* Injection splices are stimulus, not simulation work; only
+               pin events count as processed. *)
+            (match ev with
+            | Pin_event _ ->
+                st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1
+            | Inject_event _ -> ());
             end_time := Float.max !end_time t;
             process_event st ~now:t ev;
             if st.stats.Stats.events_processed >= cfg.max_events then begin

@@ -61,7 +61,16 @@ type result = {
           transition; empty unless [config.trace] *)
 }
 
+type injection = {
+  inj_signal : Halotis_netlist.Netlist.signal_id;
+      (** victim signal — typically a gate output (SET strike node) *)
+  inj_transitions : Halotis_wave.Transition.t list;
+      (** ramps spliced into the victim waveform, time-ordered; a SET
+          pulse is a leading ramp plus its reversal [width] later *)
+}
+
 val run :
+  ?injections:injection list ->
   config ->
   Halotis_netlist.Netlist.t ->
   drives:(Halotis_netlist.Netlist.signal_id * Drive.t) list ->
@@ -69,8 +78,17 @@ val run :
 (** Simulates a circuit.  Primary inputs without a drive sit at
     logic 0.  Feedback loops are allowed when they have a DC fixed
     point (latches); see {!Dc.levels}.
+
+    Each [injection] is spliced into its victim's waveform when the
+    simulation clock reaches its first transition, using the engine's
+    own append/fan-out machinery — so an injected runt degrades,
+    truncates and threshold-crosses exactly like a native ramp (the
+    substrate of {!Halotis_fault}).  Injections do not count towards
+    [events_processed] or [transitions_emitted]; everything they cause
+    downstream does.
     @raise Invalid_argument when the DC operating point does not settle
-    (oscillating feedback) or a drive names a non-input signal. *)
+    (oscillating feedback), a drive names a non-input signal, or an
+    injection names an unknown signal. *)
 
 val waveform : result -> string -> Halotis_wave.Waveform.t
 (** Looks a signal's waveform up by name.

@@ -27,6 +27,28 @@ let copy t =
     noop_evaluations = t.noop_evaluations;
   }
 
+let merge into t =
+  into.events_scheduled <- into.events_scheduled + t.events_scheduled;
+  into.events_processed <- into.events_processed + t.events_processed;
+  into.events_filtered <- into.events_filtered + t.events_filtered;
+  into.transitions_emitted <- into.transitions_emitted + t.transitions_emitted;
+  into.transitions_annulled <- into.transitions_annulled + t.transitions_annulled;
+  into.noop_evaluations <- into.noop_evaluations + t.noop_evaluations
+
+let diff a b =
+  {
+    events_scheduled = a.events_scheduled - b.events_scheduled;
+    events_processed = a.events_processed - b.events_processed;
+    events_filtered = a.events_filtered - b.events_filtered;
+    transitions_emitted = a.transitions_emitted - b.transitions_emitted;
+    transitions_annulled = a.transitions_annulled - b.transitions_annulled;
+    noop_evaluations = a.noop_evaluations - b.noop_evaluations;
+  }
+
+let total t =
+  t.events_scheduled + t.events_processed + t.events_filtered + t.transitions_emitted
+  + t.transitions_annulled + t.noop_evaluations
+
 let pp fmt t =
   Format.fprintf fmt
     "events: %d scheduled, %d processed, %d filtered; transitions: %d emitted, %d annulled; %d no-op evals"

@@ -16,4 +16,18 @@ type t = {
 
 val create : unit -> t
 val copy : t -> t
+
+val merge : t -> t -> unit
+(** [merge into t] accumulates [t]'s counters into [into] — the
+    aggregation primitive of fault-injection campaigns, which sum event
+    counts across many runs. *)
+
+val diff : t -> t -> t
+(** [diff a b] is a fresh record of per-counter differences [a - b]:
+    what an injected run cost {e beyond} its baseline.  Counters may be
+    negative when [b] outgrew [a]. *)
+
+val total : t -> int
+(** Sum of all counters — a scalar activity measure. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,213 @@
+module Netlist = Halotis_netlist.Netlist
+module Iddm = Halotis_engine.Iddm
+module Classic = Halotis_engine.Classic
+module Stats = Halotis_engine.Stats
+module Digital = Halotis_wave.Digital
+module Tech = Halotis_tech.Tech
+module DM = Halotis_delay.Delay_model
+module Hazard = Halotis_sta.Hazard
+module Prng = Halotis_util.Prng
+
+type engine = Ddm | Cdm | Classic_inertial
+
+let engine_to_string = function
+  | Ddm -> "ddm"
+  | Cdm -> "cdm"
+  | Classic_inertial -> "classic"
+
+let engine_of_string = function
+  | "ddm" -> Some Ddm
+  | "cdm" -> Some Cdm
+  | "classic" -> Some Classic_inertial
+  | _ -> None
+
+type outcome = Propagated | Electrically_masked | Logically_masked
+
+let outcome_to_string = function
+  | Propagated -> "propagated"
+  | Electrically_masked -> "electrically-masked"
+  | Logically_masked -> "logically-masked"
+
+type config = {
+  engine : engine;
+  seed : int;
+  n : int;
+  pulse : Inject.pulse;
+  t_stop : float;
+  window : (float * float) option;
+}
+
+let config ?(engine = Ddm) ?(seed = 1) ?(n = 100) ?(pulse = Inject.pulse ~width:150. ())
+    ?window ~t_stop () =
+  if n < 0 then invalid_arg "Campaign.config: n must be non-negative";
+  if t_stop <= 0. then invalid_arg "Campaign.config: t_stop must be positive";
+  { engine; seed; n; pulse; t_stop; window }
+
+type verdict = {
+  vd_site : Site.t;
+  vd_outcome : outcome;
+  vd_po_edges_delta : int;
+  vd_first_diff_output : string option;
+  vd_stats : Stats.t;
+}
+
+type t = {
+  cam_circuit : Netlist.t;
+  cam_config : config;
+  cam_verdicts : verdict list;
+  cam_baseline_stats : Stats.t;
+  cam_total_stats : Stats.t;
+}
+
+(* One injected run reduced to what classification needs: per-signal
+   digital edges and the engine counters. *)
+type observed = { ob_edges : Digital.edge list array; ob_stats : Stats.t }
+
+let classify ~c ~is_classic ~(base : observed) ~(site : Site.t) (inj : observed) =
+  let delta = Stats.diff inj.ob_stats base.ob_stats in
+  let victim = site.Site.st_signal in
+  let differs sid = inj.ob_edges.(sid) <> base.ob_edges.(sid) in
+  let pos = Netlist.primary_outputs c in
+  let po_diff = List.filter differs pos in
+  let po_edges_delta =
+    List.fold_left
+      (fun acc sid ->
+        acc + List.length inj.ob_edges.(sid) - List.length base.ob_edges.(sid))
+      0 pos
+  in
+  let outcome =
+    if po_diff <> [] then Propagated
+    else begin
+      let downstream_differs =
+        Array.exists
+          (fun (s : Netlist.signal) ->
+            s.Netlist.signal_id <> victim && differs s.Netlist.signal_id)
+          (Netlist.signals c)
+      in
+      (* The classic engine records the forced victim toggles as
+         emitted transitions; subtract them so only fanout responses
+         count as electrical activity. *)
+      let victim_extra =
+        List.length inj.ob_edges.(victim) - List.length base.ob_edges.(victim)
+      in
+      let emitted_downstream =
+        delta.Stats.transitions_emitted - if is_classic then victim_extra else 0
+      in
+      if downstream_differs then Electrically_masked
+      else if
+        emitted_downstream > 0
+        || delta.Stats.transitions_annulled > 0
+        || delta.Stats.events_filtered > 0
+      then Electrically_masked
+      else if delta.Stats.noop_evaluations > 0 then Logically_masked
+      else
+        (* The strike never even registered at a fanout input: a
+           sub-threshold runt, dead on the struck node itself. *)
+        Electrically_masked
+    end
+  in
+  {
+    vd_site = site;
+    vd_outcome = outcome;
+    vd_po_edges_delta = po_edges_delta;
+    vd_first_diff_output = (match po_diff with [] -> None | sid :: _ -> Some (Netlist.signal_name c sid));
+    vd_stats = delta;
+  }
+
+let run ?sites cfg tech c ~drives =
+  let iddm_cfg kind = Iddm.config ~delay_kind:kind ~t_stop:cfg.t_stop tech in
+  let ddm_baseline = Iddm.run (iddm_cfg DM.Ddm) c ~drives in
+  let sites =
+    match sites with
+    | Some s -> s
+    | None ->
+        let t0, t1 = match cfg.window with Some w -> w | None -> (0., cfg.t_stop) in
+        let prng = Prng.create ~seed:cfg.seed in
+        Site.sample ~baseline:ddm_baseline ~prng ~n:cfg.n ~t0 ~t1
+  in
+  let vt = Tech.vdd tech /. 2. in
+  let observe_iddm (r : Iddm.result) =
+    {
+      ob_edges = Array.map (fun wf -> Digital.edges wf ~vt) r.Iddm.waveforms;
+      ob_stats = r.Iddm.stats;
+    }
+  in
+  let observe_classic (r : Classic.result) =
+    { ob_edges = Array.copy r.Classic.edges; ob_stats = r.Classic.stats }
+  in
+  let base, run_site, is_classic =
+    match cfg.engine with
+    | Ddm ->
+        ( observe_iddm ddm_baseline,
+          (fun site ->
+            observe_iddm (Inject.run_iddm (iddm_cfg DM.Ddm) c ~drives ~site ~pulse:cfg.pulse)),
+          false )
+    | Cdm ->
+        ( observe_iddm (Iddm.run (iddm_cfg DM.Cdm) c ~drives),
+          (fun site ->
+            observe_iddm (Inject.run_iddm (iddm_cfg DM.Cdm) c ~drives ~site ~pulse:cfg.pulse)),
+          false )
+    | Classic_inertial ->
+        let ccfg = Classic.config ~t_stop:cfg.t_stop tech in
+        ( observe_classic (Classic.run ccfg c ~drives),
+          (fun site ->
+            observe_classic (Inject.run_classic ccfg c ~drives ~site ~pulse:cfg.pulse)),
+          true )
+  in
+  let total = Stats.create () in
+  let verdicts =
+    List.map
+      (fun site ->
+        let inj = run_site site in
+        Stats.merge total inj.ob_stats;
+        classify ~c ~is_classic ~base ~site inj)
+      sites
+  in
+  {
+    cam_circuit = c;
+    cam_config = cfg;
+    cam_verdicts = verdicts;
+    cam_baseline_stats = Stats.copy base.ob_stats;
+    cam_total_stats = total;
+  }
+
+let counts t =
+  List.fold_left
+    (fun (p, e, l) v ->
+      match v.vd_outcome with
+      | Propagated -> (p + 1, e, l)
+      | Electrically_masked -> (p, e + 1, l)
+      | Logically_masked -> (p, e, l + 1))
+    (0, 0, 0) t.cam_verdicts
+
+let masking_rate t =
+  let p, e, l = counts t in
+  let n = p + e + l in
+  if n = 0 then 0. else float_of_int (e + l) /. float_of_int n
+
+let vulnerability t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      if v.vd_outcome = Propagated then
+        let g = v.vd_site.Site.st_gate in
+        Hashtbl.replace tbl g (1 + Option.value ~default:0 (Hashtbl.find_opt tbl g)))
+    t.cam_verdicts;
+  Hashtbl.fold (fun g n acc -> (g, n) :: acc) tbl []
+  |> List.sort (fun (ga, na) (gb, nb) ->
+         match Int.compare nb na with 0 -> Int.compare ga gb | c -> c)
+
+let hazard_crosscheck t h =
+  List.filter_map
+    (fun v ->
+      if v.vd_outcome <> Propagated then None
+      else
+        let covered =
+          match Hazard.window h v.vd_site.Site.st_signal with
+          | Some w ->
+              v.vd_site.Site.st_at >= w.Hazard.earliest
+              && v.vd_site.Site.st_at <= w.Hazard.latest
+          | None -> false
+        in
+        Some (v, covered))
+    t.cam_verdicts

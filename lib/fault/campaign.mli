@@ -1,0 +1,105 @@
+(** Deterministic Monte Carlo SET fault-injection campaigns.
+
+    A campaign runs one baseline simulation, enumerates injection
+    sites from it ({!Site}), re-runs the chosen engine once per site
+    with the SET spliced in, and classifies every run:
+
+    - {e propagated} — at least one primary output's edge list differs
+      from the baseline: the transient became an observable soft error;
+    - {e electrically masked} — the pulse entered the fanout cone but
+      died on the way: it was degraded/annulled below threshold
+      (IDDM), inertially rejected (classic), or produced only runts
+      and cancelled events, and no primary output moved;
+    - {e logically masked} — fanout gates evaluated but their other
+      input values blocked the pulse (only no-op evaluations beyond
+      the baseline).
+
+    When a run shows both electrical and logical evidence, electrical
+    masking wins — the taxonomy asks whether the pulse {e could} have
+    been stopped by gate values alone, and it could not.
+
+    Identical seeds reproduce identical site lists, verdicts and
+    reports byte-for-byte: the only randomness is
+    {!Halotis_util.Prng} seeded explicitly, and runs are classified in
+    site order. *)
+
+type engine = Ddm | Cdm | Classic_inertial
+
+val engine_to_string : engine -> string
+val engine_of_string : string -> engine option
+
+type outcome = Propagated | Electrically_masked | Logically_masked
+
+val outcome_to_string : outcome -> string
+
+type config = {
+  engine : engine;
+  seed : int;
+  n : int;  (** sampled injections when no explicit site list is given *)
+  pulse : Inject.pulse;
+  t_stop : Halotis_util.Units.time;  (** simulation horizon, ps *)
+  window : (Halotis_util.Units.time * Halotis_util.Units.time) option;
+      (** injection time window; default [(0, t_stop)] *)
+}
+
+val config :
+  ?engine:engine ->
+  ?seed:int ->
+  ?n:int ->
+  ?pulse:Inject.pulse ->
+  ?window:Halotis_util.Units.time * Halotis_util.Units.time ->
+  t_stop:Halotis_util.Units.time ->
+  unit ->
+  config
+(** Defaults: DDM, seed 1, 100 injections, a 150 ps / 100 ps pulse. *)
+
+type verdict = {
+  vd_site : Site.t;
+  vd_outcome : outcome;
+  vd_po_edges_delta : int;
+      (** net extra primary-output edges vs baseline (0 unless propagated) *)
+  vd_first_diff_output : string option;
+      (** name of the first differing primary output *)
+  vd_stats : Halotis_engine.Stats.t;
+      (** injected-run counters minus baseline ({!Halotis_engine.Stats.diff}) *)
+}
+
+type t = {
+  cam_circuit : Halotis_netlist.Netlist.t;
+  cam_config : config;
+  cam_verdicts : verdict list;  (** in site order *)
+  cam_baseline_stats : Halotis_engine.Stats.t;
+  cam_total_stats : Halotis_engine.Stats.t;
+      (** all injected runs merged ({!Halotis_engine.Stats.merge}) *)
+}
+
+val run :
+  ?sites:Site.t list ->
+  config ->
+  Halotis_tech.Tech.t ->
+  Halotis_netlist.Netlist.t ->
+  drives:(Halotis_netlist.Netlist.signal_id * Halotis_engine.Drive.t) list ->
+  t
+(** Runs the campaign.  [sites] overrides the PRNG-sampled list — pass
+    the same list to several campaigns to compare engines on identical
+    strikes.  Sites are always enumerated against a DDM baseline (the
+    reference levels), whatever [config.engine] simulates the strikes.
+    @raise Invalid_argument on an empty window or site list trouble. *)
+
+val counts : t -> int * int * int
+(** [(propagated, electrically_masked, logically_masked)]. *)
+
+val masking_rate : t -> float
+(** Fraction of injections that did {e not} propagate; 0 on an empty
+    campaign. *)
+
+val vulnerability : t -> (Halotis_netlist.Netlist.gate_id * int) list
+(** Gates ranked by number of propagated strikes on their output,
+    descending (ties by gate id); gates with none are omitted. *)
+
+val hazard_crosscheck :
+  t -> Halotis_sta.Hazard.t -> (verdict * bool) list
+(** Each propagated verdict paired with whether the strike instant
+    falls inside the victim signal's static arrival-uncertainty window
+    ({!Halotis_sta.Hazard.window}) — [false] flags soft errors the
+    static analysis gives no timing cover for. *)

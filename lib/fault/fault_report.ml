@@ -1,0 +1,123 @@
+module Netlist = Halotis_netlist.Netlist
+module Stats = Halotis_engine.Stats
+module Transition = Halotis_wave.Transition
+module Json = Halotis_util.Json
+
+let stats_json (s : Stats.t) =
+  Json.Obj
+    [
+      ("events_scheduled", Json.Num (float_of_int s.Stats.events_scheduled));
+      ("events_processed", Json.Num (float_of_int s.Stats.events_processed));
+      ("events_filtered", Json.Num (float_of_int s.Stats.events_filtered));
+      ("transitions_emitted", Json.Num (float_of_int s.Stats.transitions_emitted));
+      ("transitions_annulled", Json.Num (float_of_int s.Stats.transitions_annulled));
+      ("noop_evaluations", Json.Num (float_of_int s.Stats.noop_evaluations));
+    ]
+
+let verdict_json c (v : Campaign.verdict) =
+  let site = v.Campaign.vd_site in
+  Json.Obj
+    ([
+       ("gate", Json.Str (Netlist.gate_name c site.Site.st_gate));
+       ("signal", Json.Str (Netlist.signal_name c site.Site.st_signal));
+       ("at", Json.Num site.Site.st_at);
+       ("polarity", Json.Str (Transition.polarity_to_string site.Site.st_polarity));
+       ("outcome", Json.Str (Campaign.outcome_to_string v.Campaign.vd_outcome));
+       ("po_edges_delta", Json.Num (float_of_int v.Campaign.vd_po_edges_delta));
+     ]
+    @ (match v.Campaign.vd_first_diff_output with
+      | Some name -> [ ("first_diff_output", Json.Str name) ]
+      | None -> [])
+    @ [ ("stats_delta", stats_json v.Campaign.vd_stats) ])
+
+let to_json (t : Campaign.t) =
+  let c = t.Campaign.cam_circuit in
+  let cfg = t.Campaign.cam_config in
+  let propagated, electrical, logical = Campaign.counts t in
+  let t0, t1 =
+    match cfg.Campaign.window with Some w -> w | None -> (0., cfg.Campaign.t_stop)
+  in
+  Json.Obj
+    [
+      ("tool", Json.Str "halotis-faults");
+      ("version", Json.Num 1.);
+      ("circuit", Json.Str (Netlist.name c));
+      ("engine", Json.Str (Campaign.engine_to_string cfg.Campaign.engine));
+      ("seed", Json.Num (float_of_int cfg.Campaign.seed));
+      ("injections", Json.Num (float_of_int (List.length t.Campaign.cam_verdicts)));
+      ( "pulse",
+        Json.Obj
+          [
+            ("width", Json.Num cfg.Campaign.pulse.Inject.width);
+            ("slope", Json.Num cfg.Campaign.pulse.Inject.slope);
+          ] );
+      ("t_stop", Json.Num cfg.Campaign.t_stop);
+      ("window", Json.Arr [ Json.Num t0; Json.Num t1 ]);
+      ( "summary",
+        Json.Obj
+          [
+            ("propagated", Json.Num (float_of_int propagated));
+            ("electrically_masked", Json.Num (float_of_int electrical));
+            ("logically_masked", Json.Num (float_of_int logical));
+            ("masking_rate", Json.Num (Campaign.masking_rate t));
+          ] );
+      ( "vulnerable_gates",
+        Json.Arr
+          (List.map
+             (fun (gid, hits) ->
+               Json.Obj
+                 [
+                   ("gate", Json.Str (Netlist.gate_name c gid));
+                   ("propagated", Json.Num (float_of_int hits));
+                 ])
+             (Campaign.vulnerability t)) );
+      ("verdicts", Json.Arr (List.map (verdict_json c) t.Campaign.cam_verdicts));
+      ("baseline_stats", stats_json t.Campaign.cam_baseline_stats);
+      ("total_stats", stats_json t.Campaign.cam_total_stats);
+    ]
+
+let to_string t = Json.to_string (to_json t)
+
+let summary (t : Campaign.t) =
+  let propagated, electrical, logical = Campaign.counts t in
+  Printf.sprintf "n=%d propagated=%d electrical=%d logical=%d masking-rate=%.2f"
+    (List.length t.Campaign.cam_verdicts)
+    propagated electrical logical (Campaign.masking_rate t)
+
+let to_text (t : Campaign.t) =
+  let c = t.Campaign.cam_circuit in
+  let cfg = t.Campaign.cam_config in
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let propagated, electrical, logical = Campaign.counts t in
+  let n = List.length t.Campaign.cam_verdicts in
+  let pct k = if n = 0 then 0. else 100. *. float_of_int k /. float_of_int n in
+  addf "SET fault-injection campaign: %s\n" (Netlist.name c);
+  addf "engine %s, seed %d, %d injections, pulse %.0f ps wide / %.0f ps slope\n"
+    (Campaign.engine_to_string cfg.Campaign.engine)
+    cfg.Campaign.seed n cfg.Campaign.pulse.Inject.width cfg.Campaign.pulse.Inject.slope;
+  addf "horizon %.0f ps\n\n" cfg.Campaign.t_stop;
+  addf "outcomes:\n";
+  addf "  propagated           %4d  (%5.1f%%)\n" propagated (pct propagated);
+  addf "  electrically masked  %4d  (%5.1f%%)\n" electrical (pct electrical);
+  addf "  logically masked     %4d  (%5.1f%%)\n" logical (pct logical);
+  addf "  masking rate         %.2f\n" (Campaign.masking_rate t);
+  (match Campaign.vulnerability t with
+  | [] -> addf "\nno gate propagated a strike\n"
+  | ranked ->
+      addf "\nmost vulnerable gates:\n";
+      List.iteri
+        (fun i (gid, hits) ->
+          if i < 10 then addf "  %-16s %d propagated\n" (Netlist.gate_name c gid) hits)
+        ranked);
+  addf "\nverdicts:\n";
+  List.iter
+    (fun (v : Campaign.verdict) ->
+      addf "  %-20s %s%s\n"
+        (Format.asprintf "%a" (Site.pp c) v.Campaign.vd_site)
+        (Campaign.outcome_to_string v.Campaign.vd_outcome)
+        (match v.Campaign.vd_first_diff_output with
+        | Some po -> Printf.sprintf " (first at %s)" po
+        | None -> ""))
+    t.Campaign.cam_verdicts;
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Campaign reports: the human-readable and machine-parseable faces
+    of a {!Campaign.t}.
+
+    Both renderings are deterministic functions of the campaign value —
+    no timestamps, no table order depending on hashing — so identical
+    seeds produce byte-identical reports (the reproducibility contract
+    golden-tested in the suite). *)
+
+val to_json : Campaign.t -> Halotis_util.Json.t
+(** The report document: tool/version header, configuration, outcome
+    summary with masking rate, per-site verdicts and the
+    most-vulnerable-gate ranking. *)
+
+val to_string : Campaign.t -> string
+(** [to_string t] is {!to_json} serialised. *)
+
+val to_text : Campaign.t -> string
+(** Human-readable report: configuration header, outcome summary,
+    vulnerable-gate table and one verdict line per site. *)
+
+val summary : Campaign.t -> string
+(** One line: ["n=50 propagated=12 electrical=30 logical=8
+    masking-rate=0.76"]. *)

@@ -1,0 +1,38 @@
+module Transition = Halotis_wave.Transition
+module Iddm = Halotis_engine.Iddm
+module Classic = Halotis_engine.Classic
+
+type pulse = { width : float; slope : float }
+
+let pulse ?(slope = 100.) ~width () =
+  if width <= 0. then invalid_arg "Inject.pulse: width must be positive";
+  if slope <= 0. then invalid_arg "Inject.pulse: slope must be positive";
+  { width; slope }
+
+let transitions ~at ~polarity p =
+  [
+    Transition.make ~start:at ~slope_time:p.slope ~polarity;
+    Transition.make ~start:(at +. p.width) ~slope_time:p.slope
+      ~polarity:(Transition.opposite polarity);
+  ]
+
+let iddm_injection (site : Site.t) p =
+  {
+    Iddm.inj_signal = site.Site.st_signal;
+    inj_transitions = transitions ~at:site.Site.st_at ~polarity:site.Site.st_polarity p;
+  }
+
+let classic_injection (site : Site.t) p =
+  let mid = p.slope /. 2. in
+  let leading = site.Site.st_polarity = Transition.Rising in
+  ( site.Site.st_signal,
+    [
+      (site.Site.st_at +. mid, leading);
+      (site.Site.st_at +. p.width +. mid, not leading);
+    ] )
+
+let run_iddm cfg c ~drives ~site ~pulse =
+  Iddm.run ~injections:[ iddm_injection site pulse ] cfg c ~drives
+
+let run_classic cfg c ~drives ~site ~pulse =
+  Classic.run ~injections:[ classic_injection site pulse ] cfg c ~drives

@@ -1,0 +1,51 @@
+(** Splicing a SET pulse into a simulation.
+
+    A radiation-induced transient is modelled as two opposed linear
+    ramps [width] apart, sharing one [slope]: the node is pulled
+    towards the opposite rail and released.  When [width < slope] the
+    pulse never reaches the far rail — a runt whose survival through
+    the fanout cone is exactly what the degradation model decides. *)
+
+type pulse = {
+  width : Halotis_util.Units.time;  (** leading-to-trailing edge separation, ps *)
+  slope : Halotis_util.Units.time;  (** full-swing time of both ramps, ps *)
+}
+
+val pulse : ?slope:Halotis_util.Units.time -> width:Halotis_util.Units.time -> unit -> pulse
+(** Default slope: 100 ps (the conventional input-ramp slope).
+    @raise Invalid_argument when [width <= 0] or [slope <= 0]. *)
+
+val transitions :
+  at:Halotis_util.Units.time ->
+  polarity:Halotis_wave.Transition.polarity ->
+  pulse ->
+  Halotis_wave.Transition.t list
+(** The two ramps of the SET: leading edge at [at], trailing (opposed)
+    edge at [at +. width]. *)
+
+val iddm_injection : Site.t -> pulse -> Halotis_engine.Iddm.injection
+(** The site's pulse in the IDDM engine's native representation. *)
+
+val classic_injection :
+  Site.t ->
+  pulse ->
+  Halotis_netlist.Netlist.signal_id * (Halotis_util.Units.time * bool) list
+(** The boolean abstraction for {!Halotis_engine.Classic}: two value
+    toggles at the ramps' 50 % instants. *)
+
+val run_iddm :
+  Halotis_engine.Iddm.config ->
+  Halotis_netlist.Netlist.t ->
+  drives:(Halotis_netlist.Netlist.signal_id * Halotis_engine.Drive.t) list ->
+  site:Site.t ->
+  pulse:pulse ->
+  Halotis_engine.Iddm.result
+(** One injected run: the stimulus plus the site's SET. *)
+
+val run_classic :
+  Halotis_engine.Classic.config ->
+  Halotis_netlist.Netlist.t ->
+  drives:(Halotis_netlist.Netlist.signal_id * Halotis_engine.Drive.t) list ->
+  site:Site.t ->
+  pulse:pulse ->
+  Halotis_engine.Classic.result

@@ -1,0 +1,75 @@
+module Netlist = Halotis_netlist.Netlist
+module Iddm = Halotis_engine.Iddm
+module Transition = Halotis_wave.Transition
+module Digital = Halotis_wave.Digital
+module Waveform = Halotis_wave.Waveform
+module Prng = Halotis_util.Prng
+
+type t = {
+  st_signal : Netlist.signal_id;
+  st_gate : Netlist.gate_id;
+  st_polarity : Transition.polarity;
+  st_at : float;
+}
+
+let compare a b =
+  match Int.compare a.st_signal b.st_signal with
+  | 0 -> (
+      match Float.compare a.st_at b.st_at with
+      | 0 ->
+          Int.compare
+            (match a.st_polarity with Transition.Rising -> 0 | Transition.Falling -> 1)
+            (match b.st_polarity with Transition.Rising -> 0 | Transition.Falling -> 1)
+      | c -> c)
+  | c -> c
+
+let candidates c =
+  Array.to_list (Netlist.signals c)
+  |> List.filter_map (fun (s : Netlist.signal) ->
+         match (s.Netlist.driver, s.Netlist.constant) with
+         | Some _, None -> Some s.Netlist.signal_id
+         | _ -> None)
+
+let polarity_at ~baseline sid ~at =
+  let vdd = Waveform.vdd baseline.Iddm.waveforms.(sid) in
+  if Digital.level_at baseline.Iddm.waveforms.(sid) ~vt:(vdd /. 2.) at then
+    Transition.Falling
+  else Transition.Rising
+
+let of_signal ~baseline sid ~at =
+  let c = baseline.Iddm.circuit in
+  let gate =
+    match (Netlist.signal c sid).Netlist.driver with
+    | Some g -> g
+    | None -> invalid_arg "Site.of_signal: not a gate output"
+  in
+  { st_signal = sid; st_gate = gate; st_polarity = polarity_at ~baseline sid ~at; st_at = at }
+
+let exhaustive ~baseline ~times =
+  let sites =
+    List.concat_map
+      (fun sid -> List.map (fun at -> of_signal ~baseline sid ~at) times)
+      (candidates baseline.Iddm.circuit)
+  in
+  List.sort compare sites
+
+let sample ~baseline ~prng ~n ~t0 ~t1 =
+  if t1 <= t0 then invalid_arg "Site.sample: empty time window";
+  let cands = Array.of_list (candidates baseline.Iddm.circuit) in
+  if Array.length cands = 0 then invalid_arg "Site.sample: circuit has no gate outputs";
+  List.init n (fun _ ->
+      let sid = cands.(Prng.int prng ~bound:(Array.length cands)) in
+      let at = t0 +. Prng.float prng ~bound:(t1 -. t0) in
+      of_signal ~baseline sid ~at)
+
+let grid ~t0 ~t1 ~points =
+  if points <= 0 then invalid_arg "Site.grid: points must be positive";
+  let step = (t1 -. t0) /. float_of_int points in
+  List.init points (fun i -> t0 +. (step *. (float_of_int i +. 0.5)))
+
+let pp c fmt s =
+  Format.fprintf fmt "%s/%s %s @@ %a"
+    (Netlist.gate_name c s.st_gate)
+    (Netlist.signal_name c s.st_signal)
+    (Transition.polarity_to_string s.st_polarity)
+    Halotis_util.Units.pp_time s.st_at

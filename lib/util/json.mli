@@ -1,0 +1,32 @@
+(** A minimal JSON value type with an emitter and a parser — enough for
+    the machine-parseable report documents ([halotis lint --format
+    json], [halotis faults --format json]) and for the test suite to
+    round-trip them, without pulling an external dependency into the
+    toolchain image. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialises; [indent] (default true) pretty-prints with two-space
+    indentation.  Strings are escaped per RFC 8259; integral numbers
+    print without a decimal point. *)
+
+val parse : string -> (t, string) result
+(** Recursive-descent parser for the subset emitted by {!to_string}
+    plus standard escapes (including [\uXXXX], encoded to UTF-8).
+    Errors carry a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)
+
+val to_list : t -> t list
+(** Elements of an [Arr]; [[]] otherwise. *)
+
+val to_float : t -> float option
+val to_str : t -> string option

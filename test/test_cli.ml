@@ -110,8 +110,49 @@ let test_check_alias () =
   let status, _ = run_capture [ "check"; data "flawed.hnl" ] in
   checki "check alias flawed" 2 status
 
+let faults_args =
+  [
+    "faults"; data "c17.hnl"; "--stim"; data "c17_walk.hsv"; "-n"; "10"; "--seed"; "3";
+    "--format"; "json";
+  ]
+
+let test_faults_json () =
+  let status, stdout = run_capture faults_args in
+  checki "faults campaign exits 0" 0 status;
+  match Json.parse stdout with
+  | Error e -> Alcotest.failf "faults report is not valid JSON: %s" e
+  | Ok j ->
+      checkb "tool key" true (Json.member "tool" j = Some (Json.Str "halotis-faults"));
+      checkb "seed echoed" true (Json.member "seed" j = Some (Json.Num 3.));
+      (match Json.member "verdicts" j with
+      | Some (Json.Arr vs) -> checki "one verdict per injection" 10 (List.length vs)
+      | _ -> Alcotest.fail "verdicts array missing");
+      (match Json.member "summary" j with
+      | Some summary ->
+          checkb "summary counts present" true
+            (Json.member "propagated" summary <> None
+            && Json.member "masking_rate" summary <> None)
+      | None -> Alcotest.fail "summary missing")
+
+let test_faults_deterministic () =
+  let _, first = run_capture faults_args in
+  let _, second = run_capture faults_args in
+  Alcotest.(check string) "same seed, byte-identical report" first second
+
+let test_faults_bad_engine () =
+  let status, _ =
+    run_capture [ "faults"; data "c17.hnl"; "--engine"; "spice" ]
+  in
+  checkb "unknown engine rejected" true (status <> 0)
+
 let tests =
   [
+    ( "cli.faults",
+      [
+        Alcotest.test_case "json report" `Quick test_faults_json;
+        Alcotest.test_case "deterministic" `Quick test_faults_deterministic;
+        Alcotest.test_case "bad engine rejected" `Quick test_faults_bad_engine;
+      ] );
     ( "cli.lint",
       [
         Alcotest.test_case "exit 0 on clean" `Quick test_exit_clean;

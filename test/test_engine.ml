@@ -446,6 +446,43 @@ let test_stats_copy_pp () =
   checki "copy isolated" 5 s'.Stats.events_scheduled;
   checkb "pp prints" true (String.length (Format.asprintf "%a" Stats.pp s) > 10)
 
+let stats_of (a, b, c, d, e, f) =
+  let s = Stats.create () in
+  s.Stats.events_scheduled <- a;
+  s.Stats.events_processed <- b;
+  s.Stats.events_filtered <- c;
+  s.Stats.transitions_emitted <- d;
+  s.Stats.transitions_annulled <- e;
+  s.Stats.noop_evaluations <- f;
+  s
+
+let test_stats_merge () =
+  let acc = stats_of (1, 2, 3, 4, 5, 6) in
+  Stats.merge acc (stats_of (10, 20, 30, 40, 50, 60));
+  checki "scheduled" 11 acc.Stats.events_scheduled;
+  checki "processed" 22 acc.Stats.events_processed;
+  checki "filtered" 33 acc.Stats.events_filtered;
+  checki "emitted" 44 acc.Stats.transitions_emitted;
+  checki "annulled" 55 acc.Stats.transitions_annulled;
+  checki "noop" 66 acc.Stats.noop_evaluations;
+  checki "total" 231 (Stats.total acc)
+
+let test_stats_diff () =
+  let a = stats_of (11, 22, 33, 44, 55, 66) in
+  let b = stats_of (1, 2, 3, 4, 5, 6) in
+  let d = Stats.diff a b in
+  checki "scheduled" 10 d.Stats.events_scheduled;
+  checki "processed" 20 d.Stats.events_processed;
+  checki "filtered" 30 d.Stats.events_filtered;
+  checki "emitted" 40 d.Stats.transitions_emitted;
+  checki "annulled" 50 d.Stats.transitions_annulled;
+  checki "noop" 60 d.Stats.noop_evaluations;
+  (* diff then merge restores the minuend *)
+  Stats.merge d b;
+  checki "diff+merge roundtrip" (Stats.total a) (Stats.total d);
+  (* deltas may be negative; diff of a stat against itself is zero *)
+  checki "self diff" 0 (Stats.total (Stats.diff b b))
+
 let tests =
   [
     ( "engine.drive",
@@ -500,5 +537,10 @@ let tests =
         Alcotest.test_case "final matches static" `Quick test_classic_final_matches_static;
         Alcotest.test_case "oscillator raises" `Quick test_classic_oscillator_raises;
       ] );
-    ("engine.stats", [ Alcotest.test_case "copy and pp" `Quick test_stats_copy_pp ]);
+    ( "engine.stats",
+      [
+        Alcotest.test_case "copy and pp" `Quick test_stats_copy_pp;
+        Alcotest.test_case "merge" `Quick test_stats_merge;
+        Alcotest.test_case "diff" `Quick test_stats_diff;
+      ] );
   ]

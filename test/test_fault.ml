@@ -1,0 +1,212 @@
+(* Tests for the SET fault-injection subsystem: site enumeration,
+   pulse splicing, outcome classification, and campaign determinism. *)
+
+module N = Halotis_netlist.Netlist
+module G = Halotis_netlist.Generators
+module Iddm = Halotis_engine.Iddm
+module Drive = Halotis_engine.Drive
+module T = Halotis_wave.Transition
+module D = Halotis_wave.Digital
+module W = Halotis_wave.Waveform
+module DL = Halotis_tech.Default_lib
+module Prng = Halotis_util.Prng
+module Site = Halotis_fault.Site
+module Inject = Halotis_fault.Inject
+module Campaign = Halotis_fault.Campaign
+module Fault_report = Halotis_fault.Fault_report
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let vdd2 = DL.vdd /. 2.
+
+let sid c n =
+  match N.find_signal c n with Some s -> s | None -> Alcotest.failf "no signal %s" n
+
+(* --- Inject --- *)
+
+let test_pulse_validation () =
+  checkb "negative width raises" true
+    (try
+       ignore (Inject.pulse ~width:(-1.) ());
+       false
+     with Invalid_argument _ -> true);
+  checkb "zero slope raises" true
+    (try
+       ignore (Inject.pulse ~slope:0. ~width:100. ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_pulse_transitions () =
+  let p = Inject.pulse ~slope:80. ~width:200. () in
+  match Inject.transitions ~at:1000. ~polarity:T.Rising p with
+  | [ lead; trail ] ->
+      checkb "leading at" true (lead.T.start = 1000.);
+      checkb "leading rises" true (lead.T.polarity = T.Rising);
+      checkb "leading slope" true (lead.T.slope_time = 80.);
+      checkb "trailing at" true (trail.T.start = 1200.);
+      checkb "trailing falls" true (trail.T.polarity = T.Falling);
+      checkb "trailing slope" true (trail.T.slope_time = 80.)
+  | l -> Alcotest.failf "expected 2 transitions, got %d" (List.length l)
+
+(* --- Site --- *)
+
+let chain = lazy (G.inverter_chain ~n:4 ())
+
+let chain_baseline =
+  lazy
+    (let c = Lazy.force chain in
+     Iddm.run
+       (Iddm.config ~t_stop:8000. DL.tech)
+       c
+       ~drives:[ (sid c "in", Drive.constant false) ])
+
+let test_site_candidates () =
+  let c = Lazy.force chain in
+  let cands = Site.candidates c in
+  checki "gate outputs only" (N.gate_count c) (List.length cands);
+  checkb "primary input excluded" true (not (List.mem (sid c "in") cands))
+
+let test_site_polarity () =
+  let baseline = Lazy.force chain_baseline in
+  let c = baseline.Iddm.circuit in
+  (* in = 0, so out1 sits high and out2 low: a SET pulls the node the
+     other way. *)
+  let s1 = Site.of_signal ~baseline (sid c "out1") ~at:2000. in
+  let s2 = Site.of_signal ~baseline (sid c "out2") ~at:2000. in
+  checkb "high node struck falling" true (s1.Site.st_polarity = T.Falling);
+  checkb "low node struck rising" true (s2.Site.st_polarity = T.Rising)
+
+let test_site_sample_deterministic () =
+  let baseline = Lazy.force chain_baseline in
+  let sample seed =
+    Site.sample ~baseline ~prng:(Prng.create ~seed) ~n:16 ~t0:500. ~t1:6000.
+  in
+  let a = sample 7 and b = sample 7 and c = sample 8 in
+  checkb "same seed, same sites" true (List.for_all2 (fun x y -> Site.compare x y = 0) a b);
+  checkb "different seed, different sites" true
+    (not (List.for_all2 (fun x y -> Site.compare x y = 0) a c))
+
+(* --- Campaign classification --- *)
+
+let strike_chain ~width ~at =
+  let c = Lazy.force chain in
+  let baseline = Lazy.force chain_baseline in
+  let site = Site.of_signal ~baseline (sid c "out1") ~at in
+  let cfg =
+    Campaign.config ~pulse:(Inject.pulse ~width ()) ~t_stop:8000. ()
+  in
+  let t =
+    Campaign.run ~sites:[ site ] cfg DL.tech c
+      ~drives:[ (sid c "in", Drive.constant false) ]
+  in
+  (List.hd t.Campaign.cam_verdicts).Campaign.vd_outcome
+
+let prop_wide_pulse_propagates =
+  QCheck.Test.make ~name:"wide SET always reaches a primary output" ~count:40
+    QCheck.(pair (float_range 400. 1000.) (float_range 1000. 5000.))
+    (fun (width, at) -> strike_chain ~width ~at = Campaign.Propagated)
+
+let prop_runt_never_propagates =
+  (* width <= 15 ps at 100 ps slope peaks at 0.75 V, far below the
+     2.5 V threshold: the strike must die electrically, every time. *)
+  QCheck.Test.make ~name:"sub-threshold runt never propagates" ~count:40
+    QCheck.(pair (float_range 1. 15.) (float_range 1000. 5000.))
+    (fun (width, at) -> strike_chain ~width ~at = Campaign.Electrically_masked)
+
+(* The Fig. 1 discrimination scenario, replayed as a fault campaign: a
+   runt SET on out0 peaks between the sibling inverters' thresholds,
+   so it enters g1 (VT 1.5 V) but never registers at g2 (VT 4.0 V). *)
+let test_fig1_split () =
+  let f = G.fig1_circuit () in
+  let c = f.G.circuit in
+  let drives = [ (f.G.sig_in, Drive.constant false) ] in
+  let cfg = Iddm.config ~t_stop:6000. DL.tech in
+  let baseline = Iddm.run cfg c ~drives in
+  let site = Site.of_signal ~baseline f.G.sig_out0 ~at:2000. in
+  checkb "out0 low, struck rising" true (site.Site.st_polarity = T.Rising);
+  (* 60 ps at 100 ps slope peaks at 3.0 V: between the thresholds. *)
+  let injected = Inject.run_iddm cfg c ~drives ~site ~pulse:(Inject.pulse ~width:60. ()) in
+  let tx r s = List.length (W.transitions r.Iddm.waveforms.(s)) in
+  checkb "g1 branch disturbed" true (tx injected f.G.sig_out1 > tx baseline f.G.sig_out1);
+  checki "g2 output untouched" (tx baseline f.G.sig_out2) (tx injected f.G.sig_out2);
+  checki "g2 buffer untouched" (tx baseline f.G.sig_out2c) (tx injected f.G.sig_out2c);
+  checkb "victim records the pulse" true (tx injected f.G.sig_out0 > tx baseline f.G.sig_out0)
+
+(* --- Determinism golden --- *)
+
+let test_campaign_reports_reproducible () =
+  let c = G.inverter_chain ~n:6 () in
+  let drives = [ (sid c "in", Drive.constant false) ] in
+  let cfg = Campaign.config ~seed:5 ~n:20 ~t_stop:9000. () in
+  let a = Campaign.run cfg DL.tech c ~drives in
+  let b = Campaign.run cfg DL.tech c ~drives in
+  Alcotest.(check string) "json byte-identical" (Fault_report.to_string a)
+    (Fault_report.to_string b);
+  Alcotest.(check string) "text byte-identical" (Fault_report.to_text a)
+    (Fault_report.to_text b);
+  let other = Campaign.run (Campaign.config ~seed:6 ~n:20 ~t_stop:9000. ()) DL.tech c ~drives in
+  checkb "different seed samples different sites" true
+    (Fault_report.to_string a <> Fault_report.to_string other)
+
+let test_campaign_counts_consistent () =
+  let c = G.inverter_chain ~n:6 () in
+  let drives = [ (sid c "in", Drive.constant false) ] in
+  let t = Campaign.run (Campaign.config ~seed:5 ~n:20 ~t_stop:9000. ()) DL.tech c ~drives in
+  let propagated, electrical, logical = Campaign.counts t in
+  checki "verdict per injection" 20 (List.length t.Campaign.cam_verdicts);
+  checki "counts partition the verdicts" 20 (propagated + electrical + logical);
+  checkb "masking rate in [0,1]" true
+    (Campaign.masking_rate t >= 0. && Campaign.masking_rate t <= 1.);
+  List.iter
+    (fun (gid, hits) ->
+      checkb "vulnerable gate exists" true (gid >= 0 && gid < N.gate_count c);
+      checkb "positive hit count" true (hits > 0))
+    (Campaign.vulnerability t)
+
+(* --- Classic engine injections --- *)
+
+let test_classic_strike_not_preempted () =
+  (* Driver activity long before the strike must not swallow it: a
+     particle hit is not a driver transaction. *)
+  let c = Lazy.force chain in
+  let input = sid c "in" in
+  let drives = [ (input, Drive.of_levels ~slope:100. ~initial:false [ (1000., true) ]) ] in
+  let cfg = Campaign.config ~engine:Campaign.Classic_inertial ~t_stop:8000. () in
+  let baseline = Iddm.run (Iddm.config ~t_stop:8000. DL.tech) c ~drives in
+  let site = Site.of_signal ~baseline (sid c "out") ~at:6000. in
+  let t = Campaign.run ~sites:[ site ] cfg DL.tech c ~drives in
+  checkb "late strike on output propagates" true
+    ((List.hd t.Campaign.cam_verdicts).Campaign.vd_outcome = Campaign.Propagated)
+
+let test_engine_of_string () =
+  checkb "ddm" true (Campaign.engine_of_string "ddm" = Some Campaign.Ddm);
+  checkb "cdm" true (Campaign.engine_of_string "cdm" = Some Campaign.Cdm);
+  checkb "classic" true
+    (Campaign.engine_of_string "classic" = Some Campaign.Classic_inertial);
+  checkb "unknown" true (Campaign.engine_of_string "spice" = None)
+
+let tests =
+  [
+    ( "fault.inject",
+      [
+        Alcotest.test_case "pulse validation" `Quick test_pulse_validation;
+        Alcotest.test_case "pulse transitions" `Quick test_pulse_transitions;
+      ] );
+    ( "fault.site",
+      [
+        Alcotest.test_case "candidates" `Quick test_site_candidates;
+        Alcotest.test_case "polarity from baseline" `Quick test_site_polarity;
+        Alcotest.test_case "sample determinism" `Quick test_site_sample_deterministic;
+      ] );
+    ( "fault.campaign",
+      [
+        QCheck_alcotest.to_alcotest prop_wide_pulse_propagates;
+        QCheck_alcotest.to_alcotest prop_runt_never_propagates;
+        Alcotest.test_case "fig1 threshold split" `Quick test_fig1_split;
+        Alcotest.test_case "reports reproducible" `Quick test_campaign_reports_reproducible;
+        Alcotest.test_case "counts consistent" `Quick test_campaign_counts_consistent;
+        Alcotest.test_case "classic strike not preempted" `Quick
+          test_classic_strike_not_preempted;
+        Alcotest.test_case "engine names" `Quick test_engine_of_string;
+      ] );
+  ]

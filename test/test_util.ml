@@ -5,6 +5,7 @@ module Approx = Halotis_util.Approx
 module Prng = Halotis_util.Prng
 module Linfit = Halotis_util.Linfit
 module Units = Halotis_util.Units
+module Json = Halotis_util.Json
 
 let check = Alcotest.check
 let checkb = Alcotest.(check bool)
@@ -189,8 +190,41 @@ let test_units_formatting () =
   checkf "ns conversion" 2.5 (Units.time_to_ns 2500.);
   checkf "ns constructor" 2500. (Units.ns 2.5)
 
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("tool", Json.Str "halotis");
+        ("nums", Json.Arr [ Json.Num 1.; Json.Num (-2.5); Json.Num 0. ]);
+        ("flags", Json.Obj [ ("a", Json.Bool true); ("b", Json.Bool false) ]);
+        ("nothing", Json.Null);
+        ("escaped", Json.Str "quote\" slash\\ newline\n tab\t");
+      ]
+  in
+  (match Json.parse (Json.to_string doc) with
+  | Ok doc' -> checkb "round trip" true (doc = doc')
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match Json.parse (Json.to_string ~indent:true doc) with
+  | Ok doc' -> checkb "indented round trip" true (doc = doc')
+  | Error e -> Alcotest.failf "indented parse failed: %s" e
+
+let test_json_accessors () =
+  let doc = Json.Obj [ ("x", Json.Num 3.5); ("s", Json.Str "hi") ] in
+  checkb "member" true (Json.member "x" doc = Some (Json.Num 3.5));
+  checkb "missing member" true (Json.member "y" doc = None);
+  checkb "to_float" true (Json.to_float (Json.Num 3.5) = Some 3.5);
+  checkb "to_str" true (Json.to_str (Json.Str "hi") = Some "hi");
+  checkb "parse error" true (match Json.parse "{" with Error _ -> true | Ok _ -> false)
+
 let tests =
   [
+    ( "util.json",
+      [
+        Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+      ] );
     ( "util.heap",
       [
         Alcotest.test_case "empty" `Quick test_heap_empty;
