@@ -39,9 +39,33 @@ let throughput run events_of (c, drives) =
   let dt = Unix.gettimeofday () -. t0 in
   (events, float_of_int (events * !reps) /. dt)
 
+(* Circuit sizes, smallest first.  Overridable so CI can run a quick
+   smoke (e.g. [HALOTIS_SCALE_SIZES=200]) with the same code path as
+   the full sweep. *)
+let sizes () =
+  match Sys.getenv_opt "HALOTIS_SCALE_SIZES" with
+  | None | Some "" -> [ 200; 1000; 5000 ]
+  | Some s ->
+      let parsed =
+        List.filter_map
+          (fun tok ->
+            let tok = String.trim tok in
+            if tok = "" then None
+            else
+              match int_of_string_opt tok with
+              | Some n when n > 0 -> Some n
+              | Some _ | None ->
+                  invalid_arg
+                    (Printf.sprintf "HALOTIS_SCALE_SIZES: bad size %S (want positive ints)"
+                       tok))
+          (String.split_on_char ',' s)
+      in
+      if parsed = [] then invalid_arg "HALOTIS_SCALE_SIZES: no sizes given"
+      else List.sort_uniq compare parsed
+
 let run () =
   section "SCALE -- event throughput vs circuit size (extension)";
-  let sizes = [ 200; 1000; 5000 ] in
+  let sizes = sizes () in
   let results =
     List.map
       (fun gates ->
@@ -74,23 +98,34 @@ let run () =
                 Printf.sprintf "%.2fM" (tc /. 1e6);
               ])
             results));
-  let row_of gates = List.find (fun (g, _, _, _) -> g = gates) results in
-  let _, ev_small, d_small, _ = row_of 200 in
-  let _, ev_big, d_big, c_big = row_of 5000 in
+  (* compare the extremes of whatever sweep ran (identical when CI
+     smokes a single size) *)
+  let g_small, ev_small, d_small, _ = List.hd results in
+  let g_big, ev_big, d_big, c_big = List.nth results (List.length results - 1) in
   (* deterministic: the event count per gate must not blow up with
      size (the algorithmic claim behind "similar CPU time") *)
-  let per_gate_small = float_of_int ev_small /. 200. in
-  let per_gate_big = float_of_int ev_big /. 5000. in
+  let per_gate_small = float_of_int ev_small /. float_of_int g_small in
+  let per_gate_big = float_of_int ev_big /. float_of_int g_big in
+  let data =
+    List.concat_map
+      (fun (g, ev, td, tc) ->
+        [
+          (Printf.sprintf "ddm_events_per_s_%d" g, td);
+          (Printf.sprintf "classic_events_per_s_%d" g, tc);
+          (Printf.sprintf "ddm_events_%d" g, float_of_int ev);
+        ])
+      results
+  in
   [
-    Experiment.make ~exp_id:"SCALE" ~title:"Event throughput scaling (extension)"
+    Experiment.make ~data ~exp_id:"SCALE" ~title:"Event throughput scaling (extension)"
       [
         Experiment.observation
           ~agrees:(per_gate_big <= 2. *. per_gate_small)
-          ~metric:"work scales linearly: events per gate bounded across 25x size growth"
+          ~metric:"work scales linearly: events per gate bounded across the size sweep"
           ~paper:"CPU time very similar to other logic simulators"
           ~measured:
-            (Printf.sprintf "%.1f events/gate at 200 gates, %.1f at 5000" per_gate_small
-               per_gate_big)
+            (Printf.sprintf "%.1f events/gate at %d gates, %.1f at %d" per_gate_small
+               g_small per_gate_big g_big)
           ();
         Experiment.observation
           ~agrees:(d_big > c_big /. 10.)
@@ -98,13 +133,13 @@ let run () =
                    back-to-back measurement)"
           ~paper:"(same claim)"
           ~measured:
-            (Printf.sprintf "at 5000 gates: ddm %.2fM vs classic %.2fM ev/s" (d_big /. 1e6)
-               (c_big /. 1e6))
+            (Printf.sprintf "at %d gates: ddm %.2fM vs classic %.2fM ev/s" g_big
+               (d_big /. 1e6) (c_big /. 1e6))
           ~note:
             (Printf.sprintf
-               "absolute throughput varies with host load (%.2fM ev/s at 200 gates this \
+               "absolute throughput varies with host load (%.2fM ev/s at %d gates this \
                 run); the paired same-size comparison is the stable signal"
-               (d_small /. 1e6))
+               (d_small /. 1e6) g_small)
           ();
       ];
   ]

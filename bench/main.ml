@@ -6,7 +6,8 @@
      dune exec bench/main.exe                     # everything
      dune exec bench/main.exe fig1 table2         # a selection
      dune exec bench/main.exe -- --list           # available experiments
-     dune exec bench/main.exe -- --markdown out.md  # also write a report *)
+     dune exec bench/main.exe -- --markdown out.md  # also write a report
+     dune exec bench/main.exe -- --json out.json  # machine-readable results *)
 
 let experiments : (string * string * (unit -> Halotis_report.Experiment.t list)) list =
   [
@@ -34,17 +35,52 @@ let list_experiments () =
   print_endline "available experiments:";
   List.iter (fun (name, descr, _) -> Printf.printf "  %-12s %s\n" name descr) experiments
 
+(* Machine-readable results: one record per experiment with its
+   agreement verdicts and the named numeric metrics it exported
+   (throughputs etc.) — the input to perf regression tracking. *)
+let json_of_records records =
+  let module J = Halotis_util.Json in
+  let module E = Halotis_report.Experiment in
+  let obs (o : E.observation) =
+    J.Obj
+      [
+        ("metric", J.Str o.E.metric);
+        ("paper", J.Str o.E.paper);
+        ("measured", J.Str o.E.measured);
+        ( "agrees",
+          match o.E.agrees with Some b -> J.Bool b | None -> J.Null );
+        ("note", J.Str o.E.note);
+      ]
+  in
+  let record (r : E.t) =
+    J.Obj
+      [
+        ("exp_id", J.Str r.E.exp_id);
+        ("title", J.Str r.E.title);
+        ("observations", J.Arr (List.map obs r.E.observations));
+        ("data", J.Obj (List.map (fun (k, v) -> (k, J.Num v)) r.E.data));
+      ]
+  in
+  J.Obj
+    [
+      ("report", J.Str "halotis-bench");
+      ("version", J.Num 1.);
+      ("experiments", J.Arr (List.map record records));
+    ]
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
-  let markdown, args =
+  let extract_opt flag args =
     let rec extract acc = function
-      | "--markdown" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | f :: path :: rest when f = flag -> (Some path, List.rev_append acc rest)
       | x :: rest -> extract (x :: acc) rest
       | [] -> (None, List.rev acc)
     in
     extract [] args
   in
+  let markdown, args = extract_opt "--markdown" args in
+  let json, args = extract_opt "--json" args in
   if List.mem "--list" args then list_experiments ()
   else begin
     let selected =
@@ -71,6 +107,14 @@ let () =
         output_string oc (Halotis_report.Experiment.render_markdown records);
         close_out oc;
         Printf.printf "\nmarkdown report written to %s\n" path
+    | None -> ());
+    (match json with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Halotis_util.Json.to_string (json_of_records records));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "\njson results written to %s\n" path
     | None -> ());
     let divergent =
       List.exists

@@ -39,3 +39,112 @@ let for_gate tech c ~loads gid kind req =
   let gate_tech = Tech.gate_tech tech g.Netlist.kind in
   let cl = loads.(g.Netlist.output) in
   compute tech ~gate_tech ~cl kind req
+
+(* Per-run coefficient cache.  [Tech.gate_tech] resolves the cell
+   record through the library's lookup function on every call — the
+   default library even rebuilds the record — and the load term, output
+   slope, degradation tau and the T0 coefficient of eqs. 2-3 are all
+   invariant across a run.  The cache folds every per-(gate, edge)
+   constant into flat unboxed float arrays once at setup, leaving only
+   the [tau_in]- and [T]-dependent arithmetic per event.
+
+   Layout: edge-indexed arrays use slot [2 * gid] for a rising output
+   edge and [2 * gid + 1] for a falling one; per-pin factors are
+   flattened with a per-gate offset table.  All partial expressions are
+   evaluated exactly as {!compute} associates them, so cached responses
+   are bit-identical to the uncached reference. *)
+module Cache = struct
+  (* Coefficients are interleaved, five per (gate, edge), so one delay
+     evaluation reads a single run of adjacent floats:
+       base + 0 : d0 + d_load * CL
+       base + 1 : d_slope
+       base + 2 : clamped output slope
+       base + 3 : clamped eq. 2 tau
+       base + 4 : 1/2 - C/VDD (eq. 3 before the tau_in product) *)
+  type nonrec t = {
+    coef : float array;  (* (2 * gate + edge) * 5, edge 0 = rising *)
+    pf_off : int array;  (* gate -> offset into [pf] *)
+    pf : float array;  (* flattened per-pin factors *)
+    scratch : float array;  (* [0] = tp, [1] = tau_out of the last [eval] *)
+  }
+
+  let create tech c ~loads =
+    let ngates = Netlist.gate_count c in
+    let coef = Array.make (10 * ngates) 0. in
+    let pf_off = Array.make ngates 0 in
+    let npins = ref 0 in
+    for gid = 0 to ngates - 1 do
+      pf_off.(gid) <- !npins;
+      npins := !npins + Array.length (Netlist.gate c gid).Netlist.fanin
+    done;
+    let pf = Array.make (max 1 !npins) 1. in
+    for gid = 0 to ngates - 1 do
+      let g = Netlist.gate c gid in
+      let gt = Tech.gate_tech tech g.Netlist.kind in
+      let cl = loads.(g.Netlist.output) in
+      List.iter
+        (fun rising ->
+          let p = Tech.edge gt ~rising in
+          let base = 5 * ((2 * gid) + if rising then 0 else 1) in
+          coef.(base) <- p.Tech.d0 +. (p.Tech.d_load *. cl);
+          coef.(base + 1) <- p.Tech.d_slope;
+          coef.(base + 2) <- Tech.output_slope p ~cl;
+          coef.(base + 3) <- Tech.degradation_tau tech p ~cl;
+          coef.(base + 4) <- 0.5 -. (p.Tech.ddm_c /. Tech.vdd tech))
+        [ true; false ];
+      for pin = 0 to Array.length g.Netlist.fanin - 1 do
+        pf.(pf_off.(gid) + pin) <- gt.Tech.pin_factor pin
+      done
+    done;
+    { coef; pf_off; pf; scratch = Array.make 2 0. }
+
+  let for_gate cache gid kind req =
+    let base = 5 * ((2 * gid) + if req.rising_out then 0 else 1) in
+    let tp0 =
+      cache.pf.(cache.pf_off.(gid) + req.pin)
+      *. (cache.coef.(base) +. (cache.coef.(base + 1) *. req.tau_in))
+    in
+    let tau_out = cache.coef.(base + 2) in
+    match kind with
+    | Cdm -> { tp = tp0; tau_out; tp_nominal = tp0; degraded = false }
+    | Ddm -> (
+        match req.last_output_start with
+        | None -> { tp = tp0; tau_out; tp_nominal = tp0; degraded = false }
+        | Some t_last ->
+            let time_since_last = req.t_event +. tp0 -. t_last in
+            let t0 = Float.max 0.0 (cache.coef.(base + 4) *. req.tau_in) in
+            let tp =
+              Halotis_tech.Calibrate.predicted_delay ~tp0 ~tau:cache.coef.(base + 3) ~t0
+                ~time_since_last
+            in
+            { tp; tau_out; tp_nominal = tp0; degraded = tp < tp0 -. 1e-9 })
+
+  (* Allocation-free [for_gate] for the event hot paths: scalar
+     arguments in, results deposited in [scratch] (read them with
+     {!tp} / {!tau_out} before the next [eval]).  [last_output_start]
+     is [Float.nan] when the output has no previous transition —
+     legitimate start instants are always finite, so the encoding is
+     exact.  Float expressions are associated exactly as [for_gate]'s,
+     so the two are bit-identical. *)
+  let eval cache gid kind ~rising_out ~pin ~tau_in ~t_event ~last_output_start =
+    let base = 5 * ((2 * gid) + if rising_out then 0 else 1) in
+    let tp0 =
+      cache.pf.(cache.pf_off.(gid) + pin)
+      *. (cache.coef.(base) +. (cache.coef.(base + 1) *. tau_in))
+    in
+    cache.scratch.(1) <- cache.coef.(base + 2);
+    match kind with
+    | Cdm -> cache.scratch.(0) <- tp0
+    | Ddm ->
+        if Float.is_nan last_output_start then cache.scratch.(0) <- tp0
+        else begin
+          let time_since_last = t_event +. tp0 -. last_output_start in
+          let t0 = Float.max 0.0 (cache.coef.(base + 4) *. tau_in) in
+          cache.scratch.(0) <-
+            Halotis_tech.Calibrate.predicted_delay ~tp0 ~tau:cache.coef.(base + 3) ~t0
+              ~time_since_last
+        end
+
+  let tp cache = cache.scratch.(0)
+  let tau_out cache = cache.scratch.(1)
+end

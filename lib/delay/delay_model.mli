@@ -54,4 +54,56 @@ val for_gate :
   request ->
   response
 (** Convenience wrapper that fetches [gate_tech] and [cl] from a
-    netlist and a precomputed load table. *)
+    netlist and a precomputed load table.  Resolves the cell record
+    through the technology lookup on every call — this is the uncached
+    reference; simulation hot paths should go through {!Cache}. *)
+
+(** Per-run delay coefficient cache.
+
+    [Tech.gate_tech] re-resolves the cell record (and, with the default
+    library, re-allocates it) on every delay evaluation, and most of
+    eqs. 1-3 is invariant across a run: the load term of [tp0], the
+    output slope, the degradation [tau] and the [T0] coefficient depend
+    only on the gate, the edge direction and the (fixed) output load.
+    A [Cache.t] precomputes all of them once at [run] setup into flat
+    unboxed arrays.
+
+    Responses are bit-identical to {!for_gate}: every partial
+    expression is associated exactly as the uncached path computes
+    it. *)
+module Cache : sig
+  type t
+
+  val create :
+    Halotis_tech.Tech.t -> Halotis_netlist.Netlist.t -> loads:float array -> t
+  (** [create tech c ~loads] precomputes the per-(gate, edge)
+      coefficients and per-pin factors for every gate of [c].  O(gates
+      + pins). *)
+
+  val for_gate : t -> Halotis_netlist.Netlist.gate_id -> kind -> request -> response
+  (** Drop-in cached equivalent of {!val-for_gate}: same request, same
+      response, no table resolution. *)
+
+  val eval :
+    t ->
+    Halotis_netlist.Netlist.gate_id ->
+    kind ->
+    rising_out:bool ->
+    pin:int ->
+    tau_in:float ->
+    t_event:float ->
+    last_output_start:float ->
+    unit
+  (** Allocation-free {!for_gate} for the event hot paths: scalar
+      arguments instead of a {!request} ([last_output_start] is
+      [Float.nan] when the output has no previous live transition), and
+      the [tp] / [tau_out] results are deposited in the cache — read
+      them with {!tp} and {!tau_out} before the next [eval].
+      Bit-identical to {!for_gate}. *)
+
+  val tp : t -> float
+  (** Propagation delay computed by the last {!eval}, ps. *)
+
+  val tau_out : t -> float
+  (** Output ramp full-swing time computed by the last {!eval}, ps. *)
+end

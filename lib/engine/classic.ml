@@ -25,87 +25,200 @@ type result = {
   truncated : bool;
 }
 
-type transaction = { tx_value : bool; tx_window : float }
+(* Per-signal deque of live pending transaction slots, oldest at
+   [txq_head].  Preemption trims a suffix (newest first), commits
+   consume the head; both O(1), allocation-free, and popped
+   transactions are reclaimed immediately instead of leaking until the
+   next preemption scan. *)
+type tx_queue = {
+  mutable txq_buf : int array;
+  mutable txq_head : int;
+  mutable txq_tail : int;
+}
 
+let txq_push txq slot =
+  let cap = Array.length txq.txq_buf in
+  if txq.txq_tail = cap then begin
+    let live = txq.txq_tail - txq.txq_head in
+    if txq.txq_head > 0 && 2 * live <= cap then
+      Array.blit txq.txq_buf txq.txq_head txq.txq_buf 0 live
+    else begin
+      let buf = Array.make (max 4 (2 * cap)) (-1) in
+      Array.blit txq.txq_buf txq.txq_head buf 0 live;
+      txq.txq_buf <- buf
+    end;
+    txq.txq_head <- 0;
+    txq.txq_tail <- live
+  end;
+  txq.txq_buf.(txq.txq_tail) <- slot;
+  txq.txq_tail <- txq.txq_tail + 1
+
+(* Hot netlist structure flattened into CSR-style int arrays, built
+   once at setup — the per-event path never touches the boxed gate
+   records (see the matching comment in {!Iddm}).
+
+   Transactions live in a recycled structure-of-arrays pool and are
+   passed around as small-int slots (heap payloads are bare ints), so
+   the steady-state hot path allocates nothing.  [tx_dead] is the
+   lazy-cancellation tombstone: preempted transactions are marked dead
+   in place and discarded (and recycled) when the queue surfaces them.
+   A slot sits in the queue exactly once, so recycling at pop time is
+   single-free by construction. *)
 type state = {
   cfg : config;
-  c : Netlist.t;
   value : bool array; (* committed signal values *)
-  pending : ((Netlist.signal_id * transaction) Heap.handle * float * bool) list array;
-      (* per signal: scheduled driver transactions (handle, time, value) *)
-  queue : (Netlist.signal_id * transaction) Heap.t;
+  pending : tx_queue array; (* per signal: live scheduled driver transactions *)
+  queue : Heap.Unboxed.t;
   rev_edges : Digital.edge list array; (* newest first *)
-  loads : float array;
+  g_kind : Gate_kind.t array; (* gate -> logic function *)
+  g_out : int array; (* gate -> output signal *)
+  g_base : int array; (* gate -> first slot in [g_fanin]; length ngates + 1 *)
+  g_fanin : int array; (* flattened gate fanin signals *)
+  fan_off : int array; (* signal -> first fanout edge; length nsignals + 1 *)
+  fan_gate : int array; (* fanout edge -> loading gate (distinct per signal) *)
+  fan_pin : int array; (* fanout edge -> first pin of that gate on the signal *)
+  (* transaction pool: parallel arrays indexed by slot *)
+  mutable tx_sid : int array;
+  mutable tx_at : float array;
+  mutable tx_value : Bytes.t; (* '\001' = drive high *)
+  mutable tx_dead : Bytes.t;
+  mutable tx_free : int array; (* stack of recycled slots *)
+  mutable tx_free_top : int;
+  cache : Delay_model.Cache.t;
   stats : Stats.t;
 }
 
+let grow_pool st =
+  let cap = Array.length st.tx_sid in
+  let ncap = max 64 (2 * cap) in
+  let si = Array.make ncap (-1) in
+  Array.blit st.tx_sid 0 si 0 cap;
+  st.tx_sid <- si;
+  let at = Array.make ncap 0. in
+  Array.blit st.tx_at 0 at 0 cap;
+  st.tx_at <- at;
+  let va = Bytes.make ncap '\000' in
+  Bytes.blit st.tx_value 0 va 0 cap;
+  st.tx_value <- va;
+  let de = Bytes.make ncap '\000' in
+  Bytes.blit st.tx_dead 0 de 0 cap;
+  st.tx_dead <- de;
+  let free = Array.make ncap 0 in
+  for i = 0 to ncap - cap - 1 do
+    free.(i) <- cap + i
+  done;
+  st.tx_free <- free;
+  st.tx_free_top <- ncap - cap
+
+let alloc_tx st =
+  if st.tx_free_top = 0 then grow_pool st;
+  st.tx_free_top <- st.tx_free_top - 1;
+  st.tx_free.(st.tx_free_top)
+
+let free_tx st slot =
+  st.tx_free.(st.tx_free_top) <- slot;
+  st.tx_free_top <- st.tx_free_top + 1
+
+(* Allocate, fill and enqueue a transaction slot (heap only; the caller
+   decides whether it also enters a pending deque). *)
+let enqueue_tx st ~sid ~at ~value =
+  let slot = alloc_tx st in
+  st.tx_sid.(slot) <- sid;
+  st.tx_at.(slot) <- at;
+  Bytes.set st.tx_value slot (if value then '\001' else '\000');
+  Bytes.set st.tx_dead slot '\000';
+  ignore (Heap.Unboxed.insert st.queue ~key:at slot);
+  slot
+
 (* The value the driver will settle to once pending transactions fire. *)
 let scheduled_target st sid =
-  let live = List.filter (fun (h, _, _) -> Heap.mem st.queue h) st.pending.(sid) in
-  st.pending.(sid) <- live;
-  match live with (_, _, v) :: _ -> v | [] -> st.value.(sid)
+  let txq = st.pending.(sid) in
+  if txq.txq_head < txq.txq_tail then
+    Bytes.get st.tx_value (txq.txq_buf.(txq.txq_tail - 1)) = '\001'
+  else st.value.(sid)
 
 (* Classical inertial scheduling on signal [sid]. *)
 let schedule_inertial st sid ~at ~value ~window =
-  (* Transport preemption: kill pending transactions at or after [at]. *)
-  let keep (h, t, _) =
-    if not (Heap.mem st.queue h) then false
-    else if t >= at then begin
-      ignore (Heap.remove st.queue h);
-      st.stats.Stats.events_filtered <- st.stats.Stats.events_filtered + 1;
-      false
-    end
-    else true
+  (* Transport preemption: kill pending transactions at or after [at] —
+     a suffix of the (time-sorted) deque, tombstoned in place. *)
+  let txq = st.pending.(sid) in
+  let i = ref (txq.txq_tail - 1) in
+  while !i >= txq.txq_head && st.tx_at.(txq.txq_buf.(!i)) >= at do
+    Bytes.set st.tx_dead txq.txq_buf.(!i) '\001';
+    st.stats.Stats.events_filtered <- st.stats.Stats.events_filtered + 1;
+    decr i
+  done;
+  txq.txq_tail <- !i + 1;
+  let target =
+    if txq.txq_head < txq.txq_tail then
+      Bytes.get st.tx_value (txq.txq_buf.(txq.txq_tail - 1)) = '\001'
+    else st.value.(sid)
   in
-  st.pending.(sid) <- List.filter keep st.pending.(sid);
-  let target = match st.pending.(sid) with (_, _, v) :: _ -> v | [] -> st.value.(sid) in
   if target = value then st.stats.Stats.noop_evaluations <- st.stats.Stats.noop_evaluations + 1
   else begin
     (* Inertial rejection: a reversal closer than the gate's window to
        the previous pending transaction annihilates with it.  Transport
        mode never rejects. *)
-    match st.pending.(sid) with
-    | (h, t_prev, _) :: rest when st.cfg.mode = Inertial && at -. t_prev < window ->
-        ignore (Heap.remove st.queue h);
-        st.pending.(sid) <- rest;
-        st.stats.Stats.events_filtered <- st.stats.Stats.events_filtered + 2
-    | _ ->
-        let handle = Heap.insert st.queue ~key:at (sid, { tx_value = value; tx_window = window }) in
-        st.pending.(sid) <- (handle, at, value) :: st.pending.(sid);
-        st.stats.Stats.events_scheduled <- st.stats.Stats.events_scheduled + 1
+    if
+      txq.txq_head < txq.txq_tail
+      && st.cfg.mode = Inertial
+      && at -. st.tx_at.(txq.txq_buf.(txq.txq_tail - 1)) < window
+    then begin
+      Bytes.set st.tx_dead txq.txq_buf.(txq.txq_tail - 1) '\001';
+      txq.txq_tail <- txq.txq_tail - 1;
+      st.stats.Stats.events_filtered <- st.stats.Stats.events_filtered + 2
+    end
+    else begin
+      let slot = enqueue_tx st ~sid ~at ~value in
+      txq_push txq slot;
+      st.stats.Stats.events_scheduled <- st.stats.Stats.events_scheduled + 1
+    end
   end
+
+(* [Gate_kind.eval_bool] over committed values via the flat fanin
+   table, without building a per-call input array. *)
+let rec all_v (value : bool array) fanin base n i =
+  i >= n || (value.(fanin.(base + i)) && all_v value fanin base n (i + 1))
+
+let rec any_v (value : bool array) fanin base n i =
+  i < n && (value.(fanin.(base + i)) || any_v value fanin base n (i + 1))
+
+let rec parity_v (value : bool array) fanin base n i acc =
+  if i >= n then acc else parity_v value fanin base n (i + 1) (acc <> value.(fanin.(base + i)))
+
+let eval_gate st gid =
+  let base = st.g_base.(gid) in
+  let n = st.g_base.(gid + 1) - base in
+  let v i = st.value.(st.g_fanin.(base + i)) in
+  match st.g_kind.(gid) with
+  | Gate_kind.Buf -> v 0
+  | Gate_kind.Inv -> not (v 0)
+  | Gate_kind.And _ -> all_v st.value st.g_fanin base n 0
+  | Gate_kind.Nand _ -> not (all_v st.value st.g_fanin base n 0)
+  | Gate_kind.Or _ -> any_v st.value st.g_fanin base n 0
+  | Gate_kind.Nor _ -> not (any_v st.value st.g_fanin base n 0)
+  | Gate_kind.Xor _ -> parity_v st.value st.g_fanin base n 0 false
+  | Gate_kind.Xnor _ -> not (parity_v st.value st.g_fanin base n 0 false)
+  | Gate_kind.Aoi21 -> not ((v 0 && v 1) || v 2)
+  | Gate_kind.Oai21 -> not ((v 0 || v 1) && v 2)
+  | Gate_kind.Mux2 -> if v 2 then v 1 else v 0
 
 let evaluate_fanout st ~now sid =
   (* A gate with several pins on [sid] evaluates once per pin in the
      paper's event model; one evaluation per distinct gate suffices
      here because values, not thresholds, drive the baseline. *)
-  List.iter
-    (fun gid ->
-      let g = Netlist.gate st.c gid in
-      let ins = Array.map (fun fid -> st.value.(fid)) g.Netlist.fanin in
-      let new_out = Gate_kind.eval_bool g.Netlist.kind ins in
-      if new_out <> scheduled_target st g.Netlist.output then begin
-        let pin =
-          let rec find i = if g.Netlist.fanin.(i) = sid then i else find (i + 1) in
-          find 0
-        in
-        let req =
-          {
-            Delay_model.rising_out = new_out;
-            pin;
-            tau_in = 0.;
-            t_event = now;
-            last_output_start = None;
-          }
-        in
-        let resp =
-          Delay_model.for_gate st.cfg.tech st.c ~loads:st.loads gid Delay_model.Cdm req
-        in
-        schedule_inertial st g.Netlist.output ~at:(now +. resp.Delay_model.tp) ~value:new_out
-          ~window:resp.Delay_model.tp
-      end
-      else st.stats.Stats.noop_evaluations <- st.stats.Stats.noop_evaluations + 1)
-    (Netlist.fanout_gates st.c sid)
+  for e = st.fan_off.(sid) to st.fan_off.(sid + 1) - 1 do
+    let gid = st.fan_gate.(e) in
+    let new_out = eval_gate st gid in
+    let out_sid = st.g_out.(gid) in
+    if new_out <> scheduled_target st out_sid then begin
+      Delay_model.Cache.eval st.cache gid Delay_model.Cdm ~rising_out:new_out
+        ~pin:st.fan_pin.(e) ~tau_in:0. ~t_event:now ~last_output_start:Float.nan;
+      let tp = Delay_model.Cache.tp st.cache in
+      schedule_inertial st out_sid ~at:(now +. tp) ~value:new_out ~window:tp
+    end
+    else st.stats.Stats.noop_evaluations <- st.stats.Stats.noop_evaluations + 1
+  done
 
 let dc_levels c drives_tbl =
   let input_level sid =
@@ -127,16 +240,65 @@ let run ?(injections = []) cfg c ~drives =
       Hashtbl.replace drives_tbl sid d)
     drives;
   let levels = dc_levels c drives_tbl in
-  let nsignals = Netlist.signal_count c in
+  let nsignals = Netlist.signal_count c and ngates = Netlist.gate_count c in
+  let loads = Halotis_delay.Loads.of_netlist cfg.tech c in
+  let g_kind = Array.init ngates (fun gid -> (Netlist.gate c gid).Netlist.kind) in
+  let g_out = Array.init ngates (fun gid -> (Netlist.gate c gid).Netlist.output) in
+  let g_base = Array.make (ngates + 1) 0 in
+  for gid = 0 to ngates - 1 do
+    g_base.(gid + 1) <- g_base.(gid) + Array.length (Netlist.gate c gid).Netlist.fanin
+  done;
+  let g_fanin = Array.make (max 1 g_base.(ngates)) (-1) in
+  for gid = 0 to ngates - 1 do
+    Array.iteri
+      (fun pin sid -> g_fanin.(g_base.(gid) + pin) <- sid)
+      (Netlist.gate c gid).Netlist.fanin
+  done;
+  (* Distinct fanout gates per signal, with the first pin each has on
+     it — what the former per-event [Netlist.fanout_gates] computed. *)
+  let fanouts =
+    Array.init nsignals (fun sid ->
+        List.map
+          (fun gid ->
+            let g = Netlist.gate c gid in
+            let rec find i = if g.Netlist.fanin.(i) = sid then i else find (i + 1) in
+            (gid, find 0))
+          (Netlist.fanout_gates c sid))
+  in
+  let fan_off = Array.make (nsignals + 1) 0 in
+  for sid = 0 to nsignals - 1 do
+    fan_off.(sid + 1) <- fan_off.(sid) + List.length fanouts.(sid)
+  done;
+  let nedges = fan_off.(nsignals) in
+  let fan_gate = Array.make (max 1 nedges) 0 and fan_pin = Array.make (max 1 nedges) 0 in
+  for sid = 0 to nsignals - 1 do
+    List.iteri
+      (fun k (gid, pin) ->
+        fan_gate.(fan_off.(sid) + k) <- gid;
+        fan_pin.(fan_off.(sid) + k) <- pin)
+      fanouts.(sid)
+  done;
   let st =
     {
       cfg;
-      c;
       value = Array.copy levels;
-      pending = Array.make nsignals [];
-      queue = Heap.create ();
+      pending = Array.init nsignals (fun _ -> { txq_buf = [||]; txq_head = 0; txq_tail = 0 });
+      queue = Heap.Unboxed.create ~capacity:64 ();
       rev_edges = Array.make nsignals [];
-      loads = Halotis_delay.Loads.of_netlist cfg.tech c;
+      g_kind;
+      g_out;
+      g_base;
+      g_fanin;
+      fan_off;
+      fan_gate;
+      fan_pin;
+      tx_sid = [||];
+      tx_at = [||];
+      tx_value = Bytes.empty;
+      tx_dead = Bytes.empty;
+      tx_free = [||];
+      tx_free_top = 0;
+      cache = Delay_model.Cache.create cfg.tech c ~loads;
       stats = Stats.create ();
     }
   in
@@ -151,14 +313,14 @@ let run ?(injections = []) cfg c ~drives =
             | Transition.Rising -> true
             | Transition.Falling -> false
           in
-          let handle = Heap.insert st.queue ~key:at (sid, { tx_value = value; tx_window = 0. }) in
-          st.pending.(sid) <- (handle, at, value) :: st.pending.(sid);
+          let slot = enqueue_tx st ~sid ~at ~value in
+          txq_push st.pending.(sid) slot;
           st.stats.Stats.events_scheduled <- st.stats.Stats.events_scheduled + 1)
         d.Drive.transitions)
     drives_tbl;
   (* Injections: forced value toggles on arbitrary signals (the
      boolean abstraction of a SET pulse).  They go into the queue but
-     deliberately NOT into the signal's pending-transaction list: a
+     deliberately NOT into the signal's pending-transaction deque: a
      particle strike is not a driver transaction, so earlier driver
      activity must not preempt it.  Fanout gates still apply the
      classical inertial filter to the pulse they observe. *)
@@ -166,28 +328,37 @@ let run ?(injections = []) cfg c ~drives =
     (fun (sid, toggles) ->
       if sid < 0 || sid >= nsignals then
         invalid_arg "Classic.run: injection on unknown signal";
-      List.iter
-        (fun (at, value) ->
-          ignore (Heap.insert st.queue ~key:at (sid, { tx_value = value; tx_window = 0. })))
-        toggles)
+      List.iter (fun (at, value) -> ignore (enqueue_tx st ~sid ~at ~value)) toggles)
     injections;
   let end_time = ref 0. in
   let truncated = ref false in
   let continue = ref true in
   while !continue do
-    match Heap.pop_min st.queue with
-    | None -> continue := false
-    | Some (t, (sid, tx)) -> (
-        match cfg.t_stop with
-        | Some stop when t > stop -> continue := false
-        | Some _ | None ->
+    if Heap.Unboxed.is_empty st.queue then continue := false
+    else begin
+      let t = Heap.Unboxed.min_key st.queue in
+      match cfg.t_stop with
+      | Some stop when t > stop -> continue := false
+      | Some _ | None ->
+          let slot = Heap.Unboxed.pop st.queue in
+          if Bytes.get st.tx_dead slot = '\001' then begin
+            st.stats.Stats.stale_skipped <- st.stats.Stats.stale_skipped + 1;
+            free_tx st slot
+          end
+          else begin
             st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1;
             end_time := Float.max !end_time t;
-            if st.value.(sid) <> tx.tx_value then begin
-              st.value.(sid) <- tx.tx_value;
-              let polarity =
-                if tx.tx_value then Transition.Rising else Transition.Falling
-              in
+            let sid = st.tx_sid.(slot) in
+            let value = Bytes.get st.tx_value slot = '\001' in
+            (* reclaim a committed driver transaction from its deque;
+               injected toggles were never entered *)
+            let txq = st.pending.(sid) in
+            if txq.txq_head < txq.txq_tail && txq.txq_buf.(txq.txq_head) = slot then
+              txq.txq_head <- txq.txq_head + 1;
+            free_tx st slot;
+            if st.value.(sid) <> value then begin
+              st.value.(sid) <- value;
+              let polarity = if value then Transition.Rising else Transition.Falling in
               st.rev_edges.(sid) <- { Digital.at = t; polarity } :: st.rev_edges.(sid);
               st.stats.Stats.transitions_emitted <-
                 st.stats.Stats.transitions_emitted + 1;
@@ -196,7 +367,9 @@ let run ?(injections = []) cfg c ~drives =
             if st.stats.Stats.events_processed >= cfg.max_events then begin
               truncated := true;
               continue := false
-            end)
+            end
+          end
+    end
   done;
   {
     circuit = c;

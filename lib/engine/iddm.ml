@@ -46,29 +46,123 @@ type injection = {
   inj_transitions : Transition.t list;
 }
 
-(* A pin event: the causing ramp crossed pin [ev_pin] of gate
-   [ev_gate]'s threshold, in the direction and with the slope recorded
-   here.  An injection event splices external transitions (a SET
-   pulse) into a signal's waveform when its instant is reached, so the
-   spliced ramps degrade and threshold-cross like native ones. *)
-type event =
-  | Pin_event of { ev_gate : Netlist.gate_id; ev_pin : int; ev_rising : bool; ev_tau_in : float }
-  | Inject_event of injection
+(* Per-pin deque of scheduled-but-unprocessed events (pool slots),
+   oldest at [pq_head].  Because every cancellation at time T is
+   followed by at most one fresh crossing at a key >= T, the live
+   events of a pin are always sorted by key: cancellation trims a
+   suffix (newest first), processing consumes the head — both O(1) per
+   event, no allocation, no per-pop heap surgery, and no dead-handle
+   leak. *)
+type pin_queue = {
+  mutable pq_buf : int array;
+  mutable pq_head : int;
+  mutable pq_tail : int;
+}
 
+let pq_push pq slot =
+  let cap = Array.length pq.pq_buf in
+  if pq.pq_tail = cap then begin
+    let live = pq.pq_tail - pq.pq_head in
+    if pq.pq_head > 0 && 2 * live <= cap then
+      (* plenty of consumed slots at the front: slide instead of grow *)
+      Array.blit pq.pq_buf pq.pq_head pq.pq_buf 0 live
+    else begin
+      let buf = Array.make (max 4 (2 * cap)) (-1) in
+      Array.blit pq.pq_buf pq.pq_head buf 0 live;
+      pq.pq_buf <- buf
+    end;
+    pq.pq_head <- 0;
+    pq.pq_tail <- live
+  end;
+  pq.pq_buf.(pq.pq_tail) <- slot;
+  pq.pq_tail <- pq.pq_tail + 1
+
+(* The netlist's gate records, fanin arrays and load lists are boxed
+   structures scattered across the heap; chasing them per event costs
+   more cache misses than the arithmetic it feeds.  The run state holds
+   a flattened copy instead: every (gate, pin) pair owns a slot in
+   globally indexed arrays ([g_base.(gate) + pin]), and fanout is an
+   edge list in CSR form.  All of it is built once at setup.
+
+   Events live in a recycled structure-of-arrays pool and are passed
+   around as small-int slots: scheduling writes a few flat-array cells
+   and pushes the slot into the queue (whose payloads are bare ints),
+   so the steady-state hot path allocates nothing — in particular no
+   short-lived records survive a minor collection and get promoted.
+   [ev_dead] is the lazy-cancellation tombstone: Fig. 4's "delete
+   Ej-1" marks the slot dead in place instead of restructuring the
+   heap, and the main loop discards (and recycles) it when it
+   surfaces.  A slot sits in the queue exactly once, so recycling at
+   pop time is single-free by construction. *)
 type state = {
   cfg : config;
   c : Netlist.t;
   mutable rev_trace : trace_entry list;
   wf : Waveform.t array;
-  vt : float array array; (* gate -> pin -> VT *)
-  loads : float array; (* signal -> fF *)
-  input_level : bool array array; (* gate -> pin -> level *)
+  g_kind : Gate_kind.t array; (* gate -> logic function *)
+  g_out : int array; (* gate -> output signal *)
+  g_base : int array; (* gate -> first pin slot; length ngates + 1 *)
+  pin_fanin : int array; (* pin slot -> driving signal *)
+  pin_vt : float array; (* pin slot -> switching threshold *)
+  pin_level : Bytes.t; (* pin slot -> current logic level, '\000' / '\001' *)
+  pending : pin_queue array; (* pin slot -> live scheduled events; [||] = off *)
+  fan_off : int array; (* signal -> first fanout edge; length nsignals + 1 *)
+  fan_gate : int array; (* fanout edge -> loading gate *)
+  fan_pin : int array; (* fanout edge -> pin of that gate *)
   out_target : bool array; (* gate -> target logic of last output transition *)
-  queue : event Heap.t;
-  pending : (event Heap.handle * float) list array array;
-      (* gate -> pin -> scheduled-but-unprocessed events, with keys *)
+  queue : Heap.Unboxed.t;
+  (* event pool: parallel arrays indexed by slot *)
+  mutable ev_gate : int array; (* -1 = injection splice *)
+  mutable ev_pin : int array; (* injection index when ev_gate = -1 *)
+  mutable ev_tau : float array; (* causing ramp's slope time *)
+  mutable ev_key : float array; (* event instant *)
+  mutable ev_rising : Bytes.t;
+  mutable ev_dead : Bytes.t;
+  mutable ev_free : int array; (* stack of recycled slots *)
+  mutable ev_free_top : int;
+  cache : Delay_model.Cache.t; (* per-run delay coefficients *)
+  injections : injection array;
   stats : Stats.t;
 }
+
+let grow_pool st =
+  let cap = Array.length st.ev_gate in
+  let ncap = max 64 (2 * cap) in
+  let gi = Array.make ncap (-1) in
+  Array.blit st.ev_gate 0 gi 0 cap;
+  st.ev_gate <- gi;
+  let pi = Array.make ncap (-1) in
+  Array.blit st.ev_pin 0 pi 0 cap;
+  st.ev_pin <- pi;
+  let ta = Array.make ncap 0. in
+  Array.blit st.ev_tau 0 ta 0 cap;
+  st.ev_tau <- ta;
+  let ke = Array.make ncap 0. in
+  Array.blit st.ev_key 0 ke 0 cap;
+  st.ev_key <- ke;
+  let ri = Bytes.make ncap '\000' in
+  Bytes.blit st.ev_rising 0 ri 0 cap;
+  st.ev_rising <- ri;
+  let de = Bytes.make ncap '\000' in
+  Bytes.blit st.ev_dead 0 de 0 cap;
+  st.ev_dead <- de;
+  (* the free stack is empty when the pool grows; refill with the slots
+     just minted *)
+  let free = Array.make ncap 0 in
+  for i = 0 to ncap - cap - 1 do
+    free.(i) <- cap + i
+  done;
+  st.ev_free <- free;
+  st.ev_free_top <- ncap - cap
+
+let alloc_event st =
+  if st.ev_free_top = 0 then grow_pool st;
+  st.ev_free_top <- st.ev_free_top - 1;
+  st.ev_free.(st.ev_free_top)
+
+let free_event st slot =
+  st.ev_free.(st.ev_free_top) <- slot;
+  st.ev_free_top <- st.ev_free_top + 1
 
 let dc_levels c drives_tbl =
   let input_level sid =
@@ -78,74 +172,96 @@ let dc_levels c drives_tbl =
   in
   Dc.levels c ~input_level
 
-let schedule st ~key ~gate ~pin ~rising ~tau_in =
-  let handle =
-    Heap.insert st.queue ~key
-      (Pin_event { ev_gate = gate; ev_pin = pin; ev_rising = rising; ev_tau_in = tau_in })
-  in
-  st.pending.(gate).(pin) <- (handle, key) :: st.pending.(gate).(pin);
+(* [Gate_kind.eval_bool] over the flat level bytes, without building a
+   per-call input array.  Same boolean function, same arity handling. *)
+let rec all_set lv base n i =
+  i >= n || (Bytes.get lv (base + i) <> '\000' && all_set lv base n (i + 1))
+
+let rec any_set lv base n i =
+  i < n && (Bytes.get lv (base + i) <> '\000' || any_set lv base n (i + 1))
+
+let rec parity_set lv base n i acc =
+  if i >= n then acc else parity_set lv base n (i + 1) (acc <> (Bytes.get lv (base + i) <> '\000'))
+
+let eval_gate kind lv base n =
+  let v i = Bytes.get lv (base + i) <> '\000' in
+  match (kind : Gate_kind.t) with
+  | Buf -> v 0
+  | Inv -> not (v 0)
+  | And _ -> all_set lv base n 0
+  | Nand _ -> not (all_set lv base n 0)
+  | Or _ -> any_set lv base n 0
+  | Nor _ -> not (any_set lv base n 0)
+  | Xor _ -> parity_set lv base n 0 false
+  | Xnor _ -> not (parity_set lv base n 0 false)
+  | Aoi21 -> not ((v 0 && v 1) || v 2)
+  | Oai21 -> not ((v 0 || v 1) && v 2)
+  | Mux2 -> if v 2 then v 1 else v 0
+
+let schedule st ~key ~gate ~pin ~slot ~rising ~tau_in =
+  let ev = alloc_event st in
+  st.ev_gate.(ev) <- gate;
+  st.ev_pin.(ev) <- pin;
+  st.ev_tau.(ev) <- tau_in;
+  st.ev_key.(ev) <- key;
+  Bytes.set st.ev_rising ev (if rising then '\001' else '\000');
+  Bytes.set st.ev_dead ev '\000';
+  ignore (Heap.Unboxed.insert st.queue ~key ev);
+  if st.cfg.cancellation then pq_push st.pending.(slot) ev;
   st.stats.Stats.events_scheduled <- st.stats.Stats.events_scheduled + 1
 
 (* Fig. 4's "delete Ej-1": drop every pending event on this input whose
    instant falls at or after the start of the newly appended ramp —
    the waveform from that point on is governed by the new ramp, so
-   those crossings can no longer happen. *)
-let cancel_invalidated st ~gate ~pin ~from_time =
-  let keep (handle, key) =
-    if not (Heap.mem st.queue handle) then false
-    else if key >= from_time then begin
-      ignore (Heap.remove st.queue handle);
-      st.stats.Stats.events_filtered <- st.stats.Stats.events_filtered + 1;
-      false
-    end
-    else true
-  in
-  st.pending.(gate).(pin) <- List.filter keep st.pending.(gate).(pin)
+   those crossings can no longer happen.  The invalidated events form
+   a suffix of the pin's (key-sorted) deque; each is tombstoned in
+   place and reclaimed when the queue reaches it. *)
+let cancel_invalidated st ~slot ~from_time =
+  let pq = st.pending.(slot) in
+  let buf = pq.pq_buf in
+  let i = ref (pq.pq_tail - 1) in
+  while !i >= pq.pq_head && st.ev_key.(buf.(!i)) >= from_time do
+    Bytes.set st.ev_dead buf.(!i) '\001';
+    st.stats.Stats.events_filtered <- st.stats.Stats.events_filtered + 1;
+    decr i
+  done;
+  pq.pq_tail <- !i + 1
 
 (* Propagate a freshly appended transition on [sid] to its fanout:
    cancel invalidated pending events, then schedule the new crossing. *)
 let fan_out st sid (outcome : Waveform.append_outcome) (tr : Transition.t) =
-  let s = Netlist.signal st.c sid in
-  Array.iter
-    (fun (lg, lpin) ->
-      if st.cfg.cancellation then
-        cancel_invalidated st ~gate:lg ~pin:lpin ~from_time:tr.Transition.start;
-      if outcome.Waveform.accepted then begin
-        match Waveform.crossing_of_last st.wf.(sid) ~vt:st.vt.(lg).(lpin) with
-        | Some crossing ->
-            schedule st ~key:crossing ~gate:lg ~pin:lpin
-              ~rising:
-                (match tr.Transition.polarity with
-                | Transition.Rising -> true
-                | Transition.Falling -> false)
-              ~tau_in:tr.Transition.slope_time
-        | None -> ()
-      end)
-    s.Netlist.loads
+  let rising =
+    match tr.Transition.polarity with Transition.Rising -> true | Transition.Falling -> false
+  in
+  for e = st.fan_off.(sid) to st.fan_off.(sid + 1) - 1 do
+    let lg = st.fan_gate.(e) in
+    let lpin = st.fan_pin.(e) in
+    let slot = st.g_base.(lg) + lpin in
+    if st.cfg.cancellation then
+      cancel_invalidated st ~slot ~from_time:tr.Transition.start;
+    if outcome.Waveform.accepted then begin
+      let crossing = Waveform.last_crossing st.wf.(sid) ~vt:st.pin_vt.(slot) in
+      if not (Float.is_nan crossing) then
+        schedule st ~key:crossing ~gate:lg ~pin:lpin ~slot ~rising
+          ~tau_in:tr.Transition.slope_time
+    end
+  done
 
 let process_pin_event st ~now ~gate ~pin ~rising ~tau_in =
-  let g = Netlist.gate st.c gate in
-  st.input_level.(gate).(pin) <- rising;
-  let new_out = Gate_kind.eval_bool g.Netlist.kind st.input_level.(gate) in
+  let base = st.g_base.(gate) in
+  Bytes.set st.pin_level (base + pin) (if rising then '\001' else '\000');
+  let new_out = eval_gate st.g_kind.(gate) st.pin_level base (st.g_base.(gate + 1) - base) in
   if new_out = st.out_target.(gate) then
     st.stats.Stats.noop_evaluations <- st.stats.Stats.noop_evaluations + 1
   else begin
-    let out_sid = g.Netlist.output in
-    let req =
-      {
-        Delay_model.rising_out = new_out;
-        pin;
-        tau_in;
-        t_event = now;
-        last_output_start = Waveform.last_start st.wf.(out_sid);
-      }
-    in
-    let resp =
-      Delay_model.for_gate st.cfg.tech st.c ~loads:st.loads gate st.cfg.delay_kind req
-    in
+    let out_sid = st.g_out.(gate) in
+    Delay_model.Cache.eval st.cache gate st.cfg.delay_kind ~rising_out:new_out ~pin
+      ~tau_in ~t_event:now
+      ~last_output_start:(Waveform.last_start_or_nan st.wf.(out_sid));
     let tr =
-      Transition.make ~start:(now +. resp.Delay_model.tp)
-        ~slope_time:resp.Delay_model.tau_out
+      Transition.make
+        ~start:(now +. Delay_model.Cache.tp st.cache)
+        ~slope_time:(Delay_model.Cache.tau_out st.cache)
         ~polarity:(if new_out then Transition.Rising else Transition.Falling)
     in
     st.out_target.(gate) <- new_out;
@@ -161,7 +277,7 @@ let process_pin_event st ~now ~gate ~pin ~rising ~tau_in =
             te_start = tr.Transition.start;
             te_gate = gate;
             te_pin = pin;
-            te_cause_signal = g.Netlist.fanin.(pin);
+            te_cause_signal = st.pin_fanin.(base + pin);
             te_event_time = now;
           }
           :: st.rev_trace
@@ -181,13 +297,6 @@ let process_injection st inj =
       fan_out st inj.inj_signal outcome tr)
     inj.inj_transitions
 
-let process_event st ~now ev =
-  match ev with
-  | Pin_event { ev_gate; ev_pin; ev_rising; ev_tau_in } ->
-      process_pin_event st ~now ~gate:ev_gate ~pin:ev_pin ~rising:ev_rising
-        ~tau_in:ev_tau_in
-  | Inject_event inj -> process_injection st inj
-
 let run ?(injections = []) cfg c ~drives =
   let drives_tbl = Hashtbl.create 16 in
   List.iter
@@ -205,27 +314,75 @@ let run ?(injections = []) cfg c ~drives =
     Array.init nsignals (fun sid ->
         Waveform.create ~initial:(if levels.(sid) then vdd else 0.) ~vdd ())
   in
-  let input_level =
-    Array.init ngates (fun gid ->
-        Array.map (fun sid -> levels.(sid)) (Netlist.gate c gid).Netlist.fanin)
-  in
-  let out_target =
-    Array.init ngates (fun gid -> levels.((Netlist.gate c gid).Netlist.output))
-  in
+  (* Flatten the hot netlist structure (see the [state] comment). *)
+  let g_kind = Array.init ngates (fun gid -> (Netlist.gate c gid).Netlist.kind) in
+  let g_out = Array.init ngates (fun gid -> (Netlist.gate c gid).Netlist.output) in
+  let g_base = Array.make (ngates + 1) 0 in
+  for gid = 0 to ngates - 1 do
+    g_base.(gid + 1) <- g_base.(gid) + Array.length (Netlist.gate c gid).Netlist.fanin
+  done;
+  let npins = g_base.(ngates) in
+  let pin_fanin = Array.make (max 1 npins) (-1) in
+  let pin_level = Bytes.make (max 1 npins) '\000' in
+  let vt_table = Halotis_delay.Thresholds.table cfg.tech c in
+  let pin_vt = Array.make (max 1 npins) 0. in
+  for gid = 0 to ngates - 1 do
+    let g = Netlist.gate c gid in
+    let base = g_base.(gid) in
+    Array.iteri
+      (fun pin sid ->
+        pin_fanin.(base + pin) <- sid;
+        Bytes.set pin_level (base + pin) (if levels.(sid) then '\001' else '\000');
+        pin_vt.(base + pin) <- vt_table.(gid).(pin))
+      g.Netlist.fanin
+  done;
+  let fan_off = Array.make (nsignals + 1) 0 in
+  for sid = 0 to nsignals - 1 do
+    fan_off.(sid + 1) <-
+      fan_off.(sid) + Array.length (Netlist.signal c sid).Netlist.loads
+  done;
+  let nedges = fan_off.(nsignals) in
+  let fan_gate = Array.make (max 1 nedges) 0 and fan_pin = Array.make (max 1 nedges) 0 in
+  for sid = 0 to nsignals - 1 do
+    Array.iteri
+      (fun k (lg, lpin) ->
+        fan_gate.(fan_off.(sid) + k) <- lg;
+        fan_pin.(fan_off.(sid) + k) <- lpin)
+      (Netlist.signal c sid).Netlist.loads
+  done;
+  let out_target = Array.init ngates (fun gid -> levels.(g_out.(gid))) in
+  let loads = Halotis_delay.Loads.of_netlist cfg.tech c in
   let st =
     {
       cfg;
       c;
       rev_trace = [];
       wf;
-      vt = Halotis_delay.Thresholds.table cfg.tech c;
-      loads = Halotis_delay.Loads.of_netlist cfg.tech c;
-      input_level;
-      out_target;
-      queue = Heap.create ();
+      g_kind;
+      g_out;
+      g_base;
+      pin_fanin;
+      pin_vt;
+      pin_level;
       pending =
-        Array.init ngates (fun gid ->
-            Array.make (Array.length (Netlist.gate c gid).Netlist.fanin) []);
+        (if cfg.cancellation then
+           Array.init npins (fun _ -> { pq_buf = [||]; pq_head = 0; pq_tail = 0 })
+         else [||]);
+      fan_off;
+      fan_gate;
+      fan_pin;
+      out_target;
+      queue = Heap.Unboxed.create ~capacity:64 ();
+      ev_gate = [||];
+      ev_pin = [||];
+      ev_tau = [||];
+      ev_key = [||];
+      ev_rising = Bytes.empty;
+      ev_dead = Bytes.empty;
+      ev_free = [||];
+      ev_free_top = 0;
+      cache = Delay_model.Cache.create cfg.tech c ~loads;
+      injections = Array.of_list injections;
       stats = Stats.create ();
     }
   in
@@ -237,55 +394,86 @@ let run ?(injections = []) cfg c ~drives =
     drives_tbl;
   Hashtbl.iter
     (fun sid (_ : Drive.t) ->
-      let s = Netlist.signal c sid in
-      Array.iter
-        (fun (lg, lpin) ->
-          List.iter
-            (fun (crossing, (tr : Transition.t)) ->
-              schedule st ~key:crossing ~gate:lg ~pin:lpin
-                ~rising:
-                  (match tr.Transition.polarity with
-                  | Transition.Rising -> true
-                  | Transition.Falling -> false)
-                ~tau_in:tr.Transition.slope_time)
-            (Waveform.crossings_with_transitions st.wf.(sid) ~vt:st.vt.(lg).(lpin)))
-        s.Netlist.loads)
+      for e = fan_off.(sid) to fan_off.(sid + 1) - 1 do
+        let lg = fan_gate.(e) in
+        let lpin = fan_pin.(e) in
+        let slot = g_base.(lg) + lpin in
+        List.iter
+          (fun (crossing, (tr : Transition.t)) ->
+            schedule st ~key:crossing ~gate:lg ~pin:lpin ~slot
+              ~rising:
+                (match tr.Transition.polarity with
+                | Transition.Rising -> true
+                | Transition.Falling -> false)
+              ~tau_in:tr.Transition.slope_time)
+          (Waveform.crossings_with_transitions st.wf.(sid) ~vt:pin_vt.(slot))
+      done)
     drives_tbl;
   (* Injections enter the queue as first-class events so the splice
      happens at its instant, after any earlier native activity on the
      victim has been appended. *)
-  List.iter
-    (fun inj ->
+  Array.iteri
+    (fun idx inj ->
       if inj.inj_signal < 0 || inj.inj_signal >= nsignals then
         invalid_arg "Iddm.run: injection on unknown signal";
       match inj.inj_transitions with
       | [] -> ()
       | first :: _ ->
-          ignore (Heap.insert st.queue ~key:first.Transition.start (Inject_event inj)))
-    injections;
+          let ev = alloc_event st in
+          st.ev_gate.(ev) <- -1;
+          st.ev_pin.(ev) <- idx;
+          st.ev_tau.(ev) <- 0.;
+          st.ev_key.(ev) <- first.Transition.start;
+          Bytes.set st.ev_rising ev '\000';
+          Bytes.set st.ev_dead ev '\000';
+          ignore (Heap.Unboxed.insert st.queue ~key:first.Transition.start ev))
+    st.injections;
   (* Main loop. *)
   let end_time = ref 0. in
   let truncated = ref false in
   let continue = ref true in
   while !continue do
-    match Heap.pop_min st.queue with
-    | None -> continue := false
-    | Some (t, ev) -> (
-        match cfg.t_stop with
-        | Some stop when t > stop -> continue := false
-        | Some _ | None ->
+    if Heap.Unboxed.is_empty st.queue then continue := false
+    else begin
+      let t = Heap.Unboxed.min_key st.queue in
+      match cfg.t_stop with
+      | Some stop when t > stop -> continue := false
+      | Some _ | None ->
+          let ev = Heap.Unboxed.pop st.queue in
+          if Bytes.get st.ev_dead ev = '\001' then begin
+            (* a cancelled (tombstoned) event surfacing: recycle it *)
+            st.stats.Stats.stale_skipped <- st.stats.Stats.stale_skipped + 1;
+            free_event st ev
+          end
+          else begin
+            end_time := Float.max !end_time t;
+            let gate = st.ev_gate.(ev) in
+            let pin = st.ev_pin.(ev) in
             (* Injection splices are stimulus, not simulation work; only
                pin events count as processed. *)
-            (match ev with
-            | Pin_event _ ->
-                st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1
-            | Inject_event _ -> ());
-            end_time := Float.max !end_time t;
-            process_event st ~now:t ev;
+            if gate < 0 then begin
+              free_event st ev;
+              process_injection st st.injections.(pin)
+            end
+            else begin
+              st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1;
+              let rising = Bytes.get st.ev_rising ev = '\001' in
+              let tau_in = st.ev_tau.(ev) in
+              if st.cfg.cancellation then begin
+                (* the oldest live entry of its pin deque is this event *)
+                let pq = st.pending.(st.g_base.(gate) + pin) in
+                if pq.pq_head < pq.pq_tail && pq.pq_buf.(pq.pq_head) = ev then
+                  pq.pq_head <- pq.pq_head + 1
+              end;
+              free_event st ev;
+              process_pin_event st ~now:t ~gate ~pin ~rising ~tau_in
+            end;
             if st.stats.Stats.events_processed >= cfg.max_events then begin
               truncated := true;
               continue := false
-            end)
+            end
+          end
+    end
   done;
   {
     circuit = c;
@@ -299,20 +487,30 @@ let run ?(injections = []) cfg c ~drives =
 
 (* The most recent traced ramp on [signal] at or before [at].  The
    trace is chronological but annulled ramps also appear in it; accept
-   only entries that still correspond to a live segment. *)
+   only entries that still correspond to a live segment.  The live
+   starts are strictly increasing, so one sorted-array binary search
+   per trace entry replaces the former O(trace x segments) scan. *)
 let live_entry result ~signal ~at =
-  let live_starts =
-    List.map
-      (fun (s : Waveform.segment) -> s.Waveform.transition.Transition.start)
-      (Waveform.segments result.waveforms.(signal))
+  let wf = result.waveforms.(signal) in
+  let n = Waveform.segment_count wf in
+  let starts =
+    Array.init n (fun i ->
+        (Waveform.get_segment wf i).Waveform.transition.Transition.start)
+  in
+  let is_live t =
+    (* index of the first start > t; any start within tolerance of [t]
+       is adjacent to that insertion point *)
+    let lo = ref 0 and hi = ref n in
+    while !hi > !lo do
+      let mid = (!lo + !hi) / 2 in
+      if starts.(mid) <= t then lo := mid + 1 else hi := mid
+    done;
+    let near i = i >= 0 && i < n && Float.abs (starts.(i) -. t) < 1e-9 in
+    near (!lo - 1) || near !lo
   in
   List.fold_left
     (fun acc e ->
-      if
-        e.te_signal = signal
-        && e.te_start <= at
-        && List.exists (fun t -> Float.abs (t -. e.te_start) < 1e-9) live_starts
-      then
+      if e.te_signal = signal && e.te_start <= at && is_live e.te_start then
         match acc with
         | Some best when best.te_start >= e.te_start -> acc
         | Some _ | None -> Some e

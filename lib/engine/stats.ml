@@ -2,6 +2,7 @@ type t = {
   mutable events_scheduled : int;
   mutable events_processed : int;
   mutable events_filtered : int;
+  mutable stale_skipped : int;
   mutable transitions_emitted : int;
   mutable transitions_annulled : int;
   mutable noop_evaluations : int;
@@ -12,6 +13,7 @@ let create () =
     events_scheduled = 0;
     events_processed = 0;
     events_filtered = 0;
+    stale_skipped = 0;
     transitions_emitted = 0;
     transitions_annulled = 0;
     noop_evaluations = 0;
@@ -22,6 +24,7 @@ let copy t =
     events_scheduled = t.events_scheduled;
     events_processed = t.events_processed;
     events_filtered = t.events_filtered;
+    stale_skipped = t.stale_skipped;
     transitions_emitted = t.transitions_emitted;
     transitions_annulled = t.transitions_annulled;
     noop_evaluations = t.noop_evaluations;
@@ -31,6 +34,7 @@ let merge into t =
   into.events_scheduled <- into.events_scheduled + t.events_scheduled;
   into.events_processed <- into.events_processed + t.events_processed;
   into.events_filtered <- into.events_filtered + t.events_filtered;
+  into.stale_skipped <- into.stale_skipped + t.stale_skipped;
   into.transitions_emitted <- into.transitions_emitted + t.transitions_emitted;
   into.transitions_annulled <- into.transitions_annulled + t.transitions_annulled;
   into.noop_evaluations <- into.noop_evaluations + t.noop_evaluations
@@ -40,6 +44,7 @@ let diff a b =
     events_scheduled = a.events_scheduled - b.events_scheduled;
     events_processed = a.events_processed - b.events_processed;
     events_filtered = a.events_filtered - b.events_filtered;
+    stale_skipped = a.stale_skipped - b.stale_skipped;
     transitions_emitted = a.transitions_emitted - b.transitions_emitted;
     transitions_annulled = a.transitions_annulled - b.transitions_annulled;
     noop_evaluations = a.noop_evaluations - b.noop_evaluations;
@@ -51,6 +56,6 @@ let total t =
 
 let pp fmt t =
   Format.fprintf fmt
-    "events: %d scheduled, %d processed, %d filtered; transitions: %d emitted, %d annulled; %d no-op evals"
-    t.events_scheduled t.events_processed t.events_filtered t.transitions_emitted
-    t.transitions_annulled t.noop_evaluations
+    "events: %d scheduled, %d processed, %d filtered, %d stale-skipped; transitions: %d emitted, %d annulled; %d no-op evals"
+    t.events_scheduled t.events_processed t.events_filtered t.stale_skipped
+    t.transitions_emitted t.transitions_annulled t.noop_evaluations

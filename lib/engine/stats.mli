@@ -9,6 +9,13 @@ type t = {
   mutable events_scheduled : int;
   mutable events_processed : int;
   mutable events_filtered : int;  (** cancellations — Table 1's "Filtered events" *)
+  mutable stale_skipped : int;
+      (** tombstoned events discarded when the queue reached them — the
+          lazy-cancellation kernel marks a cancelled event dead in place
+          instead of restructuring the heap, and reclaims it here.  In
+          an {!Iddm} run that drains its queue,
+          [stale_skipped = events_filtered]; purely diagnostic, not
+          part of {!total} *)
   mutable transitions_emitted : int;  (** output transitions appended to waveforms *)
   mutable transitions_annulled : int;  (** stored transitions wiped by later ones *)
   mutable noop_evaluations : int;  (** gate evaluations that left the output unchanged *)

@@ -9,6 +9,7 @@ let stats_json (s : Stats.t) =
       ("events_scheduled", Json.Num (float_of_int s.Stats.events_scheduled));
       ("events_processed", Json.Num (float_of_int s.Stats.events_processed));
       ("events_filtered", Json.Num (float_of_int s.Stats.events_filtered));
+      ("stale_skipped", Json.Num (float_of_int s.Stats.stale_skipped));
       ("transitions_emitted", Json.Num (float_of_int s.Stats.transitions_emitted));
       ("transitions_annulled", Json.Num (float_of_int s.Stats.transitions_annulled));
       ("noop_evaluations", Json.Num (float_of_int s.Stats.noop_evaluations));

@@ -6,12 +6,17 @@ type observation = {
   note : string;
 }
 
-type t = { exp_id : string; title : string; observations : observation list }
+type t = {
+  exp_id : string;
+  title : string;
+  observations : observation list;
+  data : (string * float) list;
+}
 
 let observation ?agrees ?(note = "") ~metric ~paper ~measured () =
   { metric; paper; measured; agrees; note }
 
-let make ~exp_id ~title observations = { exp_id; title; observations }
+let make ?(data = []) ~exp_id ~title observations = { exp_id; title; observations; data }
 
 let verdict = function Some true -> "OK" | Some false -> "DIVERGES" | None -> "qualitative"
 

@@ -14,13 +14,19 @@ type t = {
   exp_id : string;  (** e.g. "TAB1", "FIG6" *)
   title : string;
   observations : observation list;
+  data : (string * float) list;
+      (** machine-readable named metrics (throughputs, counts, ...) —
+          exported verbatim by the bench runner's [--json] emitter for
+          regression tracking; empty for purely qualitative
+          experiments *)
 }
 
 val observation :
   ?agrees:bool -> ?note:string -> metric:string -> paper:string -> measured:string -> unit ->
   observation
 
-val make : exp_id:string -> title:string -> observation list -> t
+val make :
+  ?data:(string * float) list -> exp_id:string -> title:string -> observation list -> t
 
 val render : t -> string
 (** Human-readable block with one line per observation. *)

@@ -111,3 +111,138 @@ let to_sorted_list h =
     match Float.compare a.key b.key with 0 -> Int.compare a.seq b.seq | c -> c
   in
   List.map (fun e -> (e.key, e.value)) (List.sort compare_entry copy)
+
+(* Structure-of-arrays variant: keys live in a flat float array, so the
+   sift loops read unboxed floats from contiguous memory.  [ids.(i)] is
+   the insertion stamp of slot [i], breaking key ties FIFO.  Payloads
+   are plain ints (engines store pool-slot indices), so sifting moves
+   immediates with no write barrier and insertion never allocates.
+
+   The tree is 4-ary: half the depth of a binary heap, and the four
+   children of a node occupy one cache line of the keys array, so a
+   sift-down level costs a single line fetch.  Heap shape does not
+   affect observable behaviour — (key, id) is a strict total order, so
+   every correct heap pops the same sequence. *)
+module Unboxed = struct
+  type t = {
+    mutable keys : float array;
+    mutable ids : int array;
+    mutable vals : int array; (* only the first [size] slots are live *)
+    mutable size : int;
+    mutable next_id : int;
+  }
+
+  type handle = int
+
+  let create ?(capacity = 0) () =
+    {
+      keys = Array.make capacity 0.;
+      ids = Array.make capacity 0;
+      vals = Array.make capacity 0;
+      size = 0;
+      next_id = 0;
+    }
+
+  let length h = h.size
+  let is_empty h = h.size = 0
+
+  (* (key, id) of slot [i] precedes (k, id). *)
+  let slot_lt h i k id =
+    let ki = h.keys.(i) in
+    ki < k || (ki = k && h.ids.(i) < id)
+
+  (* Hole-based sifts: the displaced entry is held in registers and
+     written exactly once, halving the stores of swap-based sifting. *)
+  let sift_up h start k id v =
+    let i = ref start in
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 4 in
+      if slot_lt h parent k id then continue := false
+      else begin
+        h.keys.(!i) <- h.keys.(parent);
+        h.ids.(!i) <- h.ids.(parent);
+        h.vals.(!i) <- h.vals.(parent);
+        i := parent
+      end
+    done;
+    h.keys.(!i) <- k;
+    h.ids.(!i) <- id;
+    h.vals.(!i) <- v
+
+  let sift_down h start k id v =
+    let i = ref start in
+    let continue = ref true in
+    while !continue do
+      let first = (4 * !i) + 1 in
+      if first >= h.size then continue := false
+      else begin
+        let last = min (first + 3) (h.size - 1) in
+        let child = ref first in
+        for c = first + 1 to last do
+          if
+            h.keys.(c) < h.keys.(!child)
+            || (h.keys.(c) = h.keys.(!child) && h.ids.(c) < h.ids.(!child))
+          then child := c
+        done;
+        let child = !child in
+        if slot_lt h child k id then begin
+          h.keys.(!i) <- h.keys.(child);
+          h.ids.(!i) <- h.ids.(child);
+          h.vals.(!i) <- h.vals.(child);
+          i := child
+        end
+        else continue := false
+      end
+    done;
+    h.keys.(!i) <- k;
+    h.ids.(!i) <- id;
+    h.vals.(!i) <- v
+
+  let grow h =
+    let capacity = Array.length h.keys in
+    if h.size = capacity then begin
+      let cap = max 8 (2 * capacity) in
+      let keys = Array.make cap 0. and ids = Array.make cap 0 and vals = Array.make cap 0 in
+      Array.blit h.keys 0 keys 0 h.size;
+      Array.blit h.ids 0 ids 0 h.size;
+      Array.blit h.vals 0 vals 0 h.size;
+      h.keys <- keys;
+      h.ids <- ids;
+      h.vals <- vals
+    end
+
+  let insert h ~key v =
+    grow h;
+    let id = h.next_id in
+    h.next_id <- id + 1;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1) key id v;
+    id
+
+  let min_key h = if h.size = 0 then invalid_arg "Heap.Unboxed.min_key: empty" else h.keys.(0)
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.Unboxed.pop: empty";
+    let v = h.vals.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then
+      sift_down h 0 h.keys.(h.size) h.ids.(h.size) h.vals.(h.size);
+    v
+
+  let pop_min h =
+    if h.size = 0 then None
+    else begin
+      (* read the key before [pop] restructures the root *)
+      let k = h.keys.(0) in
+      Some (k, pop h)
+    end
+
+  let to_sorted_list h =
+    let entries = Array.init h.size (fun i -> (h.keys.(i), h.ids.(i), h.vals.(i))) in
+    Array.sort
+      (fun (ka, ia, _) (kb, ib, _) ->
+        match Float.compare ka kb with 0 -> Int.compare ia ib | c -> c)
+      entries;
+    Array.fold_right (fun (k, _, v) acc -> (k, v) :: acc) entries []
+end

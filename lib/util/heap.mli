@@ -1,9 +1,12 @@
 (** Binary min-heap with removable entries and deterministic ordering.
 
-    This is the backbone of the HALOTIS event queue: the Fig. 4
-    simulation algorithm needs to cancel a *pending* event when a newer
-    transition invalidates it, so every insertion returns a handle that
-    supports O(log n) removal.
+    Every insertion returns a handle that supports O(log n) removal —
+    what Fig. 4's "delete Ej-1" cancellation needs when implemented
+    eagerly.  The simulation engines themselves use the {!Unboxed}
+    specialisation below with lazy (tombstone) cancellation; this boxed
+    polymorphic heap remains the general-purpose / reference
+    implementation (the equivalence suite's reference kernels are built
+    on it).
 
     Entries are ordered by their [float] key; ties are broken by
     insertion order (FIFO), which makes simulations deterministic. *)
@@ -47,3 +50,51 @@ val key_of : 'a t -> 'a handle -> float option
 val to_sorted_list : 'a t -> (float * 'a) list
 (** [to_sorted_list h] drains nothing: returns the live entries in pop
     order.  O(n log n); intended for tests and debugging. *)
+
+(** Structure-of-arrays specialisation for the simulation hot path.
+
+    The polymorphic heap above stores one boxed record per entry, so
+    every sift comparison chases a pointer before it can read the key.
+    [Unboxed] keeps the keys in a flat [float array] (unboxed by the
+    OCaml runtime), with parallel arrays for the insertion stamps and
+    the payloads, arranged as a 4-ary tree: sift operations touch only
+    contiguous unboxed scalars, at half the depth of a binary heap.
+    Payloads are plain [int]s — engines store pool-slot indices — so
+    insertion and popping never allocate and sifting carries no write
+    barrier.
+
+    Ordering is identical to the boxed heap: ascending key, FIFO among
+    equal keys.  There is no entry removal — engines that cancel
+    lazily (tombstone flags on the payload) never need it. *)
+module Unboxed : sig
+  type t
+
+  type handle = int
+  (** The entry's insertion stamp.  Valid only for the heap that
+      returned it. *)
+
+  val create : ?capacity:int -> unit -> t
+  (** [create ()] is a fresh empty heap; [capacity] pre-sizes the
+      arrays. *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val insert : t -> key:float -> int -> handle
+
+  val min_key : t -> float
+  (** Key of the next entry to pop, without allocation.
+      @raise Invalid_argument on an empty heap. *)
+
+  val pop : t -> int
+  (** Removes and returns the payload with the smallest key (FIFO among
+      equal keys), without allocating.  Pair with {!min_key} when the
+      key is also needed.
+      @raise Invalid_argument on an empty heap. *)
+
+  val pop_min : t -> (float * int) option
+  (** Allocating convenience wrapper over {!min_key} + {!pop}. *)
+
+  val to_sorted_list : t -> (float * int) list
+  (** Live entries in pop order; O(n log n), for tests and debugging. *)
+end

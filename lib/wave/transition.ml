@@ -22,24 +22,37 @@ let equal_polarity a b =
 
 let target ~vdd tr = match tr.polarity with Rising -> vdd | Falling -> 0.
 
-let slope ~vdd tr =
-  match tr.polarity with
-  | Rising -> vdd /. tr.slope_time
-  | Falling -> -.(vdd /. tr.slope_time)
+(* Scalar (record-free) ramp math: the waveform store keeps its
+   segments in flat arrays and evaluates ramps through these; the
+   record-taking functions below delegate here so both paths compute
+   the exact same float expressions. *)
+
+let slope_ramp ~vdd ~slope_time ~rising =
+  if rising then vdd /. slope_time else -.(vdd /. slope_time)
+
+let value_at_ramp ~vdd ~v_start ~start ~slope_time ~rising t =
+  let raw = v_start +. (slope_ramp ~vdd ~slope_time ~rising *. (t -. start)) in
+  if rising then Float.min raw vdd else Float.max raw 0.
+
+let crossing_ramp ~vdd ~v_start ~start ~slope_time ~rising ~vt =
+  let reachable = if rising then v_start < vt && vt <= vdd else v_start > vt && vt >= 0. in
+  if not reachable then Float.nan
+  else start +. ((vt -. v_start) /. slope_ramp ~vdd ~slope_time ~rising)
+
+let is_rising = function Rising -> true | Falling -> false
+
+let slope ~vdd tr = slope_ramp ~vdd ~slope_time:tr.slope_time ~rising:(is_rising tr.polarity)
 
 let value_at ~vdd ~v_start tr t =
-  let raw = v_start +. (slope ~vdd tr *. (t -. tr.start)) in
-  match tr.polarity with
-  | Rising -> Float.min raw vdd
-  | Falling -> Float.max raw 0.
+  value_at_ramp ~vdd ~v_start ~start:tr.start ~slope_time:tr.slope_time
+    ~rising:(is_rising tr.polarity) t
 
 let crossing ~vdd ~v_start tr ~vt =
-  let reachable =
-    match tr.polarity with
-    | Rising -> v_start < vt && vt <= vdd
-    | Falling -> v_start > vt && vt >= 0.
+  let c =
+    crossing_ramp ~vdd ~v_start ~start:tr.start ~slope_time:tr.slope_time
+      ~rising:(is_rising tr.polarity) ~vt
   in
-  if not reachable then None else Some (tr.start +. ((vt -. v_start) /. slope ~vdd tr))
+  if Float.is_nan c then None else Some c
 
 let pp fmt tr =
   Format.fprintf fmt "%s@%a(tau=%a)" (polarity_to_string tr.polarity)

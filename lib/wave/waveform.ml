@@ -1,97 +1,156 @@
 type segment = { transition : Transition.t; v_start : Halotis_util.Units.voltage }
 
+(* Structure-of-arrays segment store: the ramp parameters live in flat
+   unboxed float arrays (polarity as one byte each) so the hot append /
+   crossing path reads contiguous scalars instead of chasing boxed
+   segment and transition records.  [segment] values are materialised
+   on demand for the inspection API. *)
 type t = {
   vdd : Halotis_util.Units.voltage;
   initial : Halotis_util.Units.voltage;
-  mutable segs : segment array; (* chronological; live prefix of length len *)
+  mutable starts : float array; (* chronological; live prefix of length len *)
+  mutable slopes : float array;
+  mutable vstarts : float array; (* waveform value at the ramp start *)
+  mutable pols : Bytes.t; (* '\001' = rising *)
   mutable len : int;
 }
 
 let create ?(initial = 0.) ~vdd () =
   if vdd <= 0. then invalid_arg "Waveform.create: vdd must be positive";
-  { vdd; initial; segs = [||]; len = 0 }
+  { vdd; initial; starts = [||]; slopes = [||]; vstarts = [||]; pols = Bytes.empty; len = 0 }
 
 let vdd w = w.vdd
 let initial w = w.initial
 let segment_count w = w.len
 
-let segments w = Array.to_list (Array.sub w.segs 0 w.len)
-let transitions w = List.map (fun s -> s.transition) (segments w)
-let last_segment w = if w.len = 0 then None else Some w.segs.(w.len - 1)
+let rising_at w i = Bytes.get w.pols i = '\001'
 
-let last_start w =
-  match last_segment w with None -> None | Some s -> Some s.transition.Transition.start
+let transition_at w i =
+  {
+    Transition.start = w.starts.(i);
+    slope_time = w.slopes.(i);
+    polarity = (if rising_at w i then Transition.Rising else Transition.Falling);
+  }
+
+let segment_at w i = { transition = transition_at w i; v_start = w.vstarts.(i) }
+
+let get_segment w i =
+  if i < 0 || i >= w.len then invalid_arg "Waveform.get_segment: index out of bounds";
+  segment_at w i
+
+let segments w = List.init w.len (segment_at w)
+let transitions w = List.init w.len (transition_at w)
+let last_segment w = if w.len = 0 then None else Some (segment_at w (w.len - 1))
+
+let iter_segments w f =
+  for i = 0 to w.len - 1 do
+    f (segment_at w i)
+  done
+
+let fold_segments w ~init ~f =
+  let acc = ref init in
+  for i = 0 to w.len - 1 do
+    acc := f !acc (segment_at w i)
+  done;
+  !acc
+
+let last_start w = if w.len = 0 then None else Some w.starts.(w.len - 1)
+let last_start_or_nan w = if w.len = 0 then Float.nan else w.starts.(w.len - 1)
 
 (* Index of the last segment with start <= t, or -1. *)
 let locate w t =
   let rec search lo hi =
-    (* invariant: segs.(lo).start <= t (when lo >= 0), segs.(hi).start > t (when hi < len) *)
+    (* invariant: starts.(lo) <= t (when lo >= 0), starts.(hi) > t (when hi < len) *)
     if hi - lo <= 1 then lo
     else begin
       let mid = (lo + hi) / 2 in
-      if w.segs.(mid).transition.Transition.start <= t then search mid hi else search lo mid
+      if w.starts.(mid) <= t then search mid hi else search lo mid
     end
   in
-  if w.len = 0 || w.segs.(0).transition.Transition.start > t then -1 else search 0 w.len
+  if w.len = 0 || w.starts.(0) > t then -1 else search 0 w.len
 
 let value_at w t =
   let i = locate w t in
   if i < 0 then w.initial
-  else begin
-    let s = w.segs.(i) in
-    Transition.value_at ~vdd:w.vdd ~v_start:s.v_start s.transition t
-  end
+  else
+    Transition.value_at_ramp ~vdd:w.vdd ~v_start:w.vstarts.(i) ~start:w.starts.(i)
+      ~slope_time:w.slopes.(i) ~rising:(rising_at w i) t
 
 type append_outcome = { dropped : Transition.t list; accepted : bool }
 
-let push w seg =
-  if w.len = Array.length w.segs then begin
-    let grown = Array.make (max 16 (2 * w.len)) seg in
-    Array.blit w.segs 0 grown 0 w.len;
-    w.segs <- grown
+let push w ~start ~slope_time ~rising ~v_start =
+  if w.len = Array.length w.starts then begin
+    let cap = max 16 (2 * w.len) in
+    let grow a = let g = Array.make cap 0. in Array.blit a 0 g 0 w.len; g in
+    w.starts <- grow w.starts;
+    w.slopes <- grow w.slopes;
+    w.vstarts <- grow w.vstarts;
+    let pols = Bytes.make cap '\000' in
+    Bytes.blit w.pols 0 pols 0 w.len;
+    w.pols <- pols
   end;
-  w.segs.(w.len) <- seg;
+  w.starts.(w.len) <- start;
+  w.slopes.(w.len) <- slope_time;
+  w.vstarts.(w.len) <- v_start;
+  Bytes.set w.pols w.len (if rising then '\001' else '\000');
   w.len <- w.len + 1
 
 let append w tr =
   let t0 = tr.Transition.start in
   (* Annul stored transitions starting at or after the new one. *)
   let dropped = ref [] in
-  while w.len > 0 && w.segs.(w.len - 1).transition.Transition.start >= t0 do
+  while w.len > 0 && w.starts.(w.len - 1) >= t0 do
     w.len <- w.len - 1;
-    dropped := w.segs.(w.len).transition :: !dropped
+    dropped := transition_at w w.len :: !dropped
   done;
-  let v_start = value_at w t0 in
-  let at_rail =
-    match tr.Transition.polarity with
-    | Transition.Rising -> v_start >= w.vdd
-    | Transition.Falling -> v_start <= 0.
+  (* Tail fast path: after the annulment loop the last live segment (if
+     any) starts strictly before [t0], so it governs the value there —
+     no need for [value_at]'s binary search over the history. *)
+  let v_start =
+    if w.len = 0 then w.initial
+    else begin
+      let i = w.len - 1 in
+      Transition.value_at_ramp ~vdd:w.vdd ~v_start:w.vstarts.(i) ~start:w.starts.(i)
+        ~slope_time:w.slopes.(i) ~rising:(rising_at w i) t0
+    end
   in
+  let rising =
+    match tr.Transition.polarity with Transition.Rising -> true | Transition.Falling -> false
+  in
+  let at_rail = if rising then v_start >= w.vdd else v_start <= 0. in
   if at_rail then { dropped = !dropped; accepted = false }
   else begin
-    push w { transition = tr; v_start };
+    push w ~start:t0 ~slope_time:tr.Transition.slope_time ~rising ~v_start;
     { dropped = !dropped; accepted = true }
   end
 
+let last_crossing w ~vt =
+  if w.len = 0 then Float.nan
+  else begin
+    let i = w.len - 1 in
+    Transition.crossing_ramp ~vdd:w.vdd ~v_start:w.vstarts.(i) ~start:w.starts.(i)
+      ~slope_time:w.slopes.(i) ~rising:(rising_at w i) ~vt
+  end
+
 let crossing_of_last w ~vt =
-  match last_segment w with
-  | None -> None
-  | Some s -> Transition.crossing ~vdd:w.vdd ~v_start:s.v_start s.transition ~vt
+  let c = last_crossing w ~vt in
+  if Float.is_nan c then None else Some c
 
 let crossings_with_transitions w ~vt =
   let raw = ref [] in
   for i = 0 to w.len - 1 do
-    let s = w.segs.(i) in
-    match Transition.crossing ~vdd:w.vdd ~v_start:s.v_start s.transition ~vt with
-    | None -> ()
-    | Some c ->
-        let valid =
-          (* Strict: a ramp truncated exactly at the crossing instant
-             only touches the threshold and does not cross it. *)
-          if i = w.len - 1 then true
-          else c < w.segs.(i + 1).transition.Transition.start
-        in
-        if valid then raw := (c, s.transition) :: !raw
+    let c =
+      Transition.crossing_ramp ~vdd:w.vdd ~v_start:w.vstarts.(i) ~start:w.starts.(i)
+        ~slope_time:w.slopes.(i) ~rising:(rising_at w i) ~vt
+    in
+    if not (Float.is_nan c) then begin
+      let valid =
+        (* Strict: a ramp truncated exactly at the crossing instant
+           only touches the threshold and does not cross it. *)
+        if i = w.len - 1 then true else c < w.starts.(i + 1)
+      in
+      if valid then raw := (c, transition_at w i) :: !raw
+    end
   done;
   let chronological = List.rev !raw in
   (* Exact-touch boundaries can record a crossing without the matching

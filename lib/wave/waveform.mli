@@ -43,6 +43,20 @@ val segment_count : t -> int
 val segments : t -> segment list
 (** Oldest first. *)
 
+val iter_segments : t -> (segment -> unit) -> unit
+(** [iter_segments w f] applies [f] to every live segment, oldest
+    first, without materialising a list — the hot-path alternative to
+    {!segments}. *)
+
+val get_segment : t -> int -> segment
+(** [get_segment w i] is the [i]-th live segment (chronological,
+    0-based).  O(1).
+    @raise Invalid_argument when [i] is out of bounds. *)
+
+val fold_segments : t -> init:'a -> f:('a -> segment -> 'a) -> 'a
+(** Left fold over live segments, oldest first, without materialising a
+    list. *)
+
 val transitions : t -> Transition.t list
 (** Oldest first. *)
 
@@ -51,6 +65,10 @@ val last_segment : t -> segment option
 val last_start : t -> Halotis_util.Units.time option
 (** Start time of the most recent live transition — the gate-state
     clock the degradation model measures its [T] against. *)
+
+val last_start_or_nan : t -> Halotis_util.Units.time
+(** Allocation-free {!last_start}: [Float.nan] (never a legitimate
+    start instant) when the waveform has no live transition. *)
 
 val value_at : t -> Halotis_util.Units.time -> Halotis_util.Units.voltage
 (** Waveform voltage at any time (flat before the first transition,
@@ -62,6 +80,11 @@ val crossing_of_last :
     the event-generation primitive: the last segment extends to its
     rail, so the crossing is definitive until a newer transition
     truncates it. *)
+
+val last_crossing : t -> vt:Halotis_util.Units.voltage -> Halotis_util.Units.time
+(** Allocation-free {!crossing_of_last}: [Float.nan] (never a
+    legitimate crossing instant) when the last ramp does not cross
+    [vt] or the waveform is empty. *)
 
 val crossings :
   t -> vt:Halotis_util.Units.voltage -> (Halotis_util.Units.time * Transition.polarity) list

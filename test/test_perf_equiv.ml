@@ -1,0 +1,630 @@
+(* Observational-equivalence suite for the optimized event kernels.
+
+   The hot-path overhaul (pool-slot events, lazy cancellation, SoA
+   heap, coefficient cache, SoA waveform store) claims bit-identical
+   results to the straightforward algorithm.  This file re-implements
+   both engines the obvious way — boxed polymorphic heap with eager
+   handle-based cancellation, per-gate input arrays, the uncached
+   [Delay_model.for_gate] — and checks that optimized and reference
+   runs agree exactly (float-for-float) on random circuits across
+   {DDM, CDM} x {cancellation on/off} x {with/without injections}. *)
+
+module N = Halotis_netlist.Netlist
+module G = Halotis_netlist.Generators
+module Waveform = Halotis_wave.Waveform
+module Transition = Halotis_wave.Transition
+module Digital = Halotis_wave.Digital
+module Tech = Halotis_tech.Tech
+module Delay_model = Halotis_delay.Delay_model
+module Heap = Halotis_util.Heap
+module Gate_kind = Halotis_logic.Gate_kind
+module Iddm = Halotis_engine.Iddm
+module Classic = Halotis_engine.Classic
+module Stats = Halotis_engine.Stats
+module Drive = Halotis_engine.Drive
+module Dc = Halotis_engine.Dc
+module Prng = Halotis_util.Prng
+
+let tech = Halotis_tech.Default_lib.tech
+
+(* ------------------------------------------------------------------ *)
+(* Reference IDDM kernel                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Ref_iddm = struct
+  type ev = {
+    gate : int;  (** -1 = injection splice *)
+    pin : int;  (** injection index when [gate = -1] *)
+    rising : bool;
+    tau_in : float;
+  }
+
+  type result = {
+    waveforms : Waveform.t array;
+    stats : Stats.t;
+    end_time : float;
+    truncated : bool;
+  }
+
+  let run ?(injections = []) (cfg : Iddm.config) c ~drives =
+    let drives_tbl = Hashtbl.create 16 in
+    List.iter (fun (sid, d) -> Hashtbl.replace drives_tbl sid d) drives;
+    let input_level sid =
+      match Hashtbl.find_opt drives_tbl sid with
+      | Some (d : Drive.t) -> d.Drive.initial
+      | None -> false
+    in
+    let levels = Dc.levels c ~input_level in
+    let vdd = Tech.vdd cfg.Iddm.tech in
+    let nsignals = N.signal_count c and ngates = N.gate_count c in
+    let wf =
+      Array.init nsignals (fun sid ->
+          Waveform.create ~initial:(if levels.(sid) then vdd else 0.) ~vdd ())
+    in
+    let pin_levels =
+      Array.init ngates (fun gid ->
+          Array.map (fun sid -> levels.(sid)) (N.gate c gid).N.fanin)
+    in
+    let vt_table = Halotis_delay.Thresholds.table cfg.Iddm.tech c in
+    let out_target = Array.init ngates (fun gid -> levels.((N.gate c gid).N.output)) in
+    let loads = Halotis_delay.Loads.of_netlist cfg.Iddm.tech c in
+    let queue : ev Heap.t = Heap.create () in
+    (* eager cancellation: per (gate, pin), the handles of pending events *)
+    let pending = Array.init ngates (fun gid -> Array.map (fun _ -> []) (N.gate c gid).N.fanin) in
+    let stats = Stats.create () in
+    let injections = Array.of_list injections in
+    let schedule ~key ~gate ~pin ~rising ~tau_in =
+      let h = Heap.insert queue ~key { gate; pin; rising; tau_in } in
+      if cfg.Iddm.cancellation then pending.(gate).(pin) <- pending.(gate).(pin) @ [ h ];
+      stats.Stats.events_scheduled <- stats.Stats.events_scheduled + 1
+    in
+    let cancel_invalidated ~gate ~pin ~from_time =
+      pending.(gate).(pin) <-
+        List.filter
+          (fun h ->
+            match Heap.key_of queue h with
+            | None -> false (* already popped *)
+            | Some k when k >= from_time ->
+                ignore (Heap.remove queue h);
+                stats.Stats.events_filtered <- stats.Stats.events_filtered + 1;
+                false
+            | Some _ -> true)
+          pending.(gate).(pin)
+    in
+    let fan_out sid (outcome : Waveform.append_outcome) (tr : Transition.t) =
+      let rising =
+        match tr.Transition.polarity with
+        | Transition.Rising -> true
+        | Transition.Falling -> false
+      in
+      Array.iter
+        (fun (lg, lpin) ->
+          if cfg.Iddm.cancellation then
+            cancel_invalidated ~gate:lg ~pin:lpin ~from_time:tr.Transition.start;
+          if outcome.Waveform.accepted then
+            match Waveform.crossing_of_last wf.(sid) ~vt:vt_table.(lg).(lpin) with
+            | Some crossing ->
+                schedule ~key:crossing ~gate:lg ~pin:lpin ~rising
+                  ~tau_in:tr.Transition.slope_time
+            | None -> ())
+        (N.signal c sid).N.loads
+    in
+    let process_pin_event ~now ~gate ~pin ~rising ~tau_in =
+      pin_levels.(gate).(pin) <- rising;
+      let g = N.gate c gate in
+      let new_out = Gate_kind.eval_bool g.N.kind pin_levels.(gate) in
+      if new_out = out_target.(gate) then
+        stats.Stats.noop_evaluations <- stats.Stats.noop_evaluations + 1
+      else begin
+        let out_sid = g.N.output in
+        let resp =
+          Delay_model.for_gate cfg.Iddm.tech c ~loads gate cfg.Iddm.delay_kind
+            {
+              Delay_model.rising_out = new_out;
+              pin;
+              tau_in;
+              t_event = now;
+              last_output_start = Waveform.last_start wf.(out_sid);
+            }
+        in
+        let tr =
+          Transition.make
+            ~start:(now +. resp.Delay_model.tp)
+            ~slope_time:resp.Delay_model.tau_out
+            ~polarity:(if new_out then Transition.Rising else Transition.Falling)
+        in
+        out_target.(gate) <- new_out;
+        let outcome = Waveform.append wf.(out_sid) tr in
+        stats.Stats.transitions_annulled <-
+          stats.Stats.transitions_annulled + List.length outcome.Waveform.dropped;
+        if outcome.Waveform.accepted then
+          stats.Stats.transitions_emitted <- stats.Stats.transitions_emitted + 1;
+        fan_out out_sid outcome tr
+      end
+    in
+    let process_injection (inj : Iddm.injection) =
+      List.iter
+        (fun (tr : Transition.t) ->
+          let outcome = Waveform.append wf.(inj.Iddm.inj_signal) tr in
+          fan_out inj.Iddm.inj_signal outcome tr)
+        inj.Iddm.inj_transitions
+    in
+    Hashtbl.iter
+      (fun sid (d : Drive.t) ->
+        List.iter (fun tr -> ignore (Waveform.append wf.(sid) tr)) d.Drive.transitions)
+      drives_tbl;
+    Hashtbl.iter
+      (fun sid (_ : Drive.t) ->
+        Array.iter
+          (fun (lg, lpin) ->
+            List.iter
+              (fun (crossing, (tr : Transition.t)) ->
+                schedule ~key:crossing ~gate:lg ~pin:lpin
+                  ~rising:
+                    (match tr.Transition.polarity with
+                    | Transition.Rising -> true
+                    | Transition.Falling -> false)
+                  ~tau_in:tr.Transition.slope_time)
+              (Waveform.crossings_with_transitions wf.(sid) ~vt:vt_table.(lg).(lpin)))
+          (N.signal c sid).N.loads)
+      drives_tbl;
+    Array.iteri
+      (fun idx (inj : Iddm.injection) ->
+        match inj.Iddm.inj_transitions with
+        | [] -> ()
+        | first :: _ ->
+            ignore
+              (Heap.insert queue ~key:first.Transition.start
+                 { gate = -1; pin = idx; rising = false; tau_in = 0. }))
+      injections;
+    let end_time = ref 0. in
+    let truncated = ref false in
+    let continue = ref true in
+    while !continue do
+      match Heap.peek_min queue with
+      | None -> continue := false
+      | Some (t, _) -> (
+          match cfg.Iddm.t_stop with
+          | Some stop when t > stop -> continue := false
+          | Some _ | None ->
+              let t, ev = Option.get (Heap.pop_min queue) in
+              end_time := Float.max !end_time t;
+              if ev.gate < 0 then process_injection injections.(ev.pin)
+              else begin
+                stats.Stats.events_processed <- stats.Stats.events_processed + 1;
+                process_pin_event ~now:t ~gate:ev.gate ~pin:ev.pin ~rising:ev.rising
+                  ~tau_in:ev.tau_in
+              end;
+              if stats.Stats.events_processed >= cfg.Iddm.max_events then begin
+                truncated := true;
+                continue := false
+              end)
+    done;
+    { waveforms = wf; stats; end_time = !end_time; truncated = !truncated }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reference Classic kernel                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Ref_classic = struct
+  type tx = { sid : int; at : float; value : bool; mutable handle : tx Heap.handle option }
+
+  type result = {
+    edges : Digital.edge list array;
+    final_levels : bool array;
+    stats : Stats.t;
+    end_time : float;
+    truncated : bool;
+  }
+
+  let run ?(injections = []) (cfg : Classic.config) c ~drives =
+    let drives_tbl = Hashtbl.create 16 in
+    List.iter (fun (sid, d) -> Hashtbl.replace drives_tbl sid d) drives;
+    let input_level sid =
+      match Hashtbl.find_opt drives_tbl sid with
+      | Some (d : Drive.t) -> d.Drive.initial
+      | None -> false
+    in
+    let levels = Dc.levels c ~input_level in
+    let nsignals = N.signal_count c in
+    let value = Array.copy levels in
+    let pending : tx list array = Array.make nsignals [] in
+    let queue : tx Heap.t = Heap.create () in
+    let rev_edges = Array.make nsignals [] in
+    let loads = Halotis_delay.Loads.of_netlist cfg.Classic.tech c in
+    let stats = Stats.create () in
+    let enqueue ~sid ~at ~value =
+      let tx = { sid; at; value; handle = None } in
+      tx.handle <- Some (Heap.insert queue ~key:at tx);
+      tx
+    in
+    let scheduled_target sid =
+      match List.rev pending.(sid) with [] -> value.(sid) | last :: _ -> last.value
+    in
+    let schedule_inertial sid ~at ~value:v ~window =
+      let keep, kill = List.partition (fun tx -> tx.at < at) pending.(sid) in
+      List.iter
+        (fun tx ->
+          (match tx.handle with Some h -> ignore (Heap.remove queue h) | None -> ());
+          stats.Stats.events_filtered <- stats.Stats.events_filtered + 1)
+        kill;
+      pending.(sid) <- keep;
+      let target = scheduled_target sid in
+      if target = v then stats.Stats.noop_evaluations <- stats.Stats.noop_evaluations + 1
+      else begin
+        let last = match List.rev keep with [] -> None | last :: _ -> Some last in
+        match last with
+        | Some tx when cfg.Classic.mode = Classic.Inertial && at -. tx.at < window ->
+            (match tx.handle with Some h -> ignore (Heap.remove queue h) | None -> ());
+            pending.(sid) <- List.filter (fun t -> t != tx) pending.(sid);
+            stats.Stats.events_filtered <- stats.Stats.events_filtered + 2
+        | Some _ | None ->
+            let tx = enqueue ~sid ~at ~value:v in
+            pending.(sid) <- pending.(sid) @ [ tx ];
+            stats.Stats.events_scheduled <- stats.Stats.events_scheduled + 1
+      end
+    in
+    let evaluate_fanout ~now sid =
+      List.iter
+        (fun gid ->
+          let g = N.gate c gid in
+          let ins = Array.map (fun s -> value.(s)) g.N.fanin in
+          let new_out = Gate_kind.eval_bool g.N.kind ins in
+          let out_sid = g.N.output in
+          if new_out <> scheduled_target out_sid then begin
+            let rec find i = if g.N.fanin.(i) = sid then i else find (i + 1) in
+            let resp =
+              Delay_model.for_gate cfg.Classic.tech c ~loads gid Delay_model.Cdm
+                {
+                  Delay_model.rising_out = new_out;
+                  pin = find 0;
+                  tau_in = 0.;
+                  t_event = now;
+                  last_output_start = None;
+                }
+            in
+            schedule_inertial out_sid ~at:(now +. resp.Delay_model.tp) ~value:new_out
+              ~window:resp.Delay_model.tp
+          end
+          else stats.Stats.noop_evaluations <- stats.Stats.noop_evaluations + 1)
+        (N.fanout_gates c sid)
+    in
+    Hashtbl.iter
+      (fun sid (d : Drive.t) ->
+        List.iter
+          (fun (tr : Transition.t) ->
+            let at = tr.Transition.start +. (tr.Transition.slope_time /. 2.) in
+            let v =
+              match tr.Transition.polarity with
+              | Transition.Rising -> true
+              | Transition.Falling -> false
+            in
+            let tx = enqueue ~sid ~at ~value:v in
+            pending.(sid) <- pending.(sid) @ [ tx ];
+            stats.Stats.events_scheduled <- stats.Stats.events_scheduled + 1)
+          d.Drive.transitions)
+      drives_tbl;
+    List.iter
+      (fun (sid, toggles) ->
+        List.iter (fun (at, v) -> ignore (enqueue ~sid ~at ~value:v)) toggles)
+      injections;
+    let end_time = ref 0. in
+    let truncated = ref false in
+    let continue = ref true in
+    while !continue do
+      match Heap.peek_min queue with
+      | None -> continue := false
+      | Some (t, _) -> (
+          match cfg.Classic.t_stop with
+          | Some stop when t > stop -> continue := false
+          | Some _ | None ->
+              let t, tx = Option.get (Heap.pop_min queue) in
+              stats.Stats.events_processed <- stats.Stats.events_processed + 1;
+              end_time := Float.max !end_time t;
+              pending.(tx.sid) <- List.filter (fun x -> x != tx) pending.(tx.sid);
+              if value.(tx.sid) <> tx.value then begin
+                value.(tx.sid) <- tx.value;
+                let polarity = if tx.value then Transition.Rising else Transition.Falling in
+                rev_edges.(tx.sid) <- { Digital.at = t; polarity } :: rev_edges.(tx.sid);
+                stats.Stats.transitions_emitted <- stats.Stats.transitions_emitted + 1;
+                evaluate_fanout ~now:t tx.sid
+              end;
+              if stats.Stats.events_processed >= cfg.Classic.max_events then begin
+                truncated := true;
+                continue := false
+              end)
+    done;
+    {
+      edges = Array.map List.rev rev_edges;
+      final_levels = value;
+      stats;
+      end_time = !end_time;
+      truncated = !truncated;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Workload generation (deterministic per seed)                       *)
+(* ------------------------------------------------------------------ *)
+
+let workload ~gates ~seed =
+  let c = G.random_combinational ~gates ~inputs:6 ~seed () in
+  let rng = Prng.create ~seed:(seed * 7 + 1) in
+  let drives =
+    List.map
+      (fun s ->
+        let changes =
+          List.init 6 (fun k ->
+              (300. *. float_of_int (k + 1) +. Prng.float rng ~bound:120., Prng.bool rng))
+        in
+        (s, Drive.of_levels ~slope:(20. +. Prng.float rng ~bound:40.) ~initial:(Prng.bool rng) changes))
+      (N.primary_inputs c)
+  in
+  (c, drives)
+
+let iddm_injections c ~seed =
+  let rng = Prng.create ~seed:(seed * 31 + 5) in
+  let nsignals = N.signal_count c in
+  List.init 2 (fun _ ->
+      let sid = Prng.int rng ~bound:nsignals in
+      let at = 200. +. Prng.float rng ~bound:1500. in
+      let width = 40. +. Prng.float rng ~bound:150. in
+      let slope = 15. +. Prng.float rng ~bound:30. in
+      {
+        Iddm.inj_signal = sid;
+        inj_transitions =
+          [
+            Transition.make ~start:at ~slope_time:slope ~polarity:Transition.Rising;
+            Transition.make ~start:(at +. width) ~slope_time:slope
+              ~polarity:Transition.Falling;
+          ];
+      })
+
+let classic_injections c ~seed =
+  let rng = Prng.create ~seed:(seed * 31 + 5) in
+  let nsignals = N.signal_count c in
+  List.init 2 (fun _ ->
+      let sid = Prng.int rng ~bound:nsignals in
+      let at = 200. +. Prng.float rng ~bound:1500. in
+      let width = 40. +. Prng.float rng ~bound:150. in
+      (sid, [ (at, true); (at +. width, false) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Comparators: exact equality, float-for-float                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_stats_equal label (a : Stats.t) (b : Stats.t) =
+  let field name fa fb = if fa <> fb then Alcotest.failf "%s: %s %d <> %d" label name fa fb in
+  field "events_scheduled" a.Stats.events_scheduled b.Stats.events_scheduled;
+  field "events_processed" a.Stats.events_processed b.Stats.events_processed;
+  field "events_filtered" a.Stats.events_filtered b.Stats.events_filtered;
+  field "transitions_emitted" a.Stats.transitions_emitted b.Stats.transitions_emitted;
+  field "transitions_annulled" a.Stats.transitions_annulled b.Stats.transitions_annulled;
+  field "noop_evaluations" a.Stats.noop_evaluations b.Stats.noop_evaluations
+
+let check_waveforms_equal label (a : Waveform.t array) (b : Waveform.t array) =
+  Array.iteri
+    (fun sid wa ->
+      let wb = b.(sid) in
+      if Waveform.segment_count wa <> Waveform.segment_count wb then
+        Alcotest.failf "%s: signal %d segment count %d <> %d" label sid
+          (Waveform.segment_count wa) (Waveform.segment_count wb);
+      for i = 0 to Waveform.segment_count wa - 1 do
+        let sa = Waveform.get_segment wa i and sb = Waveform.get_segment wb i in
+        let ta = sa.Waveform.transition and tb = sb.Waveform.transition in
+        (* exact float equality: the optimized kernel must compute the
+           very same expressions, not merely close ones *)
+        if
+          ta.Transition.start <> tb.Transition.start
+          || ta.Transition.slope_time <> tb.Transition.slope_time
+          || not (Transition.equal_polarity ta.Transition.polarity tb.Transition.polarity)
+          || sa.Waveform.v_start <> sb.Waveform.v_start
+        then
+          Alcotest.failf "%s: signal %d segment %d differs (%s vs %s)" label sid i
+            (Format.asprintf "%a" Transition.pp ta)
+            (Format.asprintf "%a" Transition.pp tb)
+      done)
+    a
+
+let check_edges_equal label (a : Digital.edge list array) (b : Digital.edge list array) =
+  Array.iteri
+    (fun sid ea ->
+      let eb = b.(sid) in
+      if List.length ea <> List.length eb then
+        Alcotest.failf "%s: signal %d edge count %d <> %d" label sid (List.length ea)
+          (List.length eb);
+      List.iter2
+        (fun (x : Digital.edge) (y : Digital.edge) ->
+          if x.Digital.at <> y.Digital.at || not (Transition.equal_polarity x.polarity y.polarity)
+          then Alcotest.failf "%s: signal %d edge differs" label sid)
+        ea eb)
+    a
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let iddm_case_gen =
+  QCheck.make
+    ~print:(fun (gates, seed, ddm, cancel, inject) ->
+      Printf.sprintf "gates=%d seed=%d ddm=%b cancellation=%b injections=%b" gates seed ddm
+        cancel inject)
+    QCheck.Gen.(
+      (fun gates seed ddm cancel inject -> (gates, seed, ddm, cancel, inject))
+      <$> int_range 5 60 <*> int_range 0 10_000 <*> bool <*> bool <*> bool)
+
+let prop_iddm_matches_reference =
+  QCheck.Test.make ~name:"optimized Iddm == reference kernel (exact)" ~count:60 iddm_case_gen
+    (fun (gates, seed, ddm, cancellation, inject) ->
+      let c, drives = workload ~gates ~seed in
+      let cfg =
+        Iddm.config
+          ~delay_kind:(if ddm then Delay_model.Ddm else Delay_model.Cdm)
+          ~cancellation tech
+      in
+      let injections = if inject then iddm_injections c ~seed else [] in
+      let opt = Iddm.run ~injections cfg c ~drives in
+      let reference = Ref_iddm.run ~injections cfg c ~drives in
+      let label = Printf.sprintf "iddm gates=%d seed=%d" gates seed in
+      check_stats_equal label opt.Iddm.stats reference.Ref_iddm.stats;
+      check_waveforms_equal label opt.Iddm.waveforms reference.Ref_iddm.waveforms;
+      if opt.Iddm.end_time <> reference.Ref_iddm.end_time then
+        Alcotest.failf "%s: end_time %g <> %g" label opt.Iddm.end_time
+          reference.Ref_iddm.end_time;
+      if opt.Iddm.truncated <> reference.Ref_iddm.truncated then
+        Alcotest.failf "%s: truncated differs" label;
+      (* drained queue: every tombstoned event must have been skipped *)
+      if
+        cancellation
+        && opt.Iddm.stats.Stats.stale_skipped <> opt.Iddm.stats.Stats.events_filtered
+      then
+        Alcotest.failf "%s: stale_skipped %d <> events_filtered %d" label
+          opt.Iddm.stats.Stats.stale_skipped opt.Iddm.stats.Stats.events_filtered;
+      true)
+
+let classic_case_gen =
+  QCheck.make
+    ~print:(fun (gates, seed, inject) ->
+      Printf.sprintf "gates=%d seed=%d injections=%b" gates seed inject)
+    QCheck.Gen.(
+      (fun gates seed inject -> (gates, seed, inject))
+      <$> int_range 5 60 <*> int_range 0 10_000 <*> bool)
+
+let prop_classic_matches_reference =
+  QCheck.Test.make ~name:"optimized Classic == reference kernel (exact)" ~count:60
+    classic_case_gen (fun (gates, seed, inject) ->
+      let c, drives = workload ~gates ~seed in
+      let cfg = Classic.config tech in
+      let injections = if inject then classic_injections c ~seed else [] in
+      let opt = Classic.run ~injections cfg c ~drives in
+      let reference = Ref_classic.run ~injections cfg c ~drives in
+      let label = Printf.sprintf "classic gates=%d seed=%d" gates seed in
+      check_stats_equal label opt.Classic.stats reference.Ref_classic.stats;
+      check_edges_equal label opt.Classic.edges reference.Ref_classic.edges;
+      if opt.Classic.final_levels <> reference.Ref_classic.final_levels then
+        Alcotest.failf "%s: final levels differ" label;
+      if opt.Classic.end_time <> reference.Ref_classic.end_time then
+        Alcotest.failf "%s: end_time differs" label;
+      true)
+
+(* Heap.Unboxed against a stable sorted-list oracle: same pop order
+   (FIFO among equal keys), same min_key at every step. *)
+let prop_unboxed_heap_oracle =
+  let op_gen =
+    QCheck.Gen.(list_size (int_range 1 400) (option (int_range 0 20)))
+    (* Some k = insert with key k/4. (duplicates likely); None = pop *)
+  in
+  QCheck.Test.make ~name:"Heap.Unboxed == sorted-list oracle" ~count:200
+    (QCheck.make op_gen) (fun ops ->
+      let h = Heap.Unboxed.create ~capacity:2 () in
+      let oracle = ref [] (* (key, seq, payload), pop order = (key, seq) *) in
+      let seq = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | Some k ->
+              let key = float_of_int k /. 4. in
+              ignore (Heap.Unboxed.insert h ~key !seq);
+              oracle := !oracle @ [ (key, !seq) ];
+              incr seq
+          | None -> (
+              let expect =
+                List.sort
+                  (fun (ka, sa) (kb, sb) ->
+                    match Float.compare ka kb with 0 -> compare sa sb | c -> c)
+                  !oracle
+              in
+              match expect with
+              | [] ->
+                  if not (Heap.Unboxed.is_empty h) then
+                    Alcotest.failf "heap not empty when oracle is";
+                  if Heap.Unboxed.pop_min h <> None then
+                    Alcotest.failf "pop_min on empty heap returned an entry"
+              | (ek, es) :: _ ->
+                  if Heap.Unboxed.min_key h <> ek then
+                    Alcotest.failf "min_key %g, oracle %g" (Heap.Unboxed.min_key h) ek;
+                  let v = Heap.Unboxed.pop h in
+                  if v <> es then Alcotest.failf "pop payload %d, oracle %d" v es;
+                  oracle := List.filter (fun (_, s) -> s <> es) !oracle))
+        ops;
+      (* drain what's left and compare the full tail order *)
+      let expect =
+        List.sort
+          (fun (ka, sa) (kb, sb) -> match Float.compare ka kb with 0 -> compare sa sb | c -> c)
+          !oracle
+      in
+      let drained = ref [] in
+      let rec drain () =
+        match Heap.Unboxed.pop_min h with
+        | None -> ()
+        | Some (k, v) ->
+            drained := (k, v) :: !drained;
+            drain ()
+      in
+      drain ();
+      List.rev !drained = expect)
+
+(* The coefficient cache against the uncached reference, including the
+   allocation-free scalar entry point. *)
+let prop_cache_matches_reference =
+  let gen =
+    QCheck.make
+      ~print:(fun (gates, seed) -> Printf.sprintf "gates=%d seed=%d" gates seed)
+      QCheck.Gen.((fun gates seed -> (gates, seed)) <$> int_range 3 40 <*> int_range 0 10_000)
+  in
+  QCheck.Test.make ~name:"Delay_model.Cache == uncached for_gate (exact)" ~count:60 gen
+    (fun (gates, seed) ->
+      let c = G.random_combinational ~gates ~inputs:4 ~seed () in
+      let loads = Halotis_delay.Loads.of_netlist tech c in
+      let cache = Delay_model.Cache.create tech c ~loads in
+      let rng = Prng.create ~seed:(seed + 99) in
+      for gid = 0 to N.gate_count c - 1 do
+        let g = N.gate c gid in
+        for _ = 1 to 4 do
+          let req =
+            {
+              Delay_model.rising_out = Prng.bool rng;
+              pin = Prng.int rng ~bound:(Array.length g.N.fanin);
+              tau_in = Prng.float rng ~bound:200.;
+              t_event = Prng.float rng ~bound:3000.;
+              last_output_start =
+                (if Prng.bool rng then None else Some (Prng.float rng ~bound:2000.));
+            }
+          in
+          List.iter
+            (fun kind ->
+              let r = Delay_model.for_gate tech c ~loads gid kind req in
+              let cached = Delay_model.Cache.for_gate cache gid kind req in
+              if
+                r.Delay_model.tp <> cached.Delay_model.tp
+                || r.Delay_model.tau_out <> cached.Delay_model.tau_out
+                || r.Delay_model.tp_nominal <> cached.Delay_model.tp_nominal
+                || r.Delay_model.degraded <> cached.Delay_model.degraded
+              then Alcotest.failf "Cache.for_gate differs on gate %d" gid;
+              Delay_model.Cache.eval cache gid kind ~rising_out:req.Delay_model.rising_out
+                ~pin:req.Delay_model.pin ~tau_in:req.Delay_model.tau_in
+                ~t_event:req.Delay_model.t_event
+                ~last_output_start:
+                  (match req.Delay_model.last_output_start with
+                  | Some t -> t
+                  | None -> Float.nan);
+              if
+                Delay_model.Cache.tp cache <> r.Delay_model.tp
+                || Delay_model.Cache.tau_out cache <> r.Delay_model.tau_out
+              then Alcotest.failf "Cache.eval differs on gate %d" gid)
+            [ Delay_model.Cdm; Delay_model.Ddm ]
+        done
+      done;
+      true)
+
+let tests =
+  [
+    ( "perf.equiv",
+      [
+        QCheck_alcotest.to_alcotest prop_iddm_matches_reference;
+        QCheck_alcotest.to_alcotest prop_classic_matches_reference;
+        QCheck_alcotest.to_alcotest prop_unboxed_heap_oracle;
+        QCheck_alcotest.to_alcotest prop_cache_matches_reference;
+      ] );
+  ]
