@@ -38,40 +38,66 @@ module Site = Halotis_fault.Site
 module Inject = Halotis_fault.Inject
 module Campaign = Halotis_fault.Campaign
 module Fault_report = Halotis_fault.Fault_report
+module Journal = Halotis_fault.Journal
+module Stats = Halotis_engine.Stats
+module Stop = Halotis_guard.Stop
+module Budget = Halotis_guard.Budget
+module Watchdog = Halotis_guard.Watchdog
+module Diag = Halotis_guard.Diag
 
 let vt = DL.vdd /. 2.
 
 (* --- shared loading helpers --- *)
+
+(* All input failures funnel through Diag: one rendering (code,
+   file:line, message, hint), no backtraces. *)
+
+let die_diag d =
+  prerr_endline ("halotis: " ^ Diag.to_string d);
+  exit 1
+
+let io_diag m = Diag.make ~code:"io" m
 
 let load_circuit path =
   (* dispatch on extension: .bench is ISCAS-85, anything else is HNL *)
   if Filename.check_suffix path ".bench" then
     match Halotis_netlist.Iscas.parse_file path with
     | Ok c -> Ok c
-    | Error e -> Error (Format.asprintf "%s: %a" path Halotis_netlist.Iscas.pp_error e)
-    | exception Sys_error m -> Error m
+    | Error e ->
+        Error
+          (Diag.make ~code:"iscas-parse" ~file:path ~line:e.Halotis_netlist.Iscas.line
+             ~hint:"ISCAS-85 lines look like `G10 = NAND(G1, G3)`"
+             e.Halotis_netlist.Iscas.message)
+    | exception Sys_error m -> Error (io_diag m)
   else
     match Hnl.parse_file path with
     | Ok c -> Ok c
-    | Error e -> Error (Format.asprintf "%s: %a" path Hnl.pp_error e)
-    | exception Sys_error m -> Error m
+    | Error e ->
+        Error
+          (Diag.make ~code:"netlist-parse" ~file:path ~line:e.Hnl.line
+             ~hint:"see doc/FORMATS.md for the HNL grammar" e.Hnl.message)
+    | exception Sys_error m -> Error (io_diag m)
 
 let load_stimfile path =
   match Stimfile.parse_file path with
-  | Error e -> Error (Format.asprintf "%s: %a" path Stimfile.pp_error e)
-  | exception Sys_error m -> Error m
+  | Error e ->
+      Error
+        (Diag.make ~code:"stim-parse" ~file:path ~line:e.Stimfile.line
+           ~hint:"stimulus lines look like `input a 0 1@2000 0@4000`"
+           e.Stimfile.message)
+  | exception Sys_error m -> Error (io_diag m)
   | Ok stim -> Ok stim
 
 let load_liberty path =
   match Liberty.parse_file path with
   | Ok lib -> Ok lib
-  | Error e -> Error (Format.asprintf "%s: %a" path Liberty.pp_error e)
-  | exception Sys_error m -> Error m
+  | Error e -> Error (Diag.make ~code:"liberty-parse" ~file:path e.Liberty.message)
+  | exception Sys_error m -> Error (io_diag m)
 
 let load_tech = function
   | None -> DL.tech
   | Some path -> (
-      match Liberty.parse_file path with
+      match load_liberty path with
       | Ok lib ->
           let tech, qualities =
             Lib_fit.to_tech ~base:DL.tech ~kind_of_cell:Lib_fit.default_kind_of_cell lib
@@ -83,18 +109,17 @@ let load_tech = function
                 q.Lib_fit.delay_rmse)
             qualities;
           tech
-      | Error e ->
-          Format.eprintf "halotis: %s: %a@." path Liberty.pp_error e;
-          exit 1
-      | exception Sys_error m ->
-          prerr_endline ("halotis: " ^ m);
-          exit 1)
+      | Error d -> die_diag d)
 
-let or_die = function
-  | Ok v -> v
+let or_die = function Ok v -> v | Error d -> die_diag d
+
+let bind_stim stim c =
+  match Stimfile.bind stim c with
+  | Ok drives -> drives
   | Error m ->
-      prerr_endline ("halotis: " ^ m);
-      exit 1
+      die_diag
+        (Diag.make ~code:"stim-bind"
+           ~hint:"stimulus entries must name primary inputs of the circuit" m)
 
 (* Default simulation horizon: last stimulus change + slack for
    propagation. *)
@@ -254,34 +279,103 @@ let print_power_report tech c (r : Iddm.result) =
     Glitch.pp_histogram
     (Glitch.pulse_width_histogram ~vt:(DL.vdd /. 2.) r.Iddm.waveforms)
 
-let run_simulate path stim_path model t_stop vcd_path diagram liberty report =
+(* One JSON result document shared by the ddm/cdm/classic branches of
+   `simulate --json`: stats, the stop reason and the partial flag are
+   what scripts poll to detect a guardrail trip. *)
+let simulate_json c ~model_name ~horizon ~(stats : Stats.t) ~stopped ~frozen ~outputs =
+  Json.Obj
+    [
+      ("tool", Json.Str "halotis-simulate");
+      ("circuit", Json.Str (N.name c));
+      ("model", Json.Str model_name);
+      ("t_stop", Json.Num horizon);
+      ("partial", Json.Bool (not (Stop.completed stopped)));
+      ("stopped_by", Stop.to_json stopped);
+      ("stats", Stats.to_json stats);
+      ( "frozen",
+        Json.Arr
+          (List.map
+             (fun (sid, at) ->
+               Json.Obj
+                 [ ("signal", Json.Str (N.signal_name c sid)); ("at", Json.Num at) ])
+             frozen) );
+      ( "outputs",
+        Json.Arr
+          (List.map
+             (fun (name, nedges) ->
+               Json.Obj
+                 [
+                   ("signal", Json.Str name);
+                   ("edges", Json.Num (float_of_int nedges));
+                 ])
+             outputs) );
+    ]
+
+let partial_comment stopped =
+  if Stop.completed stopped then None
+  else Some ("PARTIAL dump: run stopped by " ^ Stop.to_string stopped)
+
+let warn_stop stopped =
+  if not (Stop.completed stopped) then
+    Format.eprintf "halotis: simulation stopped early: %a@." Stop.pp stopped
+
+let run_simulate path stim_path model t_stop vcd_path diagram liberty report max_events
+    max_wall max_queue max_sim_time watchdog degrade wd_window wd_threshold json =
   let tech = load_tech liberty in
   let c = or_die (load_circuit path) in
   let stim = or_die (load_stimfile stim_path) in
   preflight ~stim tech c;
-  let drives = or_die (Stimfile.bind stim c) in
+  let drives = bind_stim stim c in
   let horizon = horizon_of_drives drives t_stop in
-  (match model with
+  let budget =
+    Budget.make ?max_events ?max_wall_s:max_wall ?max_queue ?max_sim_time ()
+  in
+  let wd_config =
+    if watchdog || degrade then
+      Some
+        (Watchdog.config ~window:wd_window ~threshold:wd_threshold
+           ~mode:(if degrade then Watchdog.Degrade else Watchdog.Halt)
+           ())
+    else None
+  in
+  match model with
   | `Ddm | `Cdm ->
       let kind = if model = `Ddm then DM.Ddm else DM.Cdm in
-      let r = Iddm.run (Iddm.config ~delay_kind:kind ~t_stop:horizon tech) c ~drives in
-      Format.printf "%s: %a@." (DM.kind_to_string kind) Halotis_engine.Stats.pp
-        r.Iddm.stats;
-      List.iter
-        (fun (name, edges) ->
-          Format.printf "%s: %d edges%s@." name (List.length edges)
-            (if edges = [] then ""
-             else
-               ": "
-               ^ String.concat ", " (List.map (Format.asprintf "%a" Digital.pp_edge) edges)))
-        (Iddm.output_edges r);
-      if diagram then
-        print_diagram c
-          (fun sid ->
-            let w = r.Iddm.waveforms.(sid) in
-            (Halotis_wave.Waveform.initial w > vt, Digital.edges w ~vt))
-          horizon;
-      if report then print_power_report tech c r;
+      let r =
+        Iddm.run
+          (Iddm.config ~delay_kind:kind ~t_stop:horizon ~budget ?watchdog:wd_config tech)
+          c ~drives
+      in
+      warn_stop r.Iddm.stopped_by;
+      if json then
+        print_endline
+          (Json.to_string
+             (simulate_json c ~model_name:(DM.kind_to_string kind) ~horizon
+                ~stats:r.Iddm.stats ~stopped:r.Iddm.stopped_by ~frozen:r.Iddm.frozen
+                ~outputs:
+                  (List.map
+                     (fun (name, edges) -> (name, List.length edges))
+                     (Iddm.output_edges r))))
+      else begin
+        Format.printf "%s: %a@." (DM.kind_to_string kind) Halotis_engine.Stats.pp
+          r.Iddm.stats;
+        List.iter
+          (fun (name, edges) ->
+            Format.printf "%s: %d edges%s@." name (List.length edges)
+              (if edges = [] then ""
+               else
+                 ": "
+                 ^ String.concat ", "
+                     (List.map (Format.asprintf "%a" Digital.pp_edge) edges)))
+          (Iddm.output_edges r);
+        if diagram then
+          print_diagram c
+            (fun sid ->
+              let w = r.Iddm.waveforms.(sid) in
+              (Halotis_wave.Waveform.initial w > vt, Digital.edges w ~vt))
+            horizon;
+        if report then print_power_report tech c r
+      end;
       (match vcd_path with
       | Some p ->
           let dumps =
@@ -289,24 +383,61 @@ let run_simulate path stim_path model t_stop vcd_path diagram liberty report =
               (Array.map
                  (fun (s : N.signal) ->
                    Vcd.of_waveform ~name:s.N.signal_name ~vt
+                     ?x_from:(List.assoc_opt s.N.signal_id r.Iddm.frozen)
                      r.Iddm.waveforms.(s.N.signal_id))
                  (N.signals c))
           in
-          Vcd.write_file p dumps;
-          Printf.printf "vcd written to %s\n" p
-      | None -> ())
+          Vcd.write_file ?comment:(partial_comment r.Iddm.stopped_by) p dumps;
+          Printf.eprintf "vcd written to %s\n" p
+      | None -> ());
+      Stop.exit_code r.Iddm.stopped_by
   | `Classic ->
-      let r = Classic.run (Classic.config ~t_stop:horizon tech) c ~drives in
-      Format.printf "classic: %a@." Halotis_engine.Stats.pp r.Classic.stats;
-      List.iter
-        (fun sid ->
-          Format.printf "%s: %d edges@." (N.signal_name c sid)
-            (List.length r.Classic.edges.(sid)))
-        (N.primary_outputs c);
-      if diagram then
-        print_diagram c
-          (fun sid -> (r.Classic.initial_levels.(sid), r.Classic.edges.(sid)))
-          horizon
+      let r =
+        Classic.run
+          (Classic.config ~t_stop:horizon ~budget ?watchdog:wd_config tech)
+          c ~drives
+      in
+      warn_stop r.Classic.stopped_by;
+      if json then
+        print_endline
+          (Json.to_string
+             (simulate_json c ~model_name:"classic" ~horizon ~stats:r.Classic.stats
+                ~stopped:r.Classic.stopped_by ~frozen:r.Classic.frozen
+                ~outputs:
+                  (List.map
+                     (fun sid ->
+                       (N.signal_name c sid, List.length r.Classic.edges.(sid)))
+                     (N.primary_outputs c))))
+      else begin
+        Format.printf "classic: %a@." Halotis_engine.Stats.pp r.Classic.stats;
+        List.iter
+          (fun sid ->
+            Format.printf "%s: %d edges@." (N.signal_name c sid)
+              (List.length r.Classic.edges.(sid)))
+          (N.primary_outputs c);
+        if diagram then
+          print_diagram c
+            (fun sid -> (r.Classic.initial_levels.(sid), r.Classic.edges.(sid)))
+            horizon
+      end;
+      (match vcd_path with
+      | Some p ->
+          let dumps =
+            Array.to_list
+              (Array.map
+                 (fun (s : N.signal) ->
+                   {
+                     Vcd.dump_name = s.N.signal_name;
+                     dump_initial = r.Classic.initial_levels.(s.N.signal_id);
+                     dump_edges = r.Classic.edges.(s.N.signal_id);
+                     dump_x_from = List.assoc_opt s.N.signal_id r.Classic.frozen;
+                   })
+                 (N.signals c))
+          in
+          Vcd.write_file ?comment:(partial_comment r.Classic.stopped_by) p dumps;
+          Printf.eprintf "vcd written to %s\n" p
+      | None -> ());
+      Stop.exit_code r.Classic.stopped_by
   | `Analog ->
       let r = Sim.run (Sim.config ~t_stop:horizon tech) c ~drives in
       List.iter
@@ -319,8 +450,8 @@ let run_simulate path stim_path model t_stop vcd_path diagram liberty report =
           (fun sid ->
             let tr = r.Sim.traces.(sid) in
             (Sim.value_at tr 0. > vt, Sim.crossings tr ~vt))
-          horizon);
-  0
+          horizon;
+      0
 
 (* --- compare --- *)
 
@@ -328,7 +459,7 @@ let run_compare path stim_path t_stop =
   let c = or_die (load_circuit path) in
   let stim = or_die (load_stimfile stim_path) in
   preflight ~stim DL.tech c;
-  let drives = or_die (Stimfile.bind stim c) in
+  let drives = bind_stim stim c in
   let horizon = match t_stop with Some t -> t | None -> 25_000. in
   let rd = Iddm.run (Iddm.config ~t_stop:horizon DL.tech) c ~drives in
   let rc = Iddm.run (Iddm.config ~delay_kind:DM.Cdm ~t_stop:horizon DL.tech) c ~drives in
@@ -356,28 +487,68 @@ let run_compare path stim_path t_stop =
 (* --- faults --- *)
 
 let run_faults path stim_path engine n seed width slope t_stop exhaustive grid format
-    vcd_dir liberty =
+    vcd_dir liberty journal_path resume_path limit_sites site_max_events =
   let tech = load_tech liberty in
   let c = or_die (load_circuit path) in
   let stim = or_die (load_stimfile stim_path) in
-  let drives = or_die (Stimfile.bind stim c) in
+  preflight ~stim tech c;
+  let drives = bind_stim stim c in
   let horizon = horizon_of_drives drives t_stop in
   let pulse =
     try Inject.pulse ~slope ~width ()
-    with Invalid_argument m ->
-      prerr_endline ("halotis: " ^ m);
-      exit 1
+    with Invalid_argument m -> die_diag (Diag.make ~code:"invalid-input" m)
   in
-  let cfg = Campaign.config ~engine ~seed ~n ~pulse ~t_stop:horizon () in
+  let site_budget = Budget.make ?max_events:site_max_events () in
+  let cfg = Campaign.config ~engine ~seed ~n ~pulse ~t_stop:horizon ~site_budget () in
   let sites =
     if not exhaustive then None
     else
       let baseline = Iddm.run (Iddm.config ~t_stop:horizon tech) c ~drives in
       Some (Site.exhaustive ~baseline ~times:(Site.grid ~t0:0. ~t1:horizon ~points:grid))
   in
-  let campaign = Campaign.run ?sites cfg tech c ~drives in
+  (* Checkpoint/resume: --journal starts a fresh journal, --resume
+     loads one and keeps appending to it. *)
+  (match (journal_path, resume_path) with
+  | Some _, Some _ ->
+      die_diag
+        (Diag.make ~code:"usage"
+           ~hint:"--resume already appends new verdicts to the journal it loads"
+           "--journal and --resume are mutually exclusive")
+  | _ -> ());
+  let completed =
+    match resume_path with
+    | None -> []
+    | Some jpath ->
+        let h, verdicts = Journal.load jpath in
+        Journal.check h ~circuit:(N.name c) cfg;
+        Printf.eprintf "faults: resuming from %s: %d verdicts already decided\n" jpath
+          (List.length verdicts);
+        verdicts
+  in
+  let writer =
+    match (journal_path, resume_path) with
+    | Some p, None -> Some (p, Journal.open_new p (Journal.header_of ~circuit:(N.name c) cfg))
+    | None, Some p -> Some (p, Journal.open_append p)
+    | None, None | Some _, Some _ -> None
+  in
+  let on_verdict = Option.map (fun (_, w) idx v -> Journal.write w idx v) writer in
+  let campaign =
+    Campaign.run ?sites ~completed ?limit:limit_sites ?on_verdict cfg tech c ~drives
+  in
+  (match writer with Some (_, w) -> Journal.close w | None -> ());
   (* Summary to stderr so stdout carries only the report document. *)
   Format.eprintf "faults: %s: %s@." (N.name c) (Fault_report.summary campaign);
+  if not campaign.Campaign.cam_complete then begin
+    (* Parked early: no report — the verdicts are durable in the
+       journal and the campaign resumes from there. *)
+    Format.eprintf "faults: campaign parked after %d of %d sites%s@."
+      (List.length campaign.Campaign.cam_verdicts)
+      campaign.Campaign.cam_sites_total
+      (match writer with
+      | Some (p, _) -> Printf.sprintf " — continue with --resume %s" p
+      | None -> " (no --journal: progress was not saved)");
+    exit 3
+  end;
   (match format with
   | `Json -> print_endline (Fault_report.to_string campaign)
   | `Text -> print_string (Fault_report.to_text campaign));
@@ -473,7 +644,7 @@ let run_timing path input_slope liberty period =
 let run_explain path stim_path signal_name at t_stop =
   let c = or_die (load_circuit path) in
   let stim = or_die (load_stimfile stim_path) in
-  let drives = or_die (Stimfile.bind stim c) in
+  let drives = bind_stim stim c in
   let sid =
     match N.find_signal c signal_name with
     | Some s -> s
@@ -734,6 +905,34 @@ let model_arg =
     value & opt model_conv `Ddm
     & info [ "model"; "m" ] ~docv:"MODEL" ~doc:"ddm (default), cdm, classic or analog.")
 
+(* Guardrail flags shared in spirit with doc/robustness.md: budgets
+   stop a run with exit code 3, the watchdog with 4. *)
+let max_events_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:"Stop after N processed events (exit 3; outputs are marked partial).")
+
+let max_wall_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-wall" ] ~docv:"SECONDS" ~doc:"Wall-clock budget for the run (exit 3).")
+
+let max_queue_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-queue" ] ~docv:"N" ~doc:"Event-queue occupancy cap (exit 3).")
+
+let max_sim_time_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-sim-time" ] ~docv:"PS"
+        ~doc:"Simulated-time budget, independent of --t-stop (exit 3).")
+
 let simulate_cmd =
   let doc = "simulate a netlist under a stimulus file" in
   let vcd =
@@ -748,10 +947,47 @@ let simulate_cmd =
       & info [ "report" ]
           ~doc:"Print switching activity, energy and pulse-width statistics (ddm/cdm only).")
   in
+  let watchdog =
+    Arg.(
+      value & flag
+      & info [ "watchdog" ]
+          ~doc:"Halt when a signal oscillates (exit 4, names the feedback loop).")
+  in
+  let degrade =
+    Arg.(
+      value & flag
+      & info [ "degrade" ]
+          ~doc:
+            "Watchdog in degrade mode: freeze the oscillating feedback loop to x and \
+             keep simulating the rest (implies --watchdog).")
+  in
+  let wd_window =
+    Arg.(
+      value
+      & opt float Watchdog.default_window
+      & info [ "watchdog-window" ] ~docv:"PS"
+          ~doc:"Sliding simulated-time window for the oscillation watchdog.")
+  in
+  let wd_threshold =
+    Arg.(
+      value
+      & opt int Watchdog.default_threshold
+      & info [ "watchdog-threshold" ] ~docv:"N"
+          ~doc:"Events per window on one signal that count as oscillation.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit a JSON result document on stdout (stats, stop reason, partial flag) \
+             instead of the text summary (ddm/cdm/classic).")
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run_simulate $ circuit_arg $ stim_arg $ model_arg $ t_stop_arg $ vcd $ diagram
-      $ liberty_arg $ report)
+      $ liberty_arg $ report $ max_events_arg $ max_wall_arg $ max_queue_arg
+      $ max_sim_time_arg $ watchdog $ degrade $ wd_window $ wd_threshold $ json)
 
 let faults_cmd =
   let doc = "SET fault-injection campaign: soft-error robustness analysis" in
@@ -810,10 +1046,49 @@ let faults_cmd =
       & info [ "vcd-dir" ] ~docv:"DIR"
           ~doc:"Re-run each propagated strike and dump its waveforms as VCD here.")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append every verdict to this checkpoint journal (fsynced) so an \
+             interrupted campaign can be resumed with $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume a campaign from a checkpoint journal: completed sites are \
+             skipped, new verdicts keep appending to the same file, and the final \
+             report is byte-identical to an uninterrupted run.")
+  in
+  let limit_sites =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit-sites" ] ~docv:"K"
+          ~doc:
+            "Simulate at most K fresh sites this invocation, then park (exit 3, no \
+             report); combine with $(b,--journal)/$(b,--resume) to chunk a long \
+             campaign.")
+  in
+  let site_max_events =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "site-max-events" ] ~docv:"N"
+          ~doc:
+            "Per-injection event budget: a run that trips it gets a timed-out \
+             verdict instead of stalling the campaign.")
+  in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       const run_faults $ circuit_arg $ stim_arg $ engine $ n $ seed $ width $ slope
-      $ t_stop_arg $ exhaustive $ grid $ format $ vcd_dir $ liberty_arg)
+      $ t_stop_arg $ exhaustive $ grid $ format $ vcd_dir $ liberty_arg $ journal
+      $ resume $ limit_sites $ site_max_events)
 
 let export_cmd =
   let doc = "export a netlist as structural Verilog" in
@@ -915,4 +1190,22 @@ let main_cmd =
       explain_cmd;
     ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* The last line of defence: user-facing failures raised anywhere in a
+   subcommand render as one diagnostic line, never a backtrace. *)
+let () =
+  exit
+    (try Cmd.eval' main_cmd with
+    | Diag.Fail d ->
+        prerr_endline ("halotis: " ^ Diag.to_string d);
+        1
+    | Invalid_argument m ->
+        let hint =
+          if String.length m >= 9 && String.sub m 0 9 = "Dc.levels" then
+            Some
+              "the feedback loop has no stable DC point (a ring oscillator?); bound \
+               the run with --max-events or enable --watchdog"
+          else None
+        in
+        prerr_endline
+          ("halotis: " ^ Diag.to_string (Diag.make ~code:"invalid-input" ?hint m));
+        1)

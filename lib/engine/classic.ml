@@ -7,13 +7,24 @@ module Delay_model = Halotis_delay.Delay_model
 module Heap = Halotis_util.Heap
 module Gate_kind = Halotis_logic.Gate_kind
 module Value = Halotis_logic.Value
+module Stop = Halotis_guard.Stop
+module Budget = Halotis_guard.Budget
+module Watchdog = Halotis_guard.Watchdog
 
 type mode = Inertial | Transport
 
-type config = { tech : Tech.t; t_stop : float option; max_events : int; mode : mode }
+type config = {
+  tech : Tech.t;
+  t_stop : float option;
+  max_events : int;
+  mode : mode;
+  budget : Budget.t;
+  watchdog : Watchdog.config option;
+}
 
-let config ?t_stop ?(max_events = 10_000_000) ?(mode = Inertial) tech =
-  { tech; t_stop; max_events; mode }
+let config ?t_stop ?(max_events = 10_000_000) ?(mode = Inertial)
+    ?(budget = Budget.unlimited) ?watchdog tech =
+  { tech; t_stop; max_events; mode; budget; watchdog }
 
 type result = {
   circuit : Netlist.t;
@@ -23,6 +34,8 @@ type result = {
   stats : Stats.t;
   end_time : float;
   truncated : bool;
+  stopped_by : Stop.t;
+  frozen : (Netlist.signal_id * float) list;
 }
 
 (* Per-signal deque of live pending transaction slots, oldest at
@@ -86,6 +99,13 @@ type state = {
   mutable tx_free_top : int;
   cache : Delay_model.Cache.t;
   stats : Stats.t;
+  (* guardrails *)
+  c : Netlist.t;
+  wd : Watchdog.t option;
+  frozen : Bytes.t; (* signal -> '\001' once the watchdog froze it *)
+  mutable frozen_on : bool;
+  mutable rev_frozen : (int * float) list;
+  mutable stop : Stop.t;
 }
 
 let grow_pool st =
@@ -203,6 +223,23 @@ let eval_gate st gid =
   | Gate_kind.Oai21 -> not ((v 0 || v 1) && v 2)
   | Gate_kind.Mux2 -> if v 2 then v 1 else v 0
 
+(* A watchdog trip: in [Halt] mode flag the whole run for stopping; in
+   [Degrade] mode freeze the offending feedback loop so no new
+   transactions get scheduled on it while the rest keeps simulating. *)
+let watchdog_trip st wd ~signal ~at =
+  let fs = Watchdog.freeze_set st.c ~signal in
+  match Watchdog.mode wd with
+  | Watchdog.Halt -> st.stop <- Stop.Oscillation (Watchdog.offender_names st.c fs)
+  | Watchdog.Degrade ->
+      List.iter
+        (fun s ->
+          if Bytes.get st.frozen s = '\000' then begin
+            Bytes.set st.frozen s '\001';
+            st.rev_frozen <- (s, at) :: st.rev_frozen
+          end)
+        fs;
+      st.frozen_on <- true
+
 let evaluate_fanout st ~now sid =
   (* A gate with several pins on [sid] evaluates once per pin in the
      paper's event model; one evaluation per distinct gate suffices
@@ -211,7 +248,10 @@ let evaluate_fanout st ~now sid =
     let gid = st.fan_gate.(e) in
     let new_out = eval_gate st gid in
     let out_sid = st.g_out.(gid) in
-    if new_out <> scheduled_target st out_sid then begin
+    if st.frozen_on && Bytes.get st.frozen out_sid = '\001' then
+      (* frozen output: the gate evaluated but schedules nothing *)
+      st.stats.Stats.noop_evaluations <- st.stats.Stats.noop_evaluations + 1
+    else if new_out <> scheduled_target st out_sid then begin
       Delay_model.Cache.eval st.cache gid Delay_model.Cdm ~rising_out:new_out
         ~pin:st.fan_pin.(e) ~tau_in:0. ~t_event:now ~last_output_start:Float.nan;
       let tp = Delay_model.Cache.tp st.cache in
@@ -300,6 +340,12 @@ let run ?(injections = []) cfg c ~drives =
       tx_free_top = 0;
       cache = Delay_model.Cache.create cfg.tech c ~loads;
       stats = Stats.create ();
+      c;
+      wd = Option.map (fun w -> Watchdog.create w ~nsignals) cfg.watchdog;
+      frozen = Bytes.make nsignals '\000';
+      frozen_on = false;
+      rev_frozen = [];
+      stop = Stop.Completed;
     }
   in
   (* Seed input switches at the ramps' 50% instants. *)
@@ -330,47 +376,82 @@ let run ?(injections = []) cfg c ~drives =
         invalid_arg "Classic.run: injection on unknown signal";
       List.iter (fun (at, value) -> ignore (enqueue_tx st ~sid ~at ~value)) toggles)
     injections;
+  (* Main loop; see the matching comment in {!Iddm} — the horizon folds
+     [t_stop] and the budget's [max_sim_time], the monitor folds the
+     legacy [max_events]. *)
+  let horizon, horizon_stop =
+    match (cfg.t_stop, cfg.budget.Budget.max_sim_time) with
+    | None, None -> (infinity, Stop.Completed)
+    | Some ts, None -> (ts, Stop.Completed)
+    | None, Some mt -> (mt, Stop.Sim_time mt)
+    | Some ts, Some mt -> if mt < ts then (mt, Stop.Sim_time mt) else (ts, Stop.Completed)
+  in
+  let monitor =
+    let b = cfg.budget in
+    let max_events =
+      match b.Budget.max_events with
+      | Some n -> Some (min n cfg.max_events)
+      | None -> Some cfg.max_events
+    in
+    Budget.Monitor.create { b with Budget.max_events }
+  in
   let end_time = ref 0. in
-  let truncated = ref false in
   let continue = ref true in
   while !continue do
     if Heap.Unboxed.is_empty st.queue then continue := false
     else begin
       let t = Heap.Unboxed.min_key st.queue in
-      match cfg.t_stop with
-      | Some stop when t > stop -> continue := false
-      | Some _ | None ->
-          let slot = Heap.Unboxed.pop st.queue in
-          if Bytes.get st.tx_dead slot = '\001' then begin
-            st.stats.Stats.stale_skipped <- st.stats.Stats.stale_skipped + 1;
-            free_tx st slot
-          end
-          else begin
-            st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1;
-            end_time := Float.max !end_time t;
-            let sid = st.tx_sid.(slot) in
-            let value = Bytes.get st.tx_value slot = '\001' in
-            (* reclaim a committed driver transaction from its deque;
-               injected toggles were never entered *)
-            let txq = st.pending.(sid) in
-            if txq.txq_head < txq.txq_tail && txq.txq_buf.(txq.txq_head) = slot then
-              txq.txq_head <- txq.txq_head + 1;
-            free_tx st slot;
-            if st.value.(sid) <> value then begin
-              st.value.(sid) <- value;
-              let polarity = if value then Transition.Rising else Transition.Falling in
-              st.rev_edges.(sid) <- { Digital.at = t; polarity } :: st.rev_edges.(sid);
-              st.stats.Stats.transitions_emitted <-
-                st.stats.Stats.transitions_emitted + 1;
-              evaluate_fanout st ~now:t sid
-            end;
-            if st.stats.Stats.events_processed >= cfg.max_events then begin
-              truncated := true;
+      if t > horizon then begin
+        st.stop <- horizon_stop;
+        continue := false
+      end
+      else begin
+        let slot = Heap.Unboxed.pop st.queue in
+        if Bytes.get st.tx_dead slot = '\001' then begin
+          st.stats.Stats.stale_skipped <- st.stats.Stats.stale_skipped + 1;
+          free_tx st slot
+        end
+        else begin
+          match Budget.Monitor.hit monitor ~queue:(Heap.Unboxed.length st.queue) with
+          | Some reason ->
+              free_tx st slot;
+              st.stop <- reason;
               continue := false
-            end
-          end
+          | None ->
+              st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1;
+              end_time := Float.max !end_time t;
+              let sid = st.tx_sid.(slot) in
+              let value = Bytes.get st.tx_value slot = '\001' in
+              (* reclaim a committed driver transaction from its deque;
+                 injected toggles were never entered *)
+              let txq = st.pending.(sid) in
+              if txq.txq_head < txq.txq_tail && txq.txq_buf.(txq.txq_head) = slot then
+                txq.txq_head <- txq.txq_head + 1;
+              free_tx st slot;
+              if
+                st.value.(sid) <> value
+                && not (st.frozen_on && Bytes.get st.frozen sid = '\001')
+              then begin
+                st.value.(sid) <- value;
+                let polarity = if value then Transition.Rising else Transition.Falling in
+                st.rev_edges.(sid) <- { Digital.at = t; polarity } :: st.rev_edges.(sid);
+                st.stats.Stats.transitions_emitted <-
+                  st.stats.Stats.transitions_emitted + 1;
+                (match st.wd with
+                | Some wd ->
+                    if Watchdog.record wd ~signal:sid ~now:t then
+                      watchdog_trip st wd ~signal:sid ~at:t
+                | None -> ());
+                evaluate_fanout st ~now:t sid
+              end;
+              (* a Halt-mode watchdog trip *)
+              if not (Stop.completed st.stop) then continue := false
+        end
+      end
     end
   done;
+  let final_stop = st.stop in
+  st.stats.Stats.stopped_by <- final_stop;
   {
     circuit = c;
     edges = Array.map List.rev st.rev_edges;
@@ -378,7 +459,9 @@ let run ?(injections = []) cfg c ~drives =
     final_levels = st.value;
     stats = st.stats;
     end_time = !end_time;
-    truncated = !truncated;
+    truncated = not (Stop.completed final_stop);
+    stopped_by = final_stop;
+    frozen = List.rev st.rev_frozen;
   }
 
 let edges_of_name result name =

@@ -20,12 +20,19 @@ type config = {
   t_stop : Halotis_util.Units.time option;
   max_events : int;
   mode : mode;
+  budget : Halotis_guard.Budget.t;
+      (** resource guardrails (see {!Iddm.config}); the classic engine
+          is the one that genuinely needs them — a ring oscillator
+          never quiesces here *)
+  watchdog : Halotis_guard.Watchdog.config option;
 }
 
 val config :
   ?t_stop:Halotis_util.Units.time ->
   ?max_events:int ->
   ?mode:mode ->
+  ?budget:Halotis_guard.Budget.t ->
+  ?watchdog:Halotis_guard.Watchdog.config ->
   Halotis_tech.Tech.t ->
   config
 
@@ -38,6 +45,13 @@ type result = {
   stats : Stats.t;
   end_time : Halotis_util.Units.time;
   truncated : bool;
+      (** true when a guardrail stopped the run; the edges are a valid
+          prefix of the full run *)
+  stopped_by : Halotis_guard.Stop.t;
+      (** the precise stop reason ([Completed] iff [not truncated]) *)
+  frozen : (Halotis_netlist.Netlist.signal_id * Halotis_util.Units.time) list;
+      (** signals a [Degrade]-mode watchdog froze, with the freeze
+          instant — their values are meaningless (X) from that time on *)
 }
 
 val run :

@@ -8,6 +8,9 @@ module Delay_model = Halotis_delay.Delay_model
 module Heap = Halotis_util.Heap
 module Gate_kind = Halotis_logic.Gate_kind
 module Value = Halotis_logic.Value
+module Stop = Halotis_guard.Stop
+module Budget = Halotis_guard.Budget
+module Watchdog = Halotis_guard.Watchdog
 
 type config = {
   tech : Tech.t;
@@ -16,11 +19,13 @@ type config = {
   t_stop : float option;
   max_events : int;
   trace : bool;
+  budget : Budget.t;
+  watchdog : Watchdog.config option;
 }
 
 let config ?(delay_kind = Delay_model.Ddm) ?(cancellation = true) ?t_stop
-    ?(max_events = 10_000_000) ?(trace = false) tech =
-  { tech; delay_kind; cancellation; t_stop; max_events; trace }
+    ?(max_events = 10_000_000) ?(trace = false) ?(budget = Budget.unlimited) ?watchdog tech =
+  { tech; delay_kind; cancellation; t_stop; max_events; trace; budget; watchdog }
 
 type trace_entry = {
   te_signal : Netlist.signal_id;
@@ -38,6 +43,8 @@ type result = {
   stats : Stats.t;
   end_time : float;
   truncated : bool;
+  stopped_by : Stop.t;
+  frozen : (Netlist.signal_id * float) list;
   trace : trace_entry list;
 }
 
@@ -123,6 +130,12 @@ type state = {
   cache : Delay_model.Cache.t; (* per-run delay coefficients *)
   injections : injection array;
   stats : Stats.t;
+  (* guardrails *)
+  wd : Watchdog.t option;
+  frozen : Bytes.t; (* signal -> '\001' once the watchdog froze it *)
+  mutable frozen_on : bool; (* cheap gate on the frozen lookups *)
+  mutable rev_frozen : (int * float) list;
+  mutable stop : Stop.t; (* Completed until a guardrail trips *)
 }
 
 let grow_pool st =
@@ -247,11 +260,31 @@ let fan_out st sid (outcome : Waveform.append_outcome) (tr : Transition.t) =
     end
   done
 
+(* A watchdog trip: in [Halt] mode flag the whole run for stopping; in
+   [Degrade] mode freeze the offending feedback loop so its events die
+   out while the rest of the circuit keeps simulating. *)
+let watchdog_trip st wd ~signal ~at =
+  let fs = Watchdog.freeze_set st.c ~signal in
+  match Watchdog.mode wd with
+  | Watchdog.Halt -> st.stop <- Stop.Oscillation (Watchdog.offender_names st.c fs)
+  | Watchdog.Degrade ->
+      List.iter
+        (fun s ->
+          if Bytes.get st.frozen s = '\000' then begin
+            Bytes.set st.frozen s '\001';
+            st.rev_frozen <- (s, at) :: st.rev_frozen
+          end)
+        fs;
+      st.frozen_on <- true
+
 let process_pin_event st ~now ~gate ~pin ~rising ~tau_in =
   let base = st.g_base.(gate) in
   Bytes.set st.pin_level (base + pin) (if rising then '\001' else '\000');
   let new_out = eval_gate st.g_kind.(gate) st.pin_level base (st.g_base.(gate + 1) - base) in
   if new_out = st.out_target.(gate) then
+    st.stats.Stats.noop_evaluations <- st.stats.Stats.noop_evaluations + 1
+  else if st.frozen_on && Bytes.get st.frozen st.g_out.(gate) = '\001' then
+    (* frozen output: the gate evaluated but emits nothing *)
     st.stats.Stats.noop_evaluations <- st.stats.Stats.noop_evaluations + 1
   else begin
     let out_sid = st.g_out.(gate) in
@@ -270,6 +303,11 @@ let process_pin_event st ~now ~gate ~pin ~rising ~tau_in =
       st.stats.Stats.transitions_annulled + List.length outcome.Waveform.dropped;
     if outcome.Waveform.accepted then begin
       st.stats.Stats.transitions_emitted <- st.stats.Stats.transitions_emitted + 1;
+      (match st.wd with
+      | Some wd ->
+          if Watchdog.record wd ~signal:out_sid ~now:tr.Transition.start then
+            watchdog_trip st wd ~signal:out_sid ~at:tr.Transition.start
+      | None -> ());
       if st.cfg.trace then
         st.rev_trace <-
           {
@@ -384,6 +422,11 @@ let run ?(injections = []) cfg c ~drives =
       cache = Delay_model.Cache.create cfg.tech c ~loads;
       injections = Array.of_list injections;
       stats = Stats.create ();
+      wd = Option.map (fun w -> Watchdog.create w ~nsignals) cfg.watchdog;
+      frozen = Bytes.make nsignals '\000';
+      frozen_on = false;
+      rev_frozen = [];
+      stop = Stop.Completed;
     }
   in
   (* Seed: apply the primary-input drives, then schedule the crossings
@@ -428,60 +471,91 @@ let run ?(injections = []) cfg c ~drives =
           Bytes.set st.ev_dead ev '\000';
           ignore (Heap.Unboxed.insert st.queue ~key:first.Transition.start ev))
     st.injections;
-  (* Main loop. *)
+  (* Main loop.  The simulated-time horizon folds [t_stop] and the
+     budget's [max_sim_time] into one comparison (recording which bound
+     applied); the legacy [max_events] safety net folds into the budget
+     monitor, which is exact, so both paths process the same events the
+     old per-event counter check did. *)
+  let horizon, horizon_stop =
+    match (cfg.t_stop, cfg.budget.Budget.max_sim_time) with
+    | None, None -> (infinity, Stop.Completed)
+    | Some ts, None -> (ts, Stop.Completed)
+    | None, Some mt -> (mt, Stop.Sim_time mt)
+    | Some ts, Some mt -> if mt < ts then (mt, Stop.Sim_time mt) else (ts, Stop.Completed)
+  in
+  let monitor =
+    let b = cfg.budget in
+    let max_events =
+      match b.Budget.max_events with
+      | Some n -> Some (min n cfg.max_events)
+      | None -> Some cfg.max_events
+    in
+    Budget.Monitor.create { b with Budget.max_events }
+  in
   let end_time = ref 0. in
-  let truncated = ref false in
   let continue = ref true in
   while !continue do
     if Heap.Unboxed.is_empty st.queue then continue := false
     else begin
       let t = Heap.Unboxed.min_key st.queue in
-      match cfg.t_stop with
-      | Some stop when t > stop -> continue := false
-      | Some _ | None ->
-          let ev = Heap.Unboxed.pop st.queue in
-          if Bytes.get st.ev_dead ev = '\001' then begin
-            (* a cancelled (tombstoned) event surfacing: recycle it *)
-            st.stats.Stats.stale_skipped <- st.stats.Stats.stale_skipped + 1;
-            free_event st ev
+      if t > horizon then begin
+        st.stop <- horizon_stop;
+        continue := false
+      end
+      else begin
+        let ev = Heap.Unboxed.pop st.queue in
+        if Bytes.get st.ev_dead ev = '\001' then begin
+          (* a cancelled (tombstoned) event surfacing: recycle it *)
+          st.stats.Stats.stale_skipped <- st.stats.Stats.stale_skipped + 1;
+          free_event st ev
+        end
+        else begin
+          let gate = st.ev_gate.(ev) in
+          let pin = st.ev_pin.(ev) in
+          (* Injection splices are stimulus, not simulation work; only
+             pin events count as processed (and against the budget). *)
+          if gate < 0 then begin
+            end_time := Float.max !end_time t;
+            free_event st ev;
+            process_injection st st.injections.(pin)
           end
           else begin
-            end_time := Float.max !end_time t;
-            let gate = st.ev_gate.(ev) in
-            let pin = st.ev_pin.(ev) in
-            (* Injection splices are stimulus, not simulation work; only
-               pin events count as processed. *)
-            if gate < 0 then begin
-              free_event st ev;
-              process_injection st st.injections.(pin)
-            end
-            else begin
-              st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1;
-              let rising = Bytes.get st.ev_rising ev = '\001' in
-              let tau_in = st.ev_tau.(ev) in
-              if st.cfg.cancellation then begin
-                (* the oldest live entry of its pin deque is this event *)
-                let pq = st.pending.(st.g_base.(gate) + pin) in
-                if pq.pq_head < pq.pq_tail && pq.pq_buf.(pq.pq_head) = ev then
-                  pq.pq_head <- pq.pq_head + 1
-              end;
-              free_event st ev;
-              process_pin_event st ~now:t ~gate ~pin ~rising ~tau_in
-            end;
-            if st.stats.Stats.events_processed >= cfg.max_events then begin
-              truncated := true;
-              continue := false
-            end
+            match Budget.Monitor.hit monitor ~queue:(Heap.Unboxed.length st.queue) with
+            | Some reason ->
+                free_event st ev;
+                st.stop <- reason;
+                continue := false
+            | None ->
+                end_time := Float.max !end_time t;
+                st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1;
+                let rising = Bytes.get st.ev_rising ev = '\001' in
+                let tau_in = st.ev_tau.(ev) in
+                if st.cfg.cancellation then begin
+                  (* the oldest live entry of its pin deque is this event *)
+                  let pq = st.pending.(st.g_base.(gate) + pin) in
+                  if pq.pq_head < pq.pq_tail && pq.pq_buf.(pq.pq_head) = ev then
+                    pq.pq_head <- pq.pq_head + 1
+                end;
+                free_event st ev;
+                process_pin_event st ~now:t ~gate ~pin ~rising ~tau_in;
+                (* a Halt-mode watchdog trip inside process_pin_event *)
+                if not (Stop.completed st.stop) then continue := false
           end
+        end
+      end
     end
   done;
+  let final_stop = st.stop in
+  st.stats.Stats.stopped_by <- final_stop;
   {
     circuit = c;
     run_config = cfg;
     waveforms = st.wf;
     stats = st.stats;
     end_time = !end_time;
-    truncated = !truncated;
+    truncated = not (Stop.completed final_stop);
+    stopped_by = final_stop;
+    frozen = List.rev st.rev_frozen;
     trace = List.rev st.rev_trace;
   }
 

@@ -27,6 +27,13 @@ type config = {
   t_stop : Halotis_util.Units.time option;
   max_events : int;  (** safety valve against oscillating circuits *)
   trace : bool;  (** record transition causality for {!explain} *)
+  budget : Halotis_guard.Budget.t;
+      (** resource guardrails; trips stop the run gracefully with a
+          {!Halotis_guard.Stop.t} reason instead of raising.  Its
+          [max_events] combines with the legacy [max_events] field (the
+          tighter bound wins) *)
+  watchdog : Halotis_guard.Watchdog.config option;
+      (** oscillation watchdog; [None] (default) disables it *)
 }
 
 val config :
@@ -35,10 +42,12 @@ val config :
   ?t_stop:Halotis_util.Units.time ->
   ?max_events:int ->
   ?trace:bool ->
+  ?budget:Halotis_guard.Budget.t ->
+  ?watchdog:Halotis_guard.Watchdog.config ->
   Halotis_tech.Tech.t ->
   config
 (** Defaults: DDM, cancellation on, no time bound, 10 million events,
-    tracing off. *)
+    tracing off, unlimited budget, no watchdog. *)
 
 type trace_entry = {
   te_signal : Halotis_netlist.Netlist.signal_id;  (** where the ramp landed *)
@@ -55,7 +64,16 @@ type result = {
   waveforms : Halotis_wave.Waveform.t array;  (** indexed by signal id *)
   stats : Stats.t;
   end_time : Halotis_util.Units.time;  (** time of the last processed event *)
-  truncated : bool;  (** true when [max_events] stopped the run *)
+  truncated : bool;
+      (** true when a guardrail (budget or watchdog halt) stopped the
+          run before it quiesced or reached [t_stop]; the waveforms are
+          a valid prefix of the full run *)
+  stopped_by : Halotis_guard.Stop.t;
+      (** the precise stop reason ([Completed] iff [not truncated]) *)
+  frozen : (Halotis_netlist.Netlist.signal_id * Halotis_util.Units.time) list;
+      (** signals a [Degrade]-mode watchdog froze, with the freeze
+          instant — their waveforms are meaningless (X) from that time
+          on; in freeze order *)
   trace : trace_entry list;
       (** chronological causality record of every accepted output
           transition; empty unless [config.trace] *)

@@ -19,6 +19,9 @@ type t = {
   mutable transitions_emitted : int;  (** output transitions appended to waveforms *)
   mutable transitions_annulled : int;  (** stored transitions wiped by later ones *)
   mutable noop_evaluations : int;  (** gate evaluations that left the output unchanged *)
+  mutable stopped_by : Halotis_guard.Stop.t;
+      (** why the run ended; anything other than [Completed] means the
+          counters (and the waveforms they describe) are partial *)
 }
 
 val create : unit -> t
@@ -27,14 +30,23 @@ val copy : t -> t
 val merge : t -> t -> unit
 (** [merge into t] accumulates [t]'s counters into [into] — the
     aggregation primitive of fault-injection campaigns, which sum event
-    counts across many runs. *)
+    counts across many runs.  [into.stopped_by] keeps its value unless
+    it is [Completed], in which case it takes [t]'s (so an aggregate is
+    marked partial as soon as any contributing run was). *)
 
 val diff : t -> t -> t
 (** [diff a b] is a fresh record of per-counter differences [a - b]:
     what an injected run cost {e beyond} its baseline.  Counters may be
-    negative when [b] outgrew [a]. *)
+    negative when [b] outgrew [a].  [stopped_by] is taken from [a]. *)
 
 val total : t -> int
 (** Sum of all counters — a scalar activity measure. *)
 
 val pp : Format.formatter -> t -> unit
+(** Appends ["; stopped: <reason>"] only when the run did not
+    complete. *)
+
+val to_json : t -> Halotis_util.Json.t
+(** Counters as a JSON object (field order matches the record); a
+    [stopped_by] member is present only when the run did not complete.
+    Shared by the simulate [--json] output and fault reports. *)

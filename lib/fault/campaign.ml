@@ -7,6 +7,9 @@ module Tech = Halotis_tech.Tech
 module DM = Halotis_delay.Delay_model
 module Hazard = Halotis_sta.Hazard
 module Prng = Halotis_util.Prng
+module Stop = Halotis_guard.Stop
+module Budget = Halotis_guard.Budget
+module Diag = Halotis_guard.Diag
 
 type engine = Ddm | Cdm | Classic_inertial
 
@@ -21,12 +24,20 @@ let engine_of_string = function
   | "classic" -> Some Classic_inertial
   | _ -> None
 
-type outcome = Propagated | Electrically_masked | Logically_masked
+type outcome = Propagated | Electrically_masked | Logically_masked | Timed_out
 
 let outcome_to_string = function
   | Propagated -> "propagated"
   | Electrically_masked -> "electrically-masked"
   | Logically_masked -> "logically-masked"
+  | Timed_out -> "timed-out"
+
+let outcome_of_string = function
+  | "propagated" -> Some Propagated
+  | "electrically-masked" -> Some Electrically_masked
+  | "logically-masked" -> Some Logically_masked
+  | "timed-out" -> Some Timed_out
+  | _ -> None
 
 type config = {
   engine : engine;
@@ -35,13 +46,14 @@ type config = {
   pulse : Inject.pulse;
   t_stop : float;
   window : (float * float) option;
+  site_budget : Budget.t;
 }
 
 let config ?(engine = Ddm) ?(seed = 1) ?(n = 100) ?(pulse = Inject.pulse ~width:150. ())
-    ?window ~t_stop () =
+    ?window ?(site_budget = Budget.unlimited) ~t_stop () =
   if n < 0 then invalid_arg "Campaign.config: n must be non-negative";
   if t_stop <= 0. then invalid_arg "Campaign.config: t_stop must be positive";
-  { engine; seed; n; pulse; t_stop; window }
+  { engine; seed; n; pulse; t_stop; window; site_budget }
 
 type verdict = {
   vd_site : Site.t;
@@ -57,6 +69,8 @@ type t = {
   cam_verdicts : verdict list;
   cam_baseline_stats : Stats.t;
   cam_total_stats : Stats.t;
+  cam_sites_total : int;
+  cam_complete : bool;
 }
 
 (* One injected run reduced to what classification needs: per-signal
@@ -114,8 +128,10 @@ let classify ~c ~is_classic ~(base : observed) ~(site : Site.t) (inj : observed)
     vd_stats = delta;
   }
 
-let run ?sites cfg tech c ~drives =
-  let iddm_cfg kind = Iddm.config ~delay_kind:kind ~t_stop:cfg.t_stop tech in
+let run ?sites ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
+  (* The baseline never carries the per-site budget: it is the
+     reference every verdict is diffed against, so it must be whole. *)
+  let iddm_cfg ?budget kind = Iddm.config ~delay_kind:kind ~t_stop:cfg.t_stop ?budget tech in
   let ddm_baseline = Iddm.run (iddm_cfg DM.Ddm) c ~drives in
   let sites =
     match sites with
@@ -135,40 +151,92 @@ let run ?sites cfg tech c ~drives =
   let observe_classic (r : Classic.result) =
     { ob_edges = Array.copy r.Classic.edges; ob_stats = r.Classic.stats }
   in
+  let budget = cfg.site_budget in
   let base, run_site, is_classic =
     match cfg.engine with
     | Ddm ->
         ( observe_iddm ddm_baseline,
           (fun site ->
-            observe_iddm (Inject.run_iddm (iddm_cfg DM.Ddm) c ~drives ~site ~pulse:cfg.pulse)),
+            observe_iddm
+              (Inject.run_iddm (iddm_cfg ~budget DM.Ddm) c ~drives ~site ~pulse:cfg.pulse)),
           false )
     | Cdm ->
         ( observe_iddm (Iddm.run (iddm_cfg DM.Cdm) c ~drives),
           (fun site ->
-            observe_iddm (Inject.run_iddm (iddm_cfg DM.Cdm) c ~drives ~site ~pulse:cfg.pulse)),
+            observe_iddm
+              (Inject.run_iddm (iddm_cfg ~budget DM.Cdm) c ~drives ~site ~pulse:cfg.pulse)),
           false )
     | Classic_inertial ->
-        let ccfg = Classic.config ~t_stop:cfg.t_stop tech in
-        ( observe_classic (Classic.run ccfg c ~drives),
+        let ccfg ?budget () = Classic.config ~t_stop:cfg.t_stop ?budget tech in
+        ( observe_classic (Classic.run (ccfg ()) c ~drives),
           (fun site ->
-            observe_classic (Inject.run_classic ccfg c ~drives ~site ~pulse:cfg.pulse)),
+            observe_classic
+              (Inject.run_classic (ccfg ~budget ()) c ~drives ~site ~pulse:cfg.pulse)),
           true )
   in
-  let total = Stats.create () in
-  let verdicts =
-    List.map
-      (fun site ->
-        let inj = run_site site in
-        Stats.merge total inj.ob_stats;
-        classify ~c ~is_classic ~base ~site inj)
-      sites
+  (* Resume: [completed] must be a verdict-for-verdict prefix of the
+     deterministic site list — anything else means the journal belongs
+     to a different campaign. *)
+  let site_arr = Array.of_list sites in
+  let nsites = Array.length site_arr in
+  let ncompleted = List.length completed in
+  if ncompleted > nsites then
+    Diag.fail ~code:"journal-mismatch"
+      (Printf.sprintf "journal has %d verdicts but the campaign has only %d sites"
+         ncompleted nsites);
+  List.iteri
+    (fun i (v : verdict) ->
+      if Site.compare site_arr.(i) v.vd_site <> 0 then
+        Diag.fail ~code:"journal-mismatch"
+          (Printf.sprintf
+             "journal verdict %d was recorded at a different site — wrong seed, circuit or \
+              campaign parameters"
+             i))
+    completed;
+  let fresh_total = nsites - ncompleted in
+  let fresh_count =
+    match limit with Some k -> min (max 0 k) fresh_total | None -> fresh_total
   in
+  let fresh = ref [] in
+  for i = 0 to fresh_count - 1 do
+    let idx = ncompleted + i in
+    let site = site_arr.(idx) in
+    let inj = run_site site in
+    let v =
+      if not (Stop.completed inj.ob_stats.Stats.stopped_by) then
+        (* the per-site budget tripped: the run is a prefix, so no
+           verdict about masking can be trusted — record the trip *)
+        {
+          vd_site = site;
+          vd_outcome = Timed_out;
+          vd_po_edges_delta = 0;
+          vd_first_diff_output = None;
+          vd_stats = Stats.diff inj.ob_stats base.ob_stats;
+        }
+      else classify ~c ~is_classic ~base ~site inj
+    in
+    (match on_verdict with Some f -> f idx v | None -> ());
+    fresh := v :: !fresh
+  done;
+  let verdicts = completed @ List.rev !fresh in
+  (* Rebuild the all-runs total from the per-verdict deltas: the raw
+     counters of run [i] are [delta_i + base], integer-exact, so a
+     resumed campaign reconstructs the same total an uninterrupted one
+     accumulates. *)
+  let total = Stats.create () in
+  List.iter
+    (fun (v : verdict) ->
+      Stats.merge total v.vd_stats;
+      Stats.merge total base.ob_stats)
+    verdicts;
   {
     cam_circuit = c;
     cam_config = cfg;
     cam_verdicts = verdicts;
     cam_baseline_stats = Stats.copy base.ob_stats;
     cam_total_stats = total;
+    cam_sites_total = nsites;
+    cam_complete = List.length verdicts = nsites;
   }
 
 let counts t =
@@ -177,8 +245,14 @@ let counts t =
       match v.vd_outcome with
       | Propagated -> (p + 1, e, l)
       | Electrically_masked -> (p, e + 1, l)
-      | Logically_masked -> (p, e, l + 1))
+      | Logically_masked -> (p, e, l + 1)
+      | Timed_out -> (p, e, l))
     (0, 0, 0) t.cam_verdicts
+
+let timed_out t =
+  List.fold_left
+    (fun n v -> if v.vd_outcome = Timed_out then n + 1 else n)
+    0 t.cam_verdicts
 
 let masking_rate t =
   let p, e, l = counts t in

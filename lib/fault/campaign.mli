@@ -28,9 +28,17 @@ type engine = Ddm | Cdm | Classic_inertial
 val engine_to_string : engine -> string
 val engine_of_string : string -> engine option
 
-type outcome = Propagated | Electrically_masked | Logically_masked
+type outcome =
+  | Propagated
+  | Electrically_masked
+  | Logically_masked
+  | Timed_out
+      (** the per-site resource budget ({!config.site_budget}) stopped
+          the injected run before it finished: no masking verdict can
+          be trusted, but the campaign carries on *)
 
 val outcome_to_string : outcome -> string
+val outcome_of_string : string -> outcome option
 
 type config = {
   engine : engine;
@@ -40,6 +48,10 @@ type config = {
   t_stop : Halotis_util.Units.time;  (** simulation horizon, ps *)
   window : (Halotis_util.Units.time * Halotis_util.Units.time) option;
       (** injection time window; default [(0, t_stop)] *)
+  site_budget : Halotis_guard.Budget.t;
+      (** resource budget applied to each {e injected} run (never to
+          the baselines); a trip yields a {!Timed_out} verdict instead
+          of aborting the campaign *)
 }
 
 val config :
@@ -48,10 +60,12 @@ val config :
   ?n:int ->
   ?pulse:Inject.pulse ->
   ?window:Halotis_util.Units.time * Halotis_util.Units.time ->
+  ?site_budget:Halotis_guard.Budget.t ->
   t_stop:Halotis_util.Units.time ->
   unit ->
   config
-(** Defaults: DDM, seed 1, 100 injections, a 150 ps / 100 ps pulse. *)
+(** Defaults: DDM, seed 1, 100 injections, a 150 ps / 100 ps pulse,
+    unlimited per-site budget. *)
 
 type verdict = {
   vd_site : Site.t;
@@ -70,11 +84,20 @@ type t = {
   cam_verdicts : verdict list;  (** in site order *)
   cam_baseline_stats : Halotis_engine.Stats.t;
   cam_total_stats : Halotis_engine.Stats.t;
-      (** all injected runs merged ({!Halotis_engine.Stats.merge}) *)
+      (** all injected runs merged ({!Halotis_engine.Stats.merge});
+          rebuilt from per-verdict deltas so a resumed campaign gets
+          the identical total an uninterrupted one does *)
+  cam_sites_total : int;  (** sites the campaign comprises *)
+  cam_complete : bool;
+      (** false when [limit] stopped the campaign early — the verdict
+          list covers only a prefix of the sites *)
 }
 
 val run :
   ?sites:Site.t list ->
+  ?completed:verdict list ->
+  ?limit:int ->
+  ?on_verdict:(int -> verdict -> unit) ->
   config ->
   Halotis_tech.Tech.t ->
   Halotis_netlist.Netlist.t ->
@@ -84,10 +107,25 @@ val run :
     the same list to several campaigns to compare engines on identical
     strikes.  Sites are always enumerated against a DDM baseline (the
     reference levels), whatever [config.engine] simulates the strikes.
-    @raise Invalid_argument on an empty window or site list trouble. *)
+
+    Checkpoint/resume: [completed] (default empty) supplies verdicts
+    already decided — typically loaded from a {!Journal} — which must
+    match the leading sites one-for-one; only the remaining sites are
+    simulated, so an interrupted-then-resumed campaign returns a value
+    byte-identical (through {!Fault_report}) to a straight-through one.
+    [limit] caps how many {e fresh} sites get simulated this call
+    (the campaign is then [cam_complete = false]).  [on_verdict] fires
+    after each fresh site with its global index — the journaling hook.
+    @raise Invalid_argument on an empty window or site list trouble.
+    @raise Halotis_guard.Diag.Fail ([journal-mismatch]) when
+    [completed] does not match the campaign's site list. *)
 
 val counts : t -> int * int * int
-(** [(propagated, electrically_masked, logically_masked)]. *)
+(** [(propagated, electrically_masked, logically_masked)] —
+    {!Timed_out} verdicts are counted by {!timed_out} alone. *)
+
+val timed_out : t -> int
+(** Number of {!Timed_out} verdicts. *)
 
 val masking_rate : t -> float
 (** Fraction of injections that did {e not} propagate; 0 on an empty

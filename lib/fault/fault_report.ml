@@ -3,17 +3,10 @@ module Stats = Halotis_engine.Stats
 module Transition = Halotis_wave.Transition
 module Json = Halotis_util.Json
 
-let stats_json (s : Stats.t) =
-  Json.Obj
-    [
-      ("events_scheduled", Json.Num (float_of_int s.Stats.events_scheduled));
-      ("events_processed", Json.Num (float_of_int s.Stats.events_processed));
-      ("events_filtered", Json.Num (float_of_int s.Stats.events_filtered));
-      ("stale_skipped", Json.Num (float_of_int s.Stats.stale_skipped));
-      ("transitions_emitted", Json.Num (float_of_int s.Stats.transitions_emitted));
-      ("transitions_annulled", Json.Num (float_of_int s.Stats.transitions_annulled));
-      ("noop_evaluations", Json.Num (float_of_int s.Stats.noop_evaluations));
-    ]
+(* Shared with the simulate --json output; emits the same seven
+   counters this module always did, plus a [stopped_by] member only for
+   runs a guardrail stopped. *)
+let stats_json = Stats.to_json
 
 let verdict_json c (v : Campaign.verdict) =
   let site = v.Campaign.vd_site in
@@ -46,6 +39,8 @@ let to_json (t : Campaign.t) =
       ("engine", Json.Str (Campaign.engine_to_string cfg.Campaign.engine));
       ("seed", Json.Num (float_of_int cfg.Campaign.seed));
       ("injections", Json.Num (float_of_int (List.length t.Campaign.cam_verdicts)));
+      ("sites_total", Json.Num (float_of_int t.Campaign.cam_sites_total));
+      ("partial", Json.Bool (not t.Campaign.cam_complete));
       ( "pulse",
         Json.Obj
           [
@@ -60,6 +55,7 @@ let to_json (t : Campaign.t) =
             ("propagated", Json.Num (float_of_int propagated));
             ("electrically_masked", Json.Num (float_of_int electrical));
             ("logically_masked", Json.Num (float_of_int logical));
+            ("timed_out", Json.Num (float_of_int (Campaign.timed_out t)));
             ("masking_rate", Json.Num (Campaign.masking_rate t));
           ] );
       ( "vulnerable_gates",
@@ -102,7 +98,11 @@ let to_text (t : Campaign.t) =
   addf "  propagated           %4d  (%5.1f%%)\n" propagated (pct propagated);
   addf "  electrically masked  %4d  (%5.1f%%)\n" electrical (pct electrical);
   addf "  logically masked     %4d  (%5.1f%%)\n" logical (pct logical);
+  addf "  timed out            %4d  (%5.1f%%)\n" (Campaign.timed_out t)
+    (pct (Campaign.timed_out t));
   addf "  masking rate         %.2f\n" (Campaign.masking_rate t);
+  if not t.Campaign.cam_complete then
+    addf "  PARTIAL: %d of %d sites simulated\n" n t.Campaign.cam_sites_total;
   (match Campaign.vulnerability t with
   | [] -> addf "\nno gate propagated a strike\n"
   | ranked ->

@@ -1,0 +1,257 @@
+module Stats = Halotis_engine.Stats
+module Transition = Halotis_wave.Transition
+module Stop = Halotis_guard.Stop
+module Diag = Halotis_guard.Diag
+
+type header = {
+  jh_circuit : string;
+  jh_engine : Campaign.engine;
+  jh_seed : int;
+  jh_n : int;
+  jh_width : float;
+  jh_slope : float;
+  jh_t_stop : float;
+  jh_window : (float * float) option;
+}
+
+let magic = "# halotis-faults journal v1"
+
+let header_of ~circuit (cfg : Campaign.config) =
+  {
+    jh_circuit = circuit;
+    jh_engine = cfg.Campaign.engine;
+    jh_seed = cfg.Campaign.seed;
+    jh_n = cfg.Campaign.n;
+    jh_width = cfg.Campaign.pulse.Inject.width;
+    jh_slope = cfg.Campaign.pulse.Inject.slope;
+    jh_t_stop = cfg.Campaign.t_stop;
+    jh_window = cfg.Campaign.window;
+  }
+
+let check h ~circuit (cfg : Campaign.config) =
+  let fail what = Diag.fail ~code:"journal-mismatch"
+      (Printf.sprintf "journal was written for a different campaign: %s differs" what)
+  in
+  if h.jh_circuit <> circuit then fail "circuit";
+  if h.jh_engine <> cfg.Campaign.engine then fail "engine";
+  if h.jh_seed <> cfg.Campaign.seed then fail "seed";
+  if h.jh_n <> cfg.Campaign.n then fail "n";
+  if h.jh_width <> cfg.Campaign.pulse.Inject.width then fail "pulse width";
+  if h.jh_slope <> cfg.Campaign.pulse.Inject.slope then fail "pulse slope";
+  if h.jh_t_stop <> cfg.Campaign.t_stop then fail "t_stop";
+  if h.jh_window <> cfg.Campaign.window then fail "window"
+
+(* %h prints a lossless hex float; float_of_string reads it back
+   bit-exactly, which is what makes resumed reports byte-identical. *)
+let fstr = Printf.sprintf "%h"
+
+let stop_token = function
+  | Stop.Completed -> "-"
+  | Stop.Event_budget n -> "E" ^ string_of_int n
+  | Stop.Wall_clock s -> "W" ^ fstr s
+  | Stop.Queue_cap n -> "Q" ^ string_of_int n
+  | Stop.Sim_time t -> "T" ^ fstr t
+  | Stop.Oscillation names -> "O" ^ String.concat ";" names
+
+let stop_of_token tok =
+  if tok = "-" then Some Stop.Completed
+  else if String.length tok < 2 then None
+  else
+    let rest = String.sub tok 1 (String.length tok - 1) in
+    match tok.[0] with
+    | 'E' -> Option.map (fun n -> Stop.Event_budget n) (int_of_string_opt rest)
+    | 'W' -> Option.map (fun s -> Stop.Wall_clock s) (float_of_string_opt rest)
+    | 'Q' -> Option.map (fun n -> Stop.Queue_cap n) (int_of_string_opt rest)
+    | 'T' -> Option.map (fun t -> Stop.Sim_time t) (float_of_string_opt rest)
+    | 'O' -> Some (Stop.Oscillation (String.split_on_char ';' rest))
+    | _ -> None
+
+let verdict_line idx (v : Campaign.verdict) =
+  let site = v.Campaign.vd_site in
+  let s = v.Campaign.vd_stats in
+  Printf.sprintf "v %d %d %d %c %s %s %d %s %d %d %d %d %d %d %d %s" idx
+    site.Site.st_signal site.Site.st_gate
+    (match site.Site.st_polarity with Transition.Rising -> 'R' | Transition.Falling -> 'F')
+    (fstr site.Site.st_at)
+    (Campaign.outcome_to_string v.Campaign.vd_outcome)
+    v.Campaign.vd_po_edges_delta
+    (match v.Campaign.vd_first_diff_output with Some n -> n | None -> "-")
+    s.Stats.events_scheduled s.Stats.events_processed s.Stats.events_filtered
+    s.Stats.stale_skipped s.Stats.transitions_emitted s.Stats.transitions_annulled
+    s.Stats.noop_evaluations
+    (stop_token s.Stats.stopped_by)
+
+let parse_verdict_line line =
+  match String.split_on_char ' ' line with
+  | [
+   "v"; idx; sig_; gate; pol; at; outcome; po_delta; first_diff; es; ep; ef; ss; te; ta;
+   ne; stop;
+  ] -> (
+      let ( let* ) = Option.bind in
+      let* idx = int_of_string_opt idx in
+      let* st_signal = int_of_string_opt sig_ in
+      let* st_gate = int_of_string_opt gate in
+      let* st_polarity =
+        match pol with
+        | "R" -> Some Transition.Rising
+        | "F" -> Some Transition.Falling
+        | _ -> None
+      in
+      let* st_at = float_of_string_opt at in
+      let* vd_outcome = Campaign.outcome_of_string outcome in
+      let* vd_po_edges_delta = int_of_string_opt po_delta in
+      let vd_first_diff_output = if first_diff = "-" then None else Some first_diff in
+      let* es = int_of_string_opt es in
+      let* ep = int_of_string_opt ep in
+      let* ef = int_of_string_opt ef in
+      let* ss = int_of_string_opt ss in
+      let* te = int_of_string_opt te in
+      let* ta = int_of_string_opt ta in
+      let* ne = int_of_string_opt ne in
+      let* stopped_by = stop_of_token stop in
+      let vd_stats = Stats.create () in
+      vd_stats.Stats.events_scheduled <- es;
+      vd_stats.Stats.events_processed <- ep;
+      vd_stats.Stats.events_filtered <- ef;
+      vd_stats.Stats.stale_skipped <- ss;
+      vd_stats.Stats.transitions_emitted <- te;
+      vd_stats.Stats.transitions_annulled <- ta;
+      vd_stats.Stats.noop_evaluations <- ne;
+      vd_stats.Stats.stopped_by <- stopped_by;
+      Some
+        ( idx,
+          {
+            Campaign.vd_site = { Site.st_signal; st_gate; st_polarity; st_at };
+            vd_outcome;
+            vd_po_edges_delta;
+            vd_first_diff_output;
+            vd_stats;
+          } ))
+  | _ -> None
+
+type writer = { oc : out_channel; sync_every : int; mutable unsynced : int }
+
+let sync w =
+  flush w.oc;
+  Unix.fsync (Unix.descr_of_out_channel w.oc);
+  w.unsynced <- 0
+
+let open_new ?(sync_every = 8) path h =
+  let oc = open_out path in
+  let w = { oc; sync_every = max 1 sync_every; unsynced = 0 } in
+  output_string oc (magic ^ "\n");
+  output_string oc (Printf.sprintf "! circuit %s\n" h.jh_circuit);
+  let w0, w1 =
+    match h.jh_window with Some (a, b) -> (fstr a, fstr b) | None -> ("-", "-")
+  in
+  output_string oc
+    (Printf.sprintf "! params %s %d %d %s %s %s %s %s\n"
+       (Campaign.engine_to_string h.jh_engine)
+       h.jh_seed h.jh_n (fstr h.jh_width) (fstr h.jh_slope) (fstr h.jh_t_stop) w0 w1);
+  sync w;
+  w
+
+let open_append ?(sync_every = 8) path =
+  (* A torn final record (the crash wrote half a line) must go before
+     appending, or the next verdict line would begin mid-record and a
+     later {!load} would reject the file. *)
+  let keep =
+    let content = In_channel.with_open_bin path In_channel.input_all in
+    match String.rindex_opt content '\n' with Some i -> i + 1 | None -> 0
+  in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd keep;
+  ignore (Unix.lseek fd keep Unix.SEEK_SET);
+  let oc = Unix.out_channel_of_descr fd in
+  { oc; sync_every = max 1 sync_every; unsynced = 0 }
+
+let write w idx v =
+  output_string w.oc (verdict_line idx v ^ "\n");
+  w.unsynced <- w.unsynced + 1;
+  if w.unsynced >= w.sync_every then sync w
+
+let close w =
+  sync w;
+  close_out w.oc
+
+let parse_fail path msg =
+  Diag.fail ~file:path ~code:"journal-parse" msg
+    ~hint:"re-run without --resume to start the campaign over"
+
+let load path =
+  let content =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg -> Diag.fail ~code:"journal-parse" msg
+  in
+  (* A torn write can only affect the tail: drop anything after the
+     last newline so a half-written final record never parses. *)
+  let content =
+    match String.rindex_opt content '\n' with
+    | Some i -> String.sub content 0 i
+    | None -> ""
+  in
+  let lines = if content = "" then [] else String.split_on_char '\n' content in
+  match lines with
+  | [] -> parse_fail path "empty journal"
+  | m :: rest when m = magic -> (
+      let circuit, rest =
+        match rest with
+        | l :: tl when String.length l > 10 && String.sub l 0 10 = "! circuit " ->
+            (String.sub l 10 (String.length l - 10), tl)
+        | _ -> parse_fail path "missing '! circuit' line"
+      in
+      let header, rest =
+        match rest with
+        | l :: tl -> (
+            match String.split_on_char ' ' l with
+            | [ "!"; "params"; engine; seed; n; width; slope; t_stop; w0; w1 ] -> (
+                let parsed =
+                  let ( let* ) = Option.bind in
+                  let* jh_engine = Campaign.engine_of_string engine in
+                  let* jh_seed = int_of_string_opt seed in
+                  let* jh_n = int_of_string_opt n in
+                  let* jh_width = float_of_string_opt width in
+                  let* jh_slope = float_of_string_opt slope in
+                  let* jh_t_stop = float_of_string_opt t_stop in
+                  let* jh_window =
+                    match (w0, w1) with
+                    | "-", "-" -> Some None
+                    | _ -> (
+                        match (float_of_string_opt w0, float_of_string_opt w1) with
+                        | Some a, Some b -> Some (Some (a, b))
+                        | _ -> None)
+                  in
+                  Some
+                    {
+                      jh_circuit = circuit;
+                      jh_engine;
+                      jh_seed;
+                      jh_n;
+                      jh_width;
+                      jh_slope;
+                      jh_t_stop;
+                      jh_window;
+                    }
+                in
+                match parsed with
+                | Some h -> (h, tl)
+                | None -> parse_fail path "malformed '! params' line")
+            | _ -> parse_fail path "missing '! params' line")
+        | [] -> parse_fail path "missing '! params' line"
+      in
+      let vlines = List.filter (fun l -> l <> "") rest in
+      let nlines = List.length vlines in
+      let verdicts = List.mapi (fun i l -> (l, i = nlines - 1)) vlines in
+      let rec collect acc next = function
+        | [] -> List.rev acc
+        | (line, is_last) :: tl -> (
+            match parse_verdict_line line with
+            | Some (idx, v) when idx = next -> collect (v :: acc) (next + 1) tl
+            | Some _ | None ->
+                (* only the final record may be torn; anything earlier
+                   is corruption *)
+                if is_last then List.rev acc
+                else parse_fail path (Printf.sprintf "corrupt verdict record: %S" line))
+      in
+      (header, collect [] 0 verdicts))
+  | _ -> parse_fail path "not a halotis-faults journal (bad magic line)"

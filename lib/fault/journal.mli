@@ -1,0 +1,65 @@
+(** Append-only campaign checkpoint journal.
+
+    A campaign that dies minutes in loses every verdict it computed;
+    the journal makes the work durable.  The writer appends one line
+    per verdict as {!Campaign.run}'s [on_verdict] hook fires, fsyncing
+    every [sync_every] lines, so after a crash or kill at any point the
+    file holds a (possibly truncated) prefix of the campaign.
+    [halotis faults --resume] loads it, revalidates the header against
+    the requested campaign, and hands the verdicts to {!Campaign.run}'s
+    [completed] — producing a final report byte-identical to an
+    uninterrupted run.
+
+    Format (line-oriented text, one record per line):
+    - [# halotis-faults journal v1] — magic first line;
+    - [! circuit NAME] and
+      [! params ENGINE SEED N WIDTH SLOPE T_STOP W0 W1] — the campaign
+      fingerprint (floats printed with [%h], lossless);
+    - [v IDX SIGNAL GATE POL AT OUTCOME PO_DELTA FIRST_DIFF 7xCOUNTER STOP]
+      — one verdict: site ids, hex-float strike instant, outcome
+      token, the stats delta, and a stop token ([-] = completed).
+
+    {!load} tolerates a torn final line (the crash wrote half a record)
+    by discarding it; any earlier corruption or an index gap is an
+    error. *)
+
+type header = {
+  jh_circuit : string;
+  jh_engine : Campaign.engine;
+  jh_seed : int;
+  jh_n : int;
+  jh_width : float;
+  jh_slope : float;
+  jh_t_stop : float;
+  jh_window : (float * float) option;
+}
+
+val header_of : circuit:string -> Campaign.config -> header
+
+val check : header -> circuit:string -> Campaign.config -> unit
+(** @raise Halotis_guard.Diag.Fail ([journal-mismatch]) naming the
+    first campaign parameter that differs. *)
+
+type writer
+
+val open_new : ?sync_every:int -> string -> header -> writer
+(** Creates (or truncates) the journal, writes and fsyncs the header.
+    [sync_every] (default 8) is how many verdicts may sit unsynced. *)
+
+val open_append : ?sync_every:int -> string -> writer
+(** Opens an existing journal for appending after a {!load}; writes
+    nothing until {!write}. *)
+
+val write : writer -> int -> Campaign.verdict -> unit
+(** Appends verdict line [IDX]; fsyncs when the unsynced count reaches
+    [sync_every]. *)
+
+val close : writer -> unit
+(** Final flush + fsync + close. *)
+
+val load : string -> header * Campaign.verdict list
+(** Parses a journal: the header and the verdicts in index order
+    (indices must be [0, 1, ...] consecutive).  A torn final line is
+    silently dropped.
+    @raise Halotis_guard.Diag.Fail ([journal-parse]) on a missing or
+    malformed file. *)

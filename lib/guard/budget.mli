@@ -1,0 +1,51 @@
+(** Resource budgets for a simulation run.
+
+    A budget bounds how much work a run may do before it is stopped
+    gracefully.  All limits are optional; {!unlimited} disables them
+    all.  The hot loop pays one countdown decrement and one branch per
+    event via {!Monitor.hit}; the expensive checks (wall clock, queue
+    occupancy) only run every [interval] events.  The event budget is
+    exact: the monitor refills the countdown with
+    [min interval (remaining events)], so a run with
+    [max_events = Some n] processes exactly [n] events before
+    stopping. *)
+
+type t = {
+  max_events : int option;  (** processed (non-stale) events *)
+  max_wall_s : float option;  (** wall-clock seconds *)
+  max_queue : int option;  (** event-queue occupancy (live + stale slots) *)
+  max_sim_time : float option;  (** simulated time horizon, ps *)
+}
+
+val unlimited : t
+
+val make :
+  ?max_events:int -> ?max_wall_s:float -> ?max_queue:int -> ?max_sim_time:float -> unit -> t
+
+val is_unlimited : t -> bool
+
+(** The per-run checking state.  One monitor per engine run; not
+    reusable across runs (it owns the wall-clock start time and the
+    event countdown). *)
+module Monitor : sig
+  type budget = t
+  type t
+
+  val create : ?interval:int -> budget -> t
+  (** [interval] is how many events pass between slow-path checks
+      (default 1024).  The event budget stays exact regardless of
+      [interval]. *)
+
+  val hit : t -> queue:int -> Stop.t option
+  (** Call once per live event, {e before} processing it.  [queue] is
+      the current event-queue occupancy (only inspected on the slow
+      path, so passing a cheap upper bound such as heap length is
+      fine).  [None] means the event may be processed; [Some reason]
+      means the budget disallows it and the caller must stop — exactly
+      [max_events] events get processed under an event budget.  After a
+      trip, further calls are unspecified. *)
+
+  val events_seen : t -> int
+  (** Events accounted so far (exact, including the countdown in
+      flight). *)
+end

@@ -1,0 +1,60 @@
+module Json = Halotis_util.Json
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  code : string;
+  file : string option;
+  line : int option;
+  message : string;
+  hint : string option;
+}
+
+exception Fail of t
+
+let make ?(severity = Error) ?file ?line ?hint ~code message =
+  { severity; code; file; line; message; hint }
+
+let fail ?file ?line ?hint ~code message =
+  raise (Fail (make ?file ?line ?hint ~code message))
+
+let severity_string = function Error -> "error" | Warning -> "warning" | Note -> "note"
+
+let to_string t =
+  let b = Buffer.create 80 in
+  Buffer.add_string b (severity_string t.severity);
+  Buffer.add_char b '[';
+  Buffer.add_string b t.code;
+  Buffer.add_string b "]: ";
+  (match t.file with
+  | Some f ->
+      Buffer.add_string b f;
+      (match t.line with
+      | Some l ->
+          Buffer.add_char b ':';
+          Buffer.add_string b (string_of_int l)
+      | None -> ());
+      Buffer.add_string b ": "
+  | None -> ());
+  Buffer.add_string b t.message;
+  (match t.hint with
+  | Some h ->
+      Buffer.add_string b "\n  hint: ";
+      Buffer.add_string b h
+  | None -> ());
+  Buffer.contents b
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let to_json t =
+  let opt k f v rest = match v with None -> rest | Some x -> (k, f x) :: rest in
+  Json.Obj
+    (("severity", Json.Str (severity_string t.severity))
+    :: ("code", Json.Str t.code)
+    :: opt "file" (fun f -> Json.Str f) t.file
+         (opt "line"
+            (fun l -> Json.Num (float_of_int l))
+            t.line
+            (("message", Json.Str t.message)
+            :: opt "hint" (fun h -> Json.Str h) t.hint [])))

@@ -1,0 +1,50 @@
+(** Structured diagnostics.
+
+    Parsers and engine setup used to fail with bare [Failure]/
+    [Invalid_argument] exceptions — no file, no line, no advice, and a
+    backtrace in the user's face.  A {!t} carries everything a tool
+    needs to render a useful message once, in one place: severity, a
+    stable machine-readable code, an optional source location, the
+    message, and an optional one-line hint.  The CLI catches {!Fail}
+    and prints {!to_string} without a backtrace; JSON emitters embed
+    {!to_json}. *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  code : string;  (** stable slug, e.g. ["netlist-parse"], ["dc-unstable"] *)
+  file : string option;
+  line : int option;
+  message : string;
+  hint : string option;
+}
+
+exception Fail of t
+(** The one exception guarded code is allowed to throw for user-facing
+    failures. *)
+
+val make :
+  ?severity:severity ->
+  ?file:string ->
+  ?line:int ->
+  ?hint:string ->
+  code:string ->
+  string ->
+  t
+(** [make ~code msg] builds a diagnostic; severity defaults to
+    [Error]. *)
+
+val fail : ?file:string -> ?line:int -> ?hint:string -> code:string -> string -> 'a
+(** [fail ~code msg] raises {!Fail} with an [Error] diagnostic. *)
+
+val to_string : t -> string
+(** ["error[netlist-parse]: c17.hnl:12: unknown gate kind 'nand9'"],
+    followed by ["  hint: ..."] on its own line when a hint is
+    present. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Halotis_util.Json.t
+(** Object with [severity]/[code]/[message] and, when present,
+    [file]/[line]/[hint]. *)

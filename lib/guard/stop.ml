@@ -1,0 +1,41 @@
+module Json = Halotis_util.Json
+
+type t =
+  | Completed
+  | Event_budget of int
+  | Wall_clock of float
+  | Queue_cap of int
+  | Sim_time of float
+  | Oscillation of string list
+
+let completed = function Completed -> true | _ -> false
+
+let to_string = function
+  | Completed -> "completed"
+  | Event_budget n -> Printf.sprintf "event-budget(%d)" n
+  | Wall_clock s -> Printf.sprintf "wall-clock(%gs)" s
+  | Queue_cap n -> Printf.sprintf "queue-cap(%d)" n
+  | Sim_time t -> Printf.sprintf "sim-time(%gps)" t
+  | Oscillation names -> Printf.sprintf "oscillation(%s)" (String.concat "," names)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let to_json = function
+  | Completed -> Json.Null
+  | Event_budget n ->
+      Json.Obj [ ("reason", Json.Str "event-budget"); ("limit", Json.Num (float_of_int n)) ]
+  | Wall_clock s -> Json.Obj [ ("reason", Json.Str "wall-clock"); ("limit", Json.Num s) ]
+  | Queue_cap n ->
+      Json.Obj [ ("reason", Json.Str "queue-cap"); ("limit", Json.Num (float_of_int n)) ]
+  | Sim_time t -> Json.Obj [ ("reason", Json.Str "sim-time"); ("limit", Json.Num t) ]
+  | Oscillation names ->
+      Json.Obj
+        [
+          ("reason", Json.Str "oscillation");
+          ("signals", Json.Arr (List.map (fun n -> Json.Str n) names));
+        ]
+
+let exit_code = function
+  | Completed -> 0
+  | Event_budget _ | Wall_clock _ | Queue_cap _ | Sim_time _ -> 3
+  | Oscillation _ -> 4

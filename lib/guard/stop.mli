@@ -1,0 +1,41 @@
+(** Why a simulation run ended.
+
+    The HALOTIS algorithm (Fig. 4) assumes every run quiesces; real
+    deployments cannot.  Instead of hanging on a ring oscillator or
+    dying with an exception after minutes of work, the engines stop
+    {e gracefully} — partial waveforms are kept, statistics stay
+    consistent — and record the reason here.  [Completed] covers both
+    queue exhaustion (natural quiescence) and reaching an explicit
+    [t_stop] horizon; everything else is a guardrail trip and marks the
+    results as partial. *)
+
+type t =
+  | Completed  (** queue drained or the [t_stop] horizon was reached *)
+  | Event_budget of int  (** processed-event budget hit (the limit) *)
+  | Wall_clock of float  (** wall-clock budget hit (the limit, seconds) *)
+  | Queue_cap of int  (** event-queue occupancy cap exceeded (the cap) *)
+  | Sim_time of float  (** simulated-time budget hit (the limit, ps) *)
+  | Oscillation of string list
+      (** the watchdog found non-quiescing signals and the run was
+          configured to halt; carries the offending signal names
+          (the feedback SCC's outputs, sorted) *)
+
+val completed : t -> bool
+(** [true] only for [Completed]: the results cover the whole requested
+    run. *)
+
+val to_string : t -> string
+(** Stable one-token-ish rendering, e.g. ["event-budget(1000)"] or
+    ["oscillation(a,b,c)"]; ["completed"] for {!Completed}.  Used in
+    logs, stats and report documents. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Halotis_util.Json.t
+(** [Null] for [Completed], otherwise an object
+    [{"reason": ..., "limit": ...}] (["signals"] for oscillation). *)
+
+val exit_code : t -> int
+(** The CLI contract (documented in [doc/robustness.md]): 0 for
+    {!Completed}, 3 for any resource-budget trip, 4 for an oscillation
+    halt. *)

@@ -1,0 +1,51 @@
+module Netlist = Halotis_netlist.Netlist
+module Check = Halotis_netlist.Check
+
+type mode = Halt | Degrade
+
+type config = { window : float; threshold : int; wd_mode : mode }
+
+let default_window = 10_000.
+let default_threshold = 256
+
+let config ?(window = default_window) ?(threshold = default_threshold) ?(mode = Halt) () =
+  { window; threshold; wd_mode = mode }
+
+type t = {
+  cfg : config;
+  counts : int array;  (* events on this signal inside the current window *)
+  win_start : float array;  (* where this signal's current window began *)
+}
+
+let create cfg ~nsignals =
+  { cfg; counts = Array.make nsignals 0; win_start = Array.make nsignals neg_infinity }
+
+let mode t = t.cfg.wd_mode
+
+let record t ~signal ~now =
+  if now -. t.win_start.(signal) > t.cfg.window then begin
+    t.win_start.(signal) <- now;
+    t.counts.(signal) <- 1;
+    false
+  end
+  else begin
+    let c = t.counts.(signal) + 1 in
+    t.counts.(signal) <- c;
+    c >= t.cfg.threshold
+  end
+
+let freeze_set netlist ~signal =
+  match (Netlist.signal netlist signal).Netlist.driver with
+  | None -> [ signal ]
+  | Some driver -> (
+      let scc =
+        List.find_opt (fun gs -> List.mem driver gs) (Check.sccs netlist)
+      in
+      match scc with
+      | Some gates when List.length gates > 1 ->
+          List.sort_uniq compare
+            (List.map (fun g -> (Netlist.gate netlist g).Netlist.output) gates)
+      | _ -> [ signal ])
+
+let offender_names netlist signals =
+  List.sort compare (List.map (Netlist.signal_name netlist) signals)

@@ -1,0 +1,55 @@
+(** Oscillation watchdog.
+
+    A combinational feedback loop with odd inversion parity (a ring
+    oscillator) never quiesces under the classic/CDM engines — the run
+    spins forever inside [t_stop].  The watchdog tracks, per signal,
+    how many output events fire inside a sliding window of {e simulated}
+    time; a signal that exceeds [threshold] events per [window] is
+    oscillating.  Depending on {!mode} the engine then either halts the
+    run ([Stop.Oscillation]) or freezes the oscillating feedback loop —
+    every signal of the SCC that drives the offender — to [X] and lets
+    the rest of the circuit continue. *)
+
+type mode =
+  | Halt  (** stop the whole run, naming the offending signals *)
+  | Degrade
+      (** freeze the offending SCC's signals to [X] and continue
+          simulating the rest of the circuit *)
+
+type config = {
+  window : float;  (** sliding window width, ps *)
+  threshold : int;  (** events per window that count as oscillation *)
+  wd_mode : mode;
+}
+
+val default_window : float
+(** 10_000 ps. *)
+
+val default_threshold : int
+(** 256 events per window — far above anything a quiescing circuit
+    produces, low enough to trip within microseconds of simulated
+    oscillation. *)
+
+val config : ?window:float -> ?threshold:int -> ?mode:mode -> unit -> config
+
+type t
+
+val create : config -> nsignals:int -> t
+
+val mode : t -> mode
+
+val record : t -> signal:int -> now:float -> bool
+(** Account one committed output event on [signal] at simulated time
+    [now] (event times on one signal are non-decreasing).  Returns
+    [true] when this signal just crossed the oscillation threshold. *)
+
+val freeze_set : Halotis_netlist.Netlist.t -> signal:int -> int list
+(** The signals to freeze when [signal] trips: the outputs of every
+    gate in the SCC containing [signal]'s driver (the whole feedback
+    loop — freezing just one signal would leave the rest of the ring
+    churning).  Falls back to [[signal]] when the driver is not in any
+    multi-gate SCC. *)
+
+val offender_names : Halotis_netlist.Netlist.t -> int list -> string list
+(** Sorted signal names for a freeze set, for messages and
+    [Stop.Oscillation]. *)

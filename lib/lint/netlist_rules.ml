@@ -36,6 +36,7 @@ let run config c =
              config.Rule.fanout_threshold))
     (N.signals c);
   (* NL003 — every feedback SCC, not just one witness cycle. *)
+  let sccs = Check.sccs c in
   List.iter
     (fun scc ->
       let names = List.map (N.gate_name c) scc in
@@ -45,7 +46,73 @@ let run config c =
             cannot order them"
            (List.length scc)
            (if List.length scc = 1 then "" else "s")))
-    (Check.sccs c);
+    sccs;
+  (* NL008 — feedback loops likely to oscillate.  A cycle whose
+     inversion count is odd (a ring oscillator) has no stable point; a
+     cycle through XOR-like gates inverts or not depending on the other
+     inputs.  Detected by 2-colouring each SCC over its internal edges,
+     where crossing a gate flips the colour iff the gate inverts: a
+     colouring conflict is an odd (inverting) cycle.  Even-parity SCCs
+     (cross-coupled NAND latches) are bistable, not oscillatory, and
+     stay NL003-only. *)
+  let inversion_parity (k : Halotis_logic.Gate_kind.t) =
+    let module GK = Halotis_logic.Gate_kind in
+    match k with
+    | GK.Inv | GK.Nand _ | GK.Nor _ | GK.Aoi21 | GK.Oai21 -> Some true
+    | GK.Buf | GK.And _ | GK.Or _ -> Some false
+    | GK.Xor _ | GK.Xnor _ | GK.Mux2 -> None
+  in
+  List.iter
+    (fun scc ->
+      let members = Hashtbl.create (List.length scc) in
+      List.iter (fun g -> Hashtbl.replace members g ()) scc;
+      let ambiguous =
+        List.exists (fun g -> inversion_parity (N.gate c g).N.kind = None) scc
+      in
+      let odd_cycle =
+        if ambiguous then false
+        else begin
+          (* colour.(relabelled gate) = cumulative inversion parity from
+             the BFS root; an intra-SCC edge closing onto a different
+             parity than recorded witnesses an odd cycle. *)
+          let colour = Hashtbl.create (List.length scc) in
+          let root = List.hd scc in
+          Hashtbl.replace colour root false;
+          let queue = Queue.create () in
+          Queue.add root queue;
+          let conflict = ref false in
+          while not (Queue.is_empty queue) do
+            let g = Queue.pop queue in
+            let cg = Hashtbl.find colour g in
+            Array.iter
+              (fun (lg, _pin) ->
+                if Hashtbl.mem members lg then begin
+                  let flips =
+                    match inversion_parity (N.gate c lg).N.kind with
+                    | Some b -> b
+                    | None -> false (* unreachable: ambiguous SCCs skip *)
+                  in
+                  let want = cg <> flips in
+                  match Hashtbl.find_opt colour lg with
+                  | None ->
+                      Hashtbl.replace colour lg want;
+                      Queue.add lg queue
+                  | Some have -> if have <> want then conflict := true
+                end)
+              (N.signal c (N.gate c g).N.output).N.loads
+          done;
+          !conflict
+        end
+      in
+      if odd_cycle || ambiguous then
+        let names = List.map (N.gate_name c) scc in
+        push
+          (Rule.emit config Rule.nl008 (Finding.Gates names)
+             "feedback loop %s and is likely to oscillate without settling; simulate \
+              with --max-events or the oscillation watchdog"
+             (if ambiguous then "passes through data-dependent (XOR/MUX) gates"
+              else "has an odd number of inversions")))
+    sccs;
   (* NL006 — gates no primary input can influence. *)
   let reachable = Check.pi_reachable_gates c in
   Array.iter

@@ -43,6 +43,11 @@ let nl007 =
     "gate output is fixed by tie cells and could be folded at compile time"
     "`gate g nor2 r const1 b` — the output is always 0"
 
+let nl008 =
+  rule "NL008" Finding.Netlist Finding.Warning
+    "feedback loop has inverting parity (or data-dependent gates) and may oscillate"
+    "a ring `inv a b` + `inv b c` + `nand2 en c a` — odd inversion count"
+
 let tk001 =
   rule "TK001" Finding.Tech Finding.Error
     "output slope tau_out = s0 + s_load*CL is not positive at a representative load"
@@ -105,7 +110,7 @@ let st003 =
 
 let all =
   [
-    nl001; nl002; nl003; nl004; nl005; nl006; nl007;
+    nl001; nl002; nl003; nl004; nl005; nl006; nl007; nl008;
     tk001; tk002; tk003; tk004; tk005; tk006;
     lb001; lb002; lb003;
     st001; st002; st003;

@@ -26,6 +26,8 @@ val nl006 : t  (** gate unreachable from any primary input *)
 
 val nl007 : t  (** gate output fixed by tie cells (foldable) *)
 
+val nl008 : t  (** feedback loop with inverting parity: oscillation risk *)
+
 (** Technology / delay-model parameters. *)
 
 val tk001 : t  (** non-positive output slope [tau_out] *)

@@ -2,6 +2,7 @@ type signal_dump = {
   dump_name : string;
   dump_initial : bool;
   dump_edges : Digital.edge list;
+  dump_x_from : float option;
 }
 
 let ident_of_index i =
@@ -14,11 +15,12 @@ let ident_of_index i =
   in
   build i ""
 
-let render ?(timescale_ps = 1) ?(module_name = "halotis") dumps =
+let render ?(timescale_ps = 1) ?(module_name = "halotis") ?comment dumps =
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pr "$date reproduction run $end\n";
   pr "$version HALOTIS-ocaml $end\n";
+  (match comment with Some c -> pr "$comment %s $end\n" c | None -> ());
   pr "$timescale %dps $end\n" timescale_ps;
   pr "$scope module %s $end\n" module_name;
   List.iteri
@@ -30,20 +32,32 @@ let render ?(timescale_ps = 1) ?(module_name = "halotis") dumps =
     (fun i d -> pr "%c%s\n" (if d.dump_initial then '1' else '0') (ident_of_index i))
     dumps;
   pr "$end\n";
+  let tick_of at = int_of_float (Float.round (at /. float_of_int timescale_ps)) in
   let changes =
     List.concat
       (List.mapi
          (fun i d ->
-           List.map
-             (fun (e : Digital.edge) ->
-               let tick =
-                 int_of_float (Float.round (e.Digital.at /. float_of_int timescale_ps))
-               in
-               let bit =
-                 match e.Digital.polarity with Transition.Rising -> '1' | Falling -> '0'
-               in
-               (tick, i, bit))
-             d.dump_edges)
+           (* A frozen signal goes to x at the freeze instant and stays
+              there: later edges (there should be none) are dropped. *)
+           let edges =
+             match d.dump_x_from with
+             | None -> d.dump_edges
+             | Some t ->
+                 List.filter (fun (e : Digital.edge) -> e.Digital.at < t) d.dump_edges
+           in
+           let xs =
+             match d.dump_x_from with
+             | None -> []
+             | Some t -> [ (tick_of t, i, 'x') ]
+           in
+           xs
+           @ List.map
+               (fun (e : Digital.edge) ->
+                 let bit =
+                   match e.Digital.polarity with Transition.Rising -> '1' | Falling -> '0'
+                 in
+                 (tick_of e.Digital.at, i, bit))
+               edges)
          dumps)
   in
   let sorted = List.sort compare changes in
@@ -58,14 +72,15 @@ let render ?(timescale_ps = 1) ?(module_name = "halotis") dumps =
     sorted;
   Buffer.contents buf
 
-let of_waveform ~name ~vt w =
+let of_waveform ~name ~vt ?x_from w =
   {
     dump_name = name;
     dump_initial = Waveform.initial w > vt;
     dump_edges = Digital.edges w ~vt;
+    dump_x_from = x_from;
   }
 
-let write_file path dumps =
+let write_file ?comment path dumps =
   let oc = open_out path in
-  output_string oc (render dumps);
+  output_string oc (render ?comment dumps);
   close_out oc

@@ -5,18 +5,28 @@ type signal_dump = {
   dump_name : string;
   dump_initial : bool;
   dump_edges : Digital.edge list;
+  dump_x_from : float option;
+      (** dump [x] from this instant on (a guardrail froze the signal
+          or truncated the run); edges at or after it are dropped *)
 }
 
 val render :
   ?timescale_ps:int ->
   ?module_name:string ->
+  ?comment:string ->
   signal_dump list ->
   string
 (** [render dumps] produces a complete VCD document.  Edge times are
-    rounded to multiples of [timescale_ps] (default 1). *)
+    rounded to multiples of [timescale_ps] (default 1).  [comment]
+    becomes a [$comment ... $end] header line — how partial dumps from
+    a budget-stopped run are marked. *)
 
 val of_waveform :
-  name:string -> vt:Halotis_util.Units.voltage -> Waveform.t -> signal_dump
+  name:string ->
+  vt:Halotis_util.Units.voltage ->
+  ?x_from:float ->
+  Waveform.t ->
+  signal_dump
 (** Digitizes one waveform under threshold [vt]. *)
 
-val write_file : string -> signal_dump list -> unit
+val write_file : ?comment:string -> string -> signal_dump list -> unit

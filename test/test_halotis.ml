@@ -5,4 +5,5 @@ let () =
    @ Test_stim.tests @ Test_power.tests @ Test_report.tests @ Test_integration.tests
    @ Test_sta.tests @ Test_liberty.tests @ Test_engine_edge.tests
    @ Test_sequential.tests @ Test_cmos.tests @ Test_goldens.tests
-   @ Test_lint.tests @ Test_fault.tests @ Test_perf_equiv.tests @ Test_cli.tests)
+   @ Test_lint.tests @ Test_fault.tests @ Test_perf_equiv.tests @ Test_guard.tests
+   @ Test_cli.tests)
