@@ -29,6 +29,7 @@ let experiments : (string * string * (unit -> Halotis_report.Experiment.t list))
     ("vdd", "low-voltage operation (extension)", Exp_vdd.run);
     ("mult8", "the paper's protocol on an 8x8 multiplier (extension)", Exp_mult8.run);
     ("faults", "SET campaigns: DDM vs classic masking (extension)", Exp_faults.run);
+    ("jobs", "sharded fault campaigns: identity and scaling (extension)", Exp_jobs.run);
   ]
 
 let list_experiments () =

@@ -17,10 +17,10 @@ module Hnl = Halotis_netlist.Hnl
 module Check = Halotis_netlist.Check
 module G = Halotis_netlist.Generators
 module Iddm = Halotis_engine.Iddm
-module Classic = Halotis_engine.Classic
+module Sim = Halotis_engine.Sim
 module Digital = Halotis_wave.Digital
 module Vcd = Halotis_wave.Vcd
-module Sim = Halotis_analog.Sim
+module Asim = Halotis_analog.Sim
 module Stimfile = Halotis_stim.Stimfile
 module DL = Halotis_tech.Default_lib
 module DM = Halotis_delay.Delay_model
@@ -39,6 +39,7 @@ module Inject = Halotis_fault.Inject
 module Campaign = Halotis_fault.Campaign
 module Fault_report = Halotis_fault.Fault_report
 module Journal = Halotis_fault.Journal
+module Shard = Halotis_fault.Shard
 module Stats = Halotis_engine.Stats
 module Stop = Halotis_guard.Stop
 module Budget = Halotis_guard.Budget
@@ -142,11 +143,30 @@ let horizon_of_drives drives t_stop =
 
 (* Pre-flight pass wired into simulate/compare: engine-relevant rules
    only, warnings and errors, on stderr, never fatal (an actual cycle
-   still fails inside the engine's own topological sort). *)
-let preflight ?stim tech c =
-  List.iter
-    (fun f -> Format.eprintf "preflight: %a@." Finding.pp f)
-    (Lint.preflight ?stim ~tech c)
+   still fails inside the engine's own topological sort).
+
+   [suggest_watchdog]: when an NL008 finding flags an oscillation-risk
+   feedback loop and the user has not armed a watchdog, suggest a trip
+   threshold sized to the largest flagged SCC. *)
+let preflight ?stim ?(suggest_watchdog = false) tech c =
+  let findings = Lint.preflight ?stim ~tech c in
+  List.iter (fun f -> Format.eprintf "preflight: %a@." Finding.pp f) findings;
+  if suggest_watchdog then begin
+    let scc_gates =
+      List.fold_left
+        (fun acc (f : Finding.t) ->
+          match (f.Finding.rule, f.Finding.location) with
+          | "NL008", Finding.Gates names -> max acc (List.length names)
+          | _ -> acc)
+        0 findings
+    in
+    if scc_gates > 0 then
+      Format.eprintf
+        "preflight: hint: this design risks oscillation — consider --watchdog \
+         --watchdog-threshold %d (sized to the largest flagged feedback loop, %d gates)@."
+        (Watchdog.suggest_threshold ~scc_gates ())
+        scc_gates
+  end
 
 let run_lint path stim_path liberty_path format strict disables enables severities
     fanout_threshold list_rules =
@@ -279,27 +299,38 @@ let print_power_report tech c (r : Iddm.result) =
     Glitch.pp_histogram
     (Glitch.pulse_width_histogram ~vt:(DL.vdd /. 2.) r.Iddm.waveforms)
 
-(* One JSON result document shared by the ddm/cdm/classic branches of
-   `simulate --json`: stats, the stop reason and the partial flag are
-   what scripts poll to detect a guardrail trip. *)
-let simulate_json c ~model_name ~horizon ~(stats : Stats.t) ~stopped ~frozen ~outputs =
+(* The JSON result document of `simulate --json`, engine-independent
+   via the Sim facade: stats, the stop reason and the partial flag are
+   what scripts poll to detect a guardrail trip; event_rate_top is the
+   watchdog's event-rate view, present whether or not one tripped. *)
+let simulate_json c ~model_name ~horizon (r : Sim.result) =
   Json.Obj
     [
       ("tool", Json.Str "halotis-simulate");
       ("circuit", Json.Str (N.name c));
       ("model", Json.Str model_name);
       ("t_stop", Json.Num horizon);
-      ("partial", Json.Bool (not (Stop.completed stopped)));
-      ("stopped_by", Stop.to_json stopped);
-      ("stats", Stats.to_json stats);
+      ("partial", Json.Bool (not (Stop.completed r.Sim.rs_stopped_by)));
+      ("stopped_by", Stop.to_json r.Sim.rs_stopped_by);
+      ("stats", Stats.to_json r.Sim.rs_stats);
       ( "frozen",
         Json.Arr
           (List.map
              (fun (sid, at) ->
                Json.Obj
                  [ ("signal", Json.Str (N.signal_name c sid)); ("at", Json.Num at) ])
-             frozen) );
+             r.Sim.rs_frozen) );
       ( "outputs",
+        Json.Arr
+          (List.map
+             (fun (name, edges) ->
+               Json.Obj
+                 [
+                   ("signal", Json.Str name);
+                   ("edges", Json.Num (float_of_int (List.length edges)));
+                 ])
+             (Sim.output_edges r)) );
+      ( "event_rate_top",
         Json.Arr
           (List.map
              (fun (name, nedges) ->
@@ -308,7 +339,7 @@ let simulate_json c ~model_name ~horizon ~(stats : Stats.t) ~stopped ~frozen ~ou
                    ("signal", Json.Str name);
                    ("edges", Json.Num (float_of_int nedges));
                  ])
-             outputs) );
+             (Sim.top_offenders r)) );
     ]
 
 let partial_comment stopped =
@@ -324,7 +355,7 @@ let run_simulate path stim_path model t_stop vcd_path diagram liberty report max
   let tech = load_tech liberty in
   let c = or_die (load_circuit path) in
   let stim = or_die (load_stimfile stim_path) in
-  preflight ~stim tech c;
+  preflight ~stim ~suggest_watchdog:(not (watchdog || degrade)) tech c;
   let drives = bind_stim stim c in
   let horizon = horizon_of_drives drives t_stop in
   let budget =
@@ -339,26 +370,16 @@ let run_simulate path stim_path model t_stop vcd_path diagram liberty report max
     else None
   in
   match model with
-  | `Ddm | `Cdm ->
-      let kind = if model = `Ddm then DM.Ddm else DM.Cdm in
+  | `Engine engine ->
       let r =
-        Iddm.run
-          (Iddm.config ~delay_kind:kind ~t_stop:horizon ~budget ?watchdog:wd_config tech)
-          c ~drives
+        Sim.run engine
+          (Sim.spec ~drives ~t_stop:horizon ~budget ?watchdog:wd_config ~tech c)
       in
-      warn_stop r.Iddm.stopped_by;
-      if json then
-        print_endline
-          (Json.to_string
-             (simulate_json c ~model_name:(DM.kind_to_string kind) ~horizon
-                ~stats:r.Iddm.stats ~stopped:r.Iddm.stopped_by ~frozen:r.Iddm.frozen
-                ~outputs:
-                  (List.map
-                     (fun (name, edges) -> (name, List.length edges))
-                     (Iddm.output_edges r))))
+      let model_name = Sim.engine_display_name engine in
+      warn_stop r.Sim.rs_stopped_by;
+      if json then print_endline (Json.to_string (simulate_json c ~model_name ~horizon r))
       else begin
-        Format.printf "%s: %a@." (DM.kind_to_string kind) Halotis_engine.Stats.pp
-          r.Iddm.stats;
+        Format.printf "%s: %a@." model_name Halotis_engine.Stats.pp r.Sim.rs_stats;
         List.iter
           (fun (name, edges) ->
             Format.printf "%s: %d edges%s@." name (List.length edges)
@@ -367,89 +388,35 @@ let run_simulate path stim_path model t_stop vcd_path diagram liberty report max
                  ": "
                  ^ String.concat ", "
                      (List.map (Format.asprintf "%a" Digital.pp_edge) edges)))
-          (Iddm.output_edges r);
-        if diagram then
-          print_diagram c
-            (fun sid ->
-              let w = r.Iddm.waveforms.(sid) in
-              (Halotis_wave.Waveform.initial w > vt, Digital.edges w ~vt))
-            horizon;
-        if report then print_power_report tech c r
+          (Sim.output_edges r);
+        if diagram then begin
+          let edges = Sim.edges r and initials = Sim.initial_levels r in
+          print_diagram c (fun sid -> (initials.(sid), edges.(sid))) horizon
+        end;
+        if report then
+          match Sim.iddm r with
+          | Some ir -> print_power_report tech c ir
+          | None ->
+              prerr_endline "halotis: --report needs a waveform engine (ddm or cdm); ignored"
       end;
       (match vcd_path with
       | Some p ->
-          let dumps =
-            Array.to_list
-              (Array.map
-                 (fun (s : N.signal) ->
-                   Vcd.of_waveform ~name:s.N.signal_name ~vt
-                     ?x_from:(List.assoc_opt s.N.signal_id r.Iddm.frozen)
-                     r.Iddm.waveforms.(s.N.signal_id))
-                 (N.signals c))
-          in
-          Vcd.write_file ?comment:(partial_comment r.Iddm.stopped_by) p dumps;
+          Vcd.write_file ?comment:(partial_comment r.Sim.rs_stopped_by) p (Sim.vcd_dumps r);
           Printf.eprintf "vcd written to %s\n" p
       | None -> ());
-      Stop.exit_code r.Iddm.stopped_by
-  | `Classic ->
-      let r =
-        Classic.run
-          (Classic.config ~t_stop:horizon ~budget ?watchdog:wd_config tech)
-          c ~drives
-      in
-      warn_stop r.Classic.stopped_by;
-      if json then
-        print_endline
-          (Json.to_string
-             (simulate_json c ~model_name:"classic" ~horizon ~stats:r.Classic.stats
-                ~stopped:r.Classic.stopped_by ~frozen:r.Classic.frozen
-                ~outputs:
-                  (List.map
-                     (fun sid ->
-                       (N.signal_name c sid, List.length r.Classic.edges.(sid)))
-                     (N.primary_outputs c))))
-      else begin
-        Format.printf "classic: %a@." Halotis_engine.Stats.pp r.Classic.stats;
-        List.iter
-          (fun sid ->
-            Format.printf "%s: %d edges@." (N.signal_name c sid)
-              (List.length r.Classic.edges.(sid)))
-          (N.primary_outputs c);
-        if diagram then
-          print_diagram c
-            (fun sid -> (r.Classic.initial_levels.(sid), r.Classic.edges.(sid)))
-            horizon
-      end;
-      (match vcd_path with
-      | Some p ->
-          let dumps =
-            Array.to_list
-              (Array.map
-                 (fun (s : N.signal) ->
-                   {
-                     Vcd.dump_name = s.N.signal_name;
-                     dump_initial = r.Classic.initial_levels.(s.N.signal_id);
-                     dump_edges = r.Classic.edges.(s.N.signal_id);
-                     dump_x_from = List.assoc_opt s.N.signal_id r.Classic.frozen;
-                   })
-                 (N.signals c))
-          in
-          Vcd.write_file ?comment:(partial_comment r.Classic.stopped_by) p dumps;
-          Printf.eprintf "vcd written to %s\n" p
-      | None -> ());
-      Stop.exit_code r.Classic.stopped_by
+      Stop.exit_code r.Sim.rs_stopped_by
   | `Analog ->
-      let r = Sim.run (Sim.config ~t_stop:horizon tech) c ~drives in
+      let r = Asim.run (Asim.config ~t_stop:horizon tech) c ~drives in
       List.iter
         (fun sid ->
           let name = N.signal_name c sid in
-          Format.printf "%s: %d edges@." name (List.length (Sim.edges r name)))
+          Format.printf "%s: %d edges@." name (List.length (Asim.edges r name)))
         (N.primary_outputs c);
       if diagram then
         print_diagram c
           (fun sid ->
-            let tr = r.Sim.traces.(sid) in
-            (Sim.value_at tr 0. > vt, Sim.crossings tr ~vt))
+            let tr = r.Asim.traces.(sid) in
+            (Asim.value_at tr 0. > vt, Asim.crossings tr ~vt))
           horizon;
       0
 
@@ -461,37 +428,51 @@ let run_compare path stim_path t_stop =
   preflight ~stim DL.tech c;
   let drives = bind_stim stim c in
   let horizon = match t_stop with Some t -> t | None -> 25_000. in
-  let rd = Iddm.run (Iddm.config ~t_stop:horizon DL.tech) c ~drives in
-  let rc = Iddm.run (Iddm.config ~delay_kind:DM.Cdm ~t_stop:horizon DL.tech) c ~drives in
-  let rcl = Classic.run (Classic.config ~t_stop:horizon DL.tech) c ~drives in
-  let ra = Sim.run (Sim.config ~t_stop:horizon DL.tech) c ~drives in
+  let spec = Sim.spec ~drives ~t_stop:horizon ~tech:DL.tech c in
+  let rd = Sim.run Sim.Ddm spec in
+  let rc = Sim.run Sim.Cdm spec in
+  let rcl = Sim.run Sim.Classic_inertial spec in
+  let ra = Asim.run (Asim.config ~t_stop:horizon DL.tech) c ~drives in
   let rows =
     List.map
       (fun sid ->
         let name = N.signal_name c sid in
         [
           name;
-          string_of_int (List.length (Sim.edges ra name));
-          string_of_int (Digital.edge_count rd.Iddm.waveforms.(sid) ~vt);
-          string_of_int (Digital.edge_count rc.Iddm.waveforms.(sid) ~vt);
-          string_of_int (List.length rcl.Classic.edges.(sid));
+          string_of_int (List.length (Asim.edges ra name));
+          string_of_int (List.length (Sim.edges rd).(sid));
+          string_of_int (List.length (Sim.edges rc).(sid));
+          string_of_int (List.length (Sim.edges rcl).(sid));
         ])
       (N.primary_outputs c)
   in
   Table.print
     (Table.make ~header:[ "output"; "analog"; "ddm"; "cdm"; "classic" ] ~rows);
-  Format.printf "ddm: %a@." Halotis_engine.Stats.pp rd.Iddm.stats;
-  Format.printf "cdm: %a@." Halotis_engine.Stats.pp rc.Iddm.stats;
+  Format.printf "ddm: %a@." Halotis_engine.Stats.pp rd.Sim.rs_stats;
+  Format.printf "cdm: %a@." Halotis_engine.Stats.pp rc.Sim.rs_stats;
   0
 
 (* --- faults --- *)
 
+let usage_diag ?hint m = die_diag (Diag.make ~code:"usage" ?hint m)
+
+(* Lossless float round-trip for the worker argv: cmdliner's float conv
+   reads hex floats back bit-exactly, which keeps a worker's campaign
+   fingerprint (journal header) byte-identical to the parent's. *)
+let farg = Printf.sprintf "%h"
+
 let run_faults path stim_path engine n seed width slope t_stop exhaustive grid format
-    vcd_dir liberty journal_path resume_path limit_sites site_max_events =
+    vcd_dir liberty journal_path resume_path limit_sites site_max_events jobs shard =
   let tech = load_tech liberty in
   let c = or_die (load_circuit path) in
   let stim = or_die (load_stimfile stim_path) in
-  preflight ~stim tech c;
+  if jobs < 1 then usage_diag "--jobs must be at least 1";
+  if shard <> None && jobs > 1 then usage_diag "--shard and --jobs are mutually exclusive";
+  if shard <> None && limit_sites <> None then
+    usage_diag "--limit-sites cannot be used inside a shard worker";
+  (* A worker's stderr should carry verdict progress, not N copies of
+     the same preflight report the parent already printed. *)
+  if shard = None then preflight ~stim tech c;
   let drives = bind_stim stim c in
   let horizon = horizon_of_drives drives t_stop in
   let pulse =
@@ -503,88 +484,216 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
   let sites =
     if not exhaustive then None
     else
-      let baseline = Iddm.run (Iddm.config ~t_stop:horizon tech) c ~drives in
+      let baseline =
+        match Sim.iddm (Sim.run Sim.Ddm (Sim.spec ~drives ~t_stop:horizon ~tech c)) with
+        | Some r -> r
+        | None -> assert false
+      in
       Some (Site.exhaustive ~baseline ~times:(Site.grid ~t0:0. ~t1:horizon ~points:grid))
+  in
+  (* The campaign's deterministic size, known without running anything:
+     the explicit site list's length, or the sample count. *)
+  let sites_total =
+    match sites with Some s -> List.length s | None -> cfg.Campaign.n
   in
   (* Checkpoint/resume: --journal starts a fresh journal, --resume
      loads one and keeps appending to it. *)
   (match (journal_path, resume_path) with
   | Some _, Some _ ->
-      die_diag
-        (Diag.make ~code:"usage"
-           ~hint:"--resume already appends new verdicts to the journal it loads"
-           "--journal and --resume are mutually exclusive")
+      usage_diag ~hint:"--resume already appends new verdicts to the journal it loads"
+        "--journal and --resume are mutually exclusive"
   | _ -> ());
-  let completed =
-    match resume_path with
-    | None -> []
-    | Some jpath ->
-        let h, verdicts = Journal.load jpath in
+  (* Report rendering shared by the serial and the sharded-parent
+     paths — byte-identical output is the whole point. *)
+  let emit_report campaign =
+    (match format with
+    | `Json -> print_endline (Fault_report.to_string campaign)
+    | `Text -> print_string (Fault_report.to_text campaign));
+    (match vcd_dir with
+    | Some _ when engine = Campaign.Classic_inertial ->
+        prerr_endline "halotis: --vcd-dir needs a waveform engine (ddm or cdm); ignored"
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let veng = if engine = Campaign.Cdm then Sim.Cdm else Sim.Ddm in
+        List.iteri
+          (fun i (v : Campaign.verdict) ->
+            if v.Campaign.vd_outcome = Campaign.Propagated then begin
+              let r =
+                Sim.run veng
+                  (Sim.spec ~drives
+                     ~injections:[ Inject.injection v.Campaign.vd_site pulse ]
+                     ~t_stop:horizon ~tech c)
+              in
+              let file =
+                Filename.concat dir
+                  (Printf.sprintf "site%03d_%s.vcd" i
+                     (N.gate_name c v.Campaign.vd_site.Site.st_gate))
+              in
+              Vcd.write_file file (Sim.vcd_dumps r);
+              Printf.eprintf "vcd written to %s\n" file
+            end)
+          campaign.Campaign.cam_verdicts
+    | None -> ());
+    0
+  in
+  match shard with
+  | Some (k, nworkers) ->
+      (* ----- worker: simulate one deterministic site range, journal
+         verdicts under their global indices, render nothing ----- *)
+      let lo, hi = Halotis_fault.Shard.range ~total:sites_total ~jobs:nworkers k in
+      let completed, writer =
+        match (journal_path, resume_path) with
+        | Some p, None ->
+            ( [],
+              Journal.open_new p
+                (Journal.header_of ~circuit:(N.name c) ~range:(lo, hi) cfg) )
+        | None, Some p ->
+            let h, indexed = Journal.load p in
+            Journal.check h ~circuit:(N.name c) ~range:(lo, hi) cfg;
+            let completed = Journal.contiguous ~first:lo indexed in
+            Printf.eprintf "faults: shard %d/%d: resuming %s: %d of %d verdicts kept\n"
+              k nworkers p (List.length completed) (hi - lo);
+            (completed, Journal.open_append p)
+        | None, None ->
+            usage_diag "a shard worker needs --journal or --resume"
+        | Some _, Some _ -> assert false
+      in
+      let campaign =
+        Campaign.run ?sites ~range:(lo, hi) ~completed
+          ~on_verdict:(fun idx v -> Journal.write writer idx v)
+          cfg tech c ~drives
+      in
+      Journal.close writer;
+      Printf.eprintf "faults: shard %d/%d: %d sites done\n" k nworkers
+        (List.length campaign.Campaign.cam_verdicts);
+      0
+  | None when jobs > 1 ->
+      (* ----- parent: fork one worker per shard, wait, merge their
+         journals, render the serial report ----- *)
+      if limit_sites <> None then
+        usage_diag ~hint:"chunking is per worker range under --jobs"
+          "--limit-sites cannot be combined with --jobs";
+      let base, user_journal =
+        match (journal_path, resume_path) with
+        | Some p, None | None, Some p -> (p, true)
+        | None, None -> (Filename.temp_file "halotis-faults" ".journal", false)
+        | Some _, Some _ -> assert false
+      in
+      let resuming = resume_path <> None in
+      let worker_plan k =
+        let jpath = Shard.journal_path base k in
+        let resume_worker = resuming && Sys.file_exists jpath in
+        let argv =
+          [ Sys.executable_name; "faults"; path; "--stim"; stim_path ]
+          @ [ "--engine"; Campaign.engine_to_string engine ]
+          @ [ "-n"; string_of_int n; "--seed"; string_of_int seed ]
+          @ [ "--width"; farg width; "--slope"; farg slope ]
+          @ [ "--t-stop"; farg horizon ]
+          @ (if exhaustive then [ "--exhaustive"; "--grid"; string_of_int grid ] else [])
+          @ (match liberty with Some p -> [ "--liberty"; p ] | None -> [])
+          @ (match site_max_events with
+            | Some e -> [ "--site-max-events"; string_of_int e ]
+            | None -> [])
+          @ [ "--shard"; Shard.spec_to_string (k, jobs) ]
+          @ [ (if resume_worker then "--resume" else "--journal"); jpath ]
+        in
+        (jpath, resume_worker, argv)
+      in
+      Printf.eprintf "faults: sharding %d sites across %d workers\n%!" sites_total jobs;
+      let workers =
+        List.init jobs (fun k ->
+            let jpath, resume_worker, argv = worker_plan k in
+            let range = Shard.range ~total:sites_total ~jobs k in
+            let w = Shard.spawn ~argv ~index:k ~range ~journal:jpath in
+            Printf.eprintf "faults: worker %d (pid %d): sites [%d, %d)%s\n%!" k
+              w.Shard.wk_pid (fst range) (snd range)
+              (if resume_worker then ", resuming" else "");
+            w)
+      in
+      let results = Shard.wait_all workers in
+      let failed =
+        List.filter (fun (_, st) -> Shard.status_exit_code st <> 0) results
+      in
+      if failed <> [] then begin
+        List.iter
+          (fun ((w : Shard.worker), st) ->
+            Printf.eprintf "faults: worker %d (sites [%d, %d)): %s\n" w.Shard.wk_index
+              (fst w.Shard.wk_range) (snd w.Shard.wk_range)
+              (Shard.status_to_string st))
+          failed;
+        Printf.eprintf
+          "faults: %d of %d workers failed; their journaled verdicts survive in %s.K — \
+           re-run with --jobs %d --resume %s to finish\n"
+          (List.length failed) jobs base jobs base;
+        (* a parent without --journal/--resume used a temp base: keep
+           the shard files (they hold the survivors' work) and name it *)
+        Shard.exit_code results
+      end
+      else begin
+        let h, indexed = Shard.load_merged ~base ~jobs in
         Journal.check h ~circuit:(N.name c) cfg;
-        Printf.eprintf "faults: resuming from %s: %d verdicts already decided\n" jpath
-          (List.length verdicts);
-        verdicts
-  in
-  let writer =
-    match (journal_path, resume_path) with
-    | Some p, None -> Some (p, Journal.open_new p (Journal.header_of ~circuit:(N.name c) cfg))
-    | None, Some p -> Some (p, Journal.open_append p)
-    | None, None | Some _, Some _ -> None
-  in
-  let on_verdict = Option.map (fun (_, w) idx v -> Journal.write w idx v) writer in
-  let campaign =
-    Campaign.run ?sites ~completed ?limit:limit_sites ?on_verdict cfg tech c ~drives
-  in
-  (match writer with Some (_, w) -> Journal.close w | None -> ());
-  (* Summary to stderr so stdout carries only the report document. *)
-  Format.eprintf "faults: %s: %s@." (N.name c) (Fault_report.summary campaign);
-  if not campaign.Campaign.cam_complete then begin
-    (* Parked early: no report — the verdicts are durable in the
-       journal and the campaign resumes from there. *)
-    Format.eprintf "faults: campaign parked after %d of %d sites%s@."
-      (List.length campaign.Campaign.cam_verdicts)
-      campaign.Campaign.cam_sites_total
-      (match writer with
-      | Some (p, _) -> Printf.sprintf " — continue with --resume %s" p
-      | None -> " (no --journal: progress was not saved)");
-    exit 3
-  end;
-  (match format with
-  | `Json -> print_endline (Fault_report.to_string campaign)
-  | `Text -> print_string (Fault_report.to_text campaign));
-  (match vcd_dir with
-  | Some _ when engine = Campaign.Classic_inertial ->
-      prerr_endline "halotis: --vcd-dir needs a waveform engine (ddm or cdm); ignored"
-  | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let kind = if engine = Campaign.Cdm then DM.Cdm else DM.Ddm in
-      List.iteri
-        (fun i (v : Campaign.verdict) ->
-          if v.Campaign.vd_outcome = Campaign.Propagated then begin
-            let r =
-              Inject.run_iddm
-                (Iddm.config ~delay_kind:kind ~t_stop:horizon tech)
-                c ~drives ~site:v.Campaign.vd_site ~pulse
-            in
-            let dumps =
-              Array.to_list
-                (Array.map
-                   (fun (s : N.signal) ->
-                     Vcd.of_waveform ~name:s.N.signal_name ~vt
-                       r.Iddm.waveforms.(s.N.signal_id))
-                   (N.signals c))
-            in
-            let file =
-              Filename.concat dir
-                (Printf.sprintf "site%03d_%s.vcd" i
-                   (N.gate_name c v.Campaign.vd_site.Site.st_gate))
-            in
-            Vcd.write_file file dumps;
-            Printf.eprintf "vcd written to %s\n" file
-          end)
-        campaign.Campaign.cam_verdicts
-  | None -> ());
-  0
+        let completed = Journal.contiguous ~first:0 indexed in
+        (* re-running zero fresh sites revalidates every journaled
+           verdict against the deterministic site list and rebuilds the
+           aggregate stats exactly as a serial run would *)
+        let campaign = Campaign.run ?sites ~completed cfg tech c ~drives in
+        Format.eprintf "faults: %s: %s@." (N.name c) (Fault_report.summary campaign);
+        if user_journal then begin
+          (* leave the user one merged serial journal, as if --jobs 1
+             had written it *)
+          let w =
+            Journal.open_new ~sync_every:1024 base
+              (Journal.header_of ~circuit:(N.name c) cfg)
+          in
+          List.iteri (fun i v -> Journal.write w i v) completed;
+          Journal.close w
+        end;
+        List.iter
+          (fun ((w : Shard.worker), _) ->
+            if Sys.file_exists w.Shard.wk_journal then Sys.remove w.Shard.wk_journal)
+          results;
+        if (not user_journal) && Sys.file_exists base then Sys.remove base;
+        emit_report campaign
+      end
+  | None ->
+      (* ----- serial: the original single-process path ----- *)
+      let completed =
+        match resume_path with
+        | None -> []
+        | Some jpath ->
+            let h, indexed = Journal.load jpath in
+            Journal.check h ~circuit:(N.name c) cfg;
+            let verdicts = Journal.contiguous ~first:0 indexed in
+            Printf.eprintf "faults: resuming from %s: %d verdicts already decided\n"
+              jpath (List.length verdicts);
+            verdicts
+      in
+      let writer =
+        match (journal_path, resume_path) with
+        | Some p, None ->
+            Some (p, Journal.open_new p (Journal.header_of ~circuit:(N.name c) cfg))
+        | None, Some p -> Some (p, Journal.open_append p)
+        | None, None | Some _, Some _ -> None
+      in
+      let on_verdict = Option.map (fun (_, w) idx v -> Journal.write w idx v) writer in
+      let campaign =
+        Campaign.run ?sites ~completed ?limit:limit_sites ?on_verdict cfg tech c ~drives
+      in
+      (match writer with Some (_, w) -> Journal.close w | None -> ());
+      (* Summary to stderr so stdout carries only the report document. *)
+      Format.eprintf "faults: %s: %s@." (N.name c) (Fault_report.summary campaign);
+      if not campaign.Campaign.cam_complete then begin
+        (* Parked early: no report — the verdicts are durable in the
+           journal and the campaign resumes from there. *)
+        Format.eprintf "faults: campaign parked after %d of %d sites%s@."
+          (List.length campaign.Campaign.cam_verdicts)
+          campaign.Campaign.cam_sites_total
+          (match writer with
+          | Some (p, _) -> Printf.sprintf " — continue with --resume %s" p
+          | None -> " (no --journal: progress was not saved)");
+        exit 3
+      end;
+      emit_report campaign
 
 (* --- export-verilog --- *)
 
@@ -653,7 +762,15 @@ let run_explain path stim_path signal_name at t_stop =
         exit 1
   in
   let horizon = match t_stop with Some t -> t | None -> 100_000. in
-  let r = Iddm.run (Iddm.config ~trace:true ~t_stop:horizon DL.tech) c ~drives in
+  let r =
+    (* causality tracing is a DDM-engine feature, but the run is still
+       configured through the one facade *)
+    match
+      Sim.iddm (Sim.run Sim.Ddm (Sim.spec ~drives ~t_stop:horizon ~trace:true ~tech:DL.tech c))
+    with
+    | Some r -> r
+    | None -> assert false
+  in
   let at =
     match at with
     | Some t -> t
@@ -899,10 +1016,17 @@ let generate_cmd =
 
 let model_arg =
   let model_conv =
-    Arg.enum [ ("ddm", `Ddm); ("cdm", `Cdm); ("classic", `Classic); ("analog", `Analog) ]
+    Arg.enum
+      [
+        ("ddm", `Engine Sim.Ddm);
+        ("cdm", `Engine Sim.Cdm);
+        ("classic", `Engine Sim.Classic_inertial);
+        ("analog", `Analog);
+      ]
   in
   Arg.(
-    value & opt model_conv `Ddm
+    value
+    & opt model_conv (`Engine Sim.Ddm)
     & info [ "model"; "m" ] ~docv:"MODEL" ~doc:"ddm (default), cdm, classic or analog.")
 
 (* Guardrail flags shared in spirit with doc/robustness.md: budgets
@@ -1056,14 +1180,19 @@ let faults_cmd =
              interrupted campaign can be resumed with $(b,--resume).")
   in
   let resume =
+    (* not Arg.file: under --jobs the merged journal may not exist yet —
+       only the shard files base.K do — and the worker resume path wants
+       Journal.load's own diagnostics for a missing file. *)
     Arg.(
       value
-      & opt (some file) None
+      & opt (some string) None
       & info [ "resume" ] ~docv:"FILE"
           ~doc:
             "Resume a campaign from a checkpoint journal: completed sites are \
              skipped, new verdicts keep appending to the same file, and the final \
-             report is byte-identical to an uninterrupted run.")
+             report is byte-identical to an uninterrupted run. With $(b,--jobs), \
+             FILE is the base path whose per-worker shard journals (FILE.0, \
+             FILE.1, ...) are resumed.")
   in
   let limit_sites =
     Arg.(
@@ -1084,11 +1213,36 @@ let faults_cmd =
             "Per-injection event budget: a run that trips it gets a timed-out \
              verdict instead of stalling the campaign.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Shard the campaign across N worker processes, each simulating a \
+             disjoint site range and journaling its verdicts; the merged report \
+             is byte-identical to $(b,--jobs) 1 with the same seed.")
+  in
+  let shard =
+    let parse s =
+      match Shard.parse_spec s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "invalid shard spec %S: expected K/N with 0 <= K < N" s))
+    in
+    let print fmt p = Format.pp_print_string fmt (Shard.spec_to_string p) in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "shard" ] ~docv:"K/N"
+          ~doc:
+            "Internal (spawned by $(b,--jobs)): run as worker K of N, simulating \
+             only this shard's site range into its own journal; no report is \
+             rendered.")
+  in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       const run_faults $ circuit_arg $ stim_arg $ engine $ n $ seed $ width $ slope
       $ t_stop_arg $ exhaustive $ grid $ format $ vcd_dir $ liberty_arg $ journal
-      $ resume $ limit_sites $ site_max_events)
+      $ resume $ limit_sites $ site_max_events $ jobs $ shard)
 
 let export_cmd =
   let doc = "export a netlist as structural Verilog" in

@@ -1,0 +1,193 @@
+module Netlist = Halotis_netlist.Netlist
+module Tech = Halotis_tech.Tech
+module DM = Halotis_delay.Delay_model
+module Transition = Halotis_wave.Transition
+module Waveform = Halotis_wave.Waveform
+module Digital = Halotis_wave.Digital
+module Vcd = Halotis_wave.Vcd
+module Budget = Halotis_guard.Budget
+
+type engine = Ddm | Cdm | Classic_inertial
+
+let engine_to_string = function
+  | Ddm -> "ddm"
+  | Cdm -> "cdm"
+  | Classic_inertial -> "classic"
+
+let engine_of_string = function
+  | "ddm" -> Some Ddm
+  | "cdm" -> Some Cdm
+  | "classic" -> Some Classic_inertial
+  | _ -> None
+
+let engine_display_name = function
+  | Ddm -> DM.kind_to_string DM.Ddm
+  | Cdm -> DM.kind_to_string DM.Cdm
+  | Classic_inertial -> "classic"
+
+type injection = {
+  inj_signal : Netlist.signal_id;
+  inj_ramps : Transition.t list;
+}
+
+type spec = {
+  sp_circuit : Netlist.t;
+  sp_drives : (Netlist.signal_id * Drive.t) list;
+  sp_tech : Tech.t;
+  sp_t_stop : Halotis_util.Units.time option;
+  sp_injections : injection list;
+  sp_budget : Budget.t;
+  sp_watchdog : Halotis_guard.Watchdog.config option;
+  sp_trace : bool;
+}
+
+let spec ?(drives = []) ?(injections = []) ?t_stop ?(budget = Budget.unlimited)
+    ?watchdog ?(trace = false) ~tech circuit =
+  {
+    sp_circuit = circuit;
+    sp_drives = drives;
+    sp_tech = tech;
+    sp_t_stop = t_stop;
+    sp_injections = injections;
+    sp_budget = budget;
+    sp_watchdog = watchdog;
+    sp_trace = trace;
+  }
+
+type raw = Iddm_result of Iddm.result | Classic_result of Classic.result
+
+type result = {
+  rs_engine : engine;
+  rs_spec : spec;
+  rs_stats : Stats.t;
+  rs_end_time : Halotis_util.Units.time;
+  rs_truncated : bool;
+  rs_stopped_by : Halotis_guard.Stop.t;
+  rs_frozen : (Netlist.signal_id * Halotis_util.Units.time) list;
+  rs_vt : Halotis_util.Units.voltage;
+  rs_raw : raw;
+  rs_edges : Digital.edge list array Lazy.t;
+  rs_initial_levels : bool array Lazy.t;
+}
+
+(* The classic engine sees each ramp as an instantaneous value switch
+   at its 50 % point — the same abstraction it applies to input drives
+   ([start + slope_time / 2], see {!Classic.run}). *)
+let classic_toggles ramps =
+  List.map
+    (fun (tr : Transition.t) ->
+      (tr.Transition.start +. (tr.Transition.slope_time /. 2.),
+       tr.Transition.polarity = Transition.Rising))
+    ramps
+
+let run engine spec =
+  let c = spec.sp_circuit in
+  let vt = Tech.vdd spec.sp_tech /. 2. in
+  match engine with
+  | Ddm | Cdm ->
+      let kind = match engine with Ddm -> DM.Ddm | _ -> DM.Cdm in
+      let cfg =
+        Iddm.config ~delay_kind:kind ?t_stop:spec.sp_t_stop ~trace:spec.sp_trace
+          ~budget:spec.sp_budget ?watchdog:spec.sp_watchdog spec.sp_tech
+      in
+      let injections =
+        List.map
+          (fun i -> { Iddm.inj_signal = i.inj_signal; inj_transitions = i.inj_ramps })
+          spec.sp_injections
+      in
+      let r = Iddm.run ~injections cfg c ~drives:spec.sp_drives in
+      {
+        rs_engine = engine;
+        rs_spec = spec;
+        rs_stats = r.Iddm.stats;
+        rs_end_time = r.Iddm.end_time;
+        rs_truncated = r.Iddm.truncated;
+        rs_stopped_by = r.Iddm.stopped_by;
+        rs_frozen = r.Iddm.frozen;
+        rs_vt = vt;
+        rs_raw = Iddm_result r;
+        rs_edges =
+          lazy (Array.map (fun wf -> Digital.edges wf ~vt) r.Iddm.waveforms);
+        rs_initial_levels =
+          lazy (Array.map (fun wf -> Waveform.initial wf > vt) r.Iddm.waveforms);
+      }
+  | Classic_inertial ->
+      let cfg =
+        Classic.config ?t_stop:spec.sp_t_stop ~budget:spec.sp_budget
+          ?watchdog:spec.sp_watchdog spec.sp_tech
+      in
+      let injections =
+        List.map
+          (fun i -> (i.inj_signal, classic_toggles i.inj_ramps))
+          spec.sp_injections
+      in
+      let r = Classic.run ~injections cfg c ~drives:spec.sp_drives in
+      {
+        rs_engine = engine;
+        rs_spec = spec;
+        rs_stats = r.Classic.stats;
+        rs_end_time = r.Classic.end_time;
+        rs_truncated = r.Classic.truncated;
+        rs_stopped_by = r.Classic.stopped_by;
+        rs_frozen = r.Classic.frozen;
+        rs_vt = vt;
+        rs_raw = Classic_result r;
+        rs_edges = lazy r.Classic.edges;
+        rs_initial_levels = lazy r.Classic.initial_levels;
+      }
+
+let edges r = Lazy.force r.rs_edges
+let initial_levels r = Lazy.force r.rs_initial_levels
+
+let output_edges r =
+  let c = r.rs_spec.sp_circuit in
+  let edges = edges r in
+  List.map
+    (fun sid -> (Netlist.signal_name c sid, edges.(sid)))
+    (Netlist.primary_outputs c)
+
+let vcd_dumps r =
+  let c = r.rs_spec.sp_circuit in
+  match r.rs_raw with
+  | Iddm_result ir ->
+      Array.to_list
+        (Array.map
+           (fun (s : Netlist.signal) ->
+             Vcd.of_waveform ~name:s.Netlist.signal_name ~vt:r.rs_vt
+               ?x_from:(List.assoc_opt s.Netlist.signal_id r.rs_frozen)
+               ir.Iddm.waveforms.(s.Netlist.signal_id))
+           (Netlist.signals c))
+  | Classic_result cr ->
+      Array.to_list
+        (Array.map
+           (fun (s : Netlist.signal) ->
+             {
+               Vcd.dump_name = s.Netlist.signal_name;
+               dump_initial = cr.Classic.initial_levels.(s.Netlist.signal_id);
+               dump_edges = cr.Classic.edges.(s.Netlist.signal_id);
+               dump_x_from = List.assoc_opt s.Netlist.signal_id r.rs_frozen;
+             })
+           (Netlist.signals c))
+
+let top_offenders ?(n = 5) r =
+  let c = r.rs_spec.sp_circuit in
+  let edges = edges r in
+  let counts = ref [] in
+  Array.iteri
+    (fun sid es ->
+      let k = List.length es in
+      if k > 0 then counts := (sid, k) :: !counts)
+    edges;
+  let sorted =
+    List.sort
+      (fun (ia, ka) (ib, kb) ->
+        match Int.compare kb ka with 0 -> Int.compare ia ib | cmp -> cmp)
+      !counts
+  in
+  List.filteri (fun i _ -> i < n) sorted
+  |> List.map (fun (sid, k) -> (Netlist.signal_name c sid, k))
+
+let iddm r = match r.rs_raw with Iddm_result ir -> Some ir | Classic_result _ -> None
+
+let classic r =
+  match r.rs_raw with Classic_result cr -> Some cr | Iddm_result _ -> None

@@ -1,0 +1,124 @@
+(** The engine-agnostic simulation facade.
+
+    Every consumer that used to dispatch on "which engine am I
+    running?" — the CLI's [simulate]/[compare]/[faults] commands, fault
+    campaigns, injected re-runs — goes through this module instead:
+    one {!spec} describes the run (circuit, drives, injections,
+    guardrails, horizon) and {!run} executes it on the chosen engine,
+    returning a {!result} whose common view (digitized edges, initial
+    levels, statistics, stop reason) is engine-independent.  The
+    engine-specific payload stays reachable through {!raw} for callers
+    that genuinely need waveforms ([ddm]/[cdm]) or boolean levels
+    ([classic]).
+
+    Injections are engine-agnostic too: a list of linear ramps spliced
+    into a victim signal.  The IDDM engines consume the ramps verbatim;
+    the classic engine abstracts each ramp to an instantaneous value
+    toggle at its 50 % point ([start + slope_time / 2]) — exactly the
+    boolean abstraction [doc/faults.md] describes, so
+    {!Halotis_fault} campaigns produce bit-identical verdicts through
+    this facade. *)
+
+type engine = Ddm | Cdm | Classic_inertial
+
+val engine_to_string : engine -> string
+(** ["ddm"], ["cdm"] or ["classic"] — the CLI/report token. *)
+
+val engine_of_string : string -> engine option
+
+val engine_display_name : engine -> string
+(** ["DDM"], ["CDM"] or ["classic"] — the human-facing label used by
+    [simulate] output (matches the historical
+    {!Halotis_delay.Delay_model.kind_to_string} rendering). *)
+
+type injection = {
+  inj_signal : Halotis_netlist.Netlist.signal_id;  (** victim signal *)
+  inj_ramps : Halotis_wave.Transition.t list;
+      (** ramps spliced into the victim, time-ordered; a SET pulse is a
+          leading ramp plus its reversal [width] later *)
+}
+
+type spec = {
+  sp_circuit : Halotis_netlist.Netlist.t;
+  sp_drives : (Halotis_netlist.Netlist.signal_id * Drive.t) list;
+  sp_tech : Halotis_tech.Tech.t;
+  sp_t_stop : Halotis_util.Units.time option;  (** simulation horizon *)
+  sp_injections : injection list;
+  sp_budget : Halotis_guard.Budget.t;
+  sp_watchdog : Halotis_guard.Watchdog.config option;
+  sp_trace : bool;  (** causality tracing; IDDM engines only *)
+}
+
+val spec :
+  ?drives:(Halotis_netlist.Netlist.signal_id * Drive.t) list ->
+  ?injections:injection list ->
+  ?t_stop:Halotis_util.Units.time ->
+  ?budget:Halotis_guard.Budget.t ->
+  ?watchdog:Halotis_guard.Watchdog.config ->
+  ?trace:bool ->
+  tech:Halotis_tech.Tech.t ->
+  Halotis_netlist.Netlist.t ->
+  spec
+(** Defaults: no drives, no injections, no horizon, unlimited budget,
+    no watchdog, tracing off. *)
+
+type raw =
+  | Iddm_result of Iddm.result  (** [Ddm] and [Cdm] runs *)
+  | Classic_result of Classic.result
+
+type result = {
+  rs_engine : engine;
+  rs_spec : spec;
+  rs_stats : Stats.t;
+  rs_end_time : Halotis_util.Units.time;
+  rs_truncated : bool;
+  rs_stopped_by : Halotis_guard.Stop.t;
+  rs_frozen : (Halotis_netlist.Netlist.signal_id * Halotis_util.Units.time) list;
+  rs_vt : Halotis_util.Units.voltage;
+      (** the digitization threshold of the common view: VDD/2 of
+          [sp_tech] *)
+  rs_raw : raw;
+  rs_edges : Halotis_wave.Digital.edge list array Lazy.t;
+      (** memoization cell behind {!edges}; force through the accessor *)
+  rs_initial_levels : bool array Lazy.t;
+      (** memoization cell behind {!initial_levels} *)
+}
+
+val run : engine -> spec -> result
+(** Runs the spec on the chosen engine.  This is the {e only}
+    engine-dispatch point in the code base: [Ddm]/[Cdm] configure and
+    call {!Iddm.run}; [Classic_inertial] abstracts the ramps to
+    toggles and calls {!Classic.run}.
+    @raise Invalid_argument as the underlying engines do (unsettled DC
+    point, unknown injection signal, bad drive). *)
+
+(** {1 Common result view} *)
+
+val edges : result -> Halotis_wave.Digital.edge list array
+(** Per-signal digitized edges at [rs_vt], indexed by signal id —
+    computed from the waveforms for IDDM runs, taken verbatim from the
+    classic engine.  Memoized: the first call digitizes, later calls
+    are free. *)
+
+val initial_levels : result -> bool array
+(** Per-signal initial logic level (also memoized). *)
+
+val output_edges : result -> (string * Halotis_wave.Digital.edge list) list
+(** Primary outputs in declaration order, with their edges. *)
+
+val vcd_dumps : result -> Halotis_wave.Vcd.signal_dump list
+(** Every signal as a VCD dump, watchdog-frozen intervals marked [x] —
+    the payload of [simulate --vcd] for any engine. *)
+
+val top_offenders : ?n:int -> result -> (string * int) list
+(** The [n] (default 5) signals with the most committed edges,
+    descending (ties by signal id) — the watchdog's event-rate view of
+    a finished run, available whether or not a watchdog ran or
+    tripped.  Signals with no edges are omitted. *)
+
+(** {1 Engine-specific access} *)
+
+val iddm : result -> Iddm.result option
+(** The full IDDM result (waveforms, trace) — [None] for classic runs. *)
+
+val classic : result -> Classic.result option

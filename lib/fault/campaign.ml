@@ -1,28 +1,17 @@
 module Netlist = Halotis_netlist.Netlist
-module Iddm = Halotis_engine.Iddm
-module Classic = Halotis_engine.Classic
+module Sim = Halotis_engine.Sim
 module Stats = Halotis_engine.Stats
 module Digital = Halotis_wave.Digital
-module Tech = Halotis_tech.Tech
-module DM = Halotis_delay.Delay_model
 module Hazard = Halotis_sta.Hazard
 module Prng = Halotis_util.Prng
 module Stop = Halotis_guard.Stop
 module Budget = Halotis_guard.Budget
 module Diag = Halotis_guard.Diag
 
-type engine = Ddm | Cdm | Classic_inertial
+type engine = Sim.engine = Ddm | Cdm | Classic_inertial
 
-let engine_to_string = function
-  | Ddm -> "ddm"
-  | Cdm -> "cdm"
-  | Classic_inertial -> "classic"
-
-let engine_of_string = function
-  | "ddm" -> Some Ddm
-  | "cdm" -> Some Cdm
-  | "classic" -> Some Classic_inertial
-  | _ -> None
+let engine_to_string = Sim.engine_to_string
+let engine_of_string = Sim.engine_of_string
 
 type outcome = Propagated | Electrically_masked | Logically_masked | Timed_out
 
@@ -71,6 +60,7 @@ type t = {
   cam_total_stats : Stats.t;
   cam_sites_total : int;
   cam_complete : bool;
+  cam_range : (int * int) option;
 }
 
 (* One injected run reduced to what classification needs: per-signal
@@ -128,11 +118,17 @@ let classify ~c ~is_classic ~(base : observed) ~(site : Site.t) (inj : observed)
     vd_stats = delta;
   }
 
-let run ?sites ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
-  (* The baseline never carries the per-site budget: it is the
-     reference every verdict is diffed against, so it must be whole. *)
-  let iddm_cfg ?budget kind = Iddm.config ~delay_kind:kind ~t_stop:cfg.t_stop ?budget tech in
-  let ddm_baseline = Iddm.run (iddm_cfg DM.Ddm) c ~drives in
+let run ?sites ?range ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
+  (* Every engine run flows through the {!Sim} facade; the baseline
+     never carries the per-site budget — it is the reference every
+     verdict is diffed against, so it must be whole. *)
+  let spec ?injections ?budget () =
+    Sim.spec ~drives ?injections ~t_stop:cfg.t_stop ?budget ~tech c
+  in
+  let ddm_baseline_run = Sim.run Sim.Ddm (spec ()) in
+  let ddm_baseline =
+    match Sim.iddm ddm_baseline_run with Some r -> r | None -> assert false
+  in
   let sites =
     match sites with
     | Some s -> s
@@ -141,65 +137,53 @@ let run ?sites ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
         let prng = Prng.create ~seed:cfg.seed in
         Site.sample ~baseline:ddm_baseline ~prng ~n:cfg.n ~t0 ~t1
   in
-  let vt = Tech.vdd tech /. 2. in
-  let observe_iddm (r : Iddm.result) =
-    {
-      ob_edges = Array.map (fun wf -> Digital.edges wf ~vt) r.Iddm.waveforms;
-      ob_stats = r.Iddm.stats;
-    }
+  let observe (r : Sim.result) =
+    { ob_edges = Sim.edges r; ob_stats = r.Sim.rs_stats }
   in
-  let observe_classic (r : Classic.result) =
-    { ob_edges = Array.copy r.Classic.edges; ob_stats = r.Classic.stats }
-  in
-  let budget = cfg.site_budget in
-  let base, run_site, is_classic =
+  let base =
     match cfg.engine with
-    | Ddm ->
-        ( observe_iddm ddm_baseline,
-          (fun site ->
-            observe_iddm
-              (Inject.run_iddm (iddm_cfg ~budget DM.Ddm) c ~drives ~site ~pulse:cfg.pulse)),
-          false )
-    | Cdm ->
-        ( observe_iddm (Iddm.run (iddm_cfg DM.Cdm) c ~drives),
-          (fun site ->
-            observe_iddm
-              (Inject.run_iddm (iddm_cfg ~budget DM.Cdm) c ~drives ~site ~pulse:cfg.pulse)),
-          false )
-    | Classic_inertial ->
-        let ccfg ?budget () = Classic.config ~t_stop:cfg.t_stop ?budget tech in
-        ( observe_classic (Classic.run (ccfg ()) c ~drives),
-          (fun site ->
-            observe_classic
-              (Inject.run_classic (ccfg ~budget ()) c ~drives ~site ~pulse:cfg.pulse)),
-          true )
+    | Ddm -> observe ddm_baseline_run
+    | Cdm | Classic_inertial -> observe (Sim.run cfg.engine (spec ()))
   in
-  (* Resume: [completed] must be a verdict-for-verdict prefix of the
-     deterministic site list — anything else means the journal belongs
-     to a different campaign. *)
+  let run_site site =
+    observe
+      (Sim.run cfg.engine
+         (spec ~injections:[ Inject.injection site cfg.pulse ] ~budget:cfg.site_budget ()))
+  in
+  let is_classic = cfg.engine = Classic_inertial in
   let site_arr = Array.of_list sites in
   let nsites = Array.length site_arr in
+  (* [range] restricts this call to global site indices [lo, hi) — the
+     shard protocol.  The default covers everything. *)
+  let lo, hi = match range with Some r -> r | None -> (0, nsites) in
+  if lo < 0 || hi < lo || hi > nsites then
+    Diag.fail ~code:"shard-range"
+      (Printf.sprintf "shard range [%d, %d) does not fit the %d-site campaign" lo hi
+         nsites);
+  (* Resume: [completed] must be a verdict-for-verdict prefix of the
+     (range's slice of the) deterministic site list — anything else
+     means the journal belongs to a different campaign. *)
   let ncompleted = List.length completed in
-  if ncompleted > nsites then
+  if ncompleted > hi - lo then
     Diag.fail ~code:"journal-mismatch"
-      (Printf.sprintf "journal has %d verdicts but the campaign has only %d sites"
-         ncompleted nsites);
+      (Printf.sprintf "journal has %d verdicts but the campaign range has only %d sites"
+         ncompleted (hi - lo));
   List.iteri
     (fun i (v : verdict) ->
-      if Site.compare site_arr.(i) v.vd_site <> 0 then
+      if Site.compare site_arr.(lo + i) v.vd_site <> 0 then
         Diag.fail ~code:"journal-mismatch"
           (Printf.sprintf
              "journal verdict %d was recorded at a different site — wrong seed, circuit or \
               campaign parameters"
-             i))
+             (lo + i)))
     completed;
-  let fresh_total = nsites - ncompleted in
+  let fresh_total = hi - lo - ncompleted in
   let fresh_count =
     match limit with Some k -> min (max 0 k) fresh_total | None -> fresh_total
   in
   let fresh = ref [] in
   for i = 0 to fresh_count - 1 do
-    let idx = ncompleted + i in
+    let idx = lo + ncompleted + i in
     let site = site_arr.(idx) in
     let inj = run_site site in
     let v =
@@ -236,7 +220,8 @@ let run ?sites ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
     cam_baseline_stats = Stats.copy base.ob_stats;
     cam_total_stats = total;
     cam_sites_total = nsites;
-    cam_complete = List.length verdicts = nsites;
+    cam_complete = List.length verdicts = hi - lo;
+    cam_range = range;
   }
 
 let counts t =

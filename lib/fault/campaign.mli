@@ -23,7 +23,9 @@
     {!Halotis_util.Prng} seeded explicitly, and runs are classified in
     site order. *)
 
-type engine = Ddm | Cdm | Classic_inertial
+type engine = Halotis_engine.Sim.engine = Ddm | Cdm | Classic_inertial
+(** Re-export of the facade's engine type: a campaign config names the
+    same engines {!Halotis_engine.Sim.run} dispatches on. *)
 
 val engine_to_string : engine -> string
 val engine_of_string : string -> engine option
@@ -87,14 +89,18 @@ type t = {
       (** all injected runs merged ({!Halotis_engine.Stats.merge});
           rebuilt from per-verdict deltas so a resumed campaign gets
           the identical total an uninterrupted one does *)
-  cam_sites_total : int;  (** sites the campaign comprises *)
+  cam_sites_total : int;  (** sites the {e whole} campaign comprises *)
   cam_complete : bool;
       (** false when [limit] stopped the campaign early — the verdict
-          list covers only a prefix of the sites *)
+          list covers only a prefix of the (range's) sites *)
+  cam_range : (int * int) option;
+      (** the global index range [\[lo, hi)] this value covers; [None]
+          for a whole-campaign run *)
 }
 
 val run :
   ?sites:Site.t list ->
+  ?range:int * int ->
   ?completed:verdict list ->
   ?limit:int ->
   ?on_verdict:(int -> verdict -> unit) ->
@@ -103,22 +109,32 @@ val run :
   Halotis_netlist.Netlist.t ->
   drives:(Halotis_netlist.Netlist.signal_id * Halotis_engine.Drive.t) list ->
   t
-(** Runs the campaign.  [sites] overrides the PRNG-sampled list — pass
-    the same list to several campaigns to compare engines on identical
-    strikes.  Sites are always enumerated against a DDM baseline (the
-    reference levels), whatever [config.engine] simulates the strikes.
+(** Runs the campaign; every engine run goes through
+    {!Halotis_engine.Sim.run}.  [sites] overrides the PRNG-sampled
+    list — pass the same list to several campaigns to compare engines
+    on identical strikes.  Sites are always enumerated against a DDM
+    baseline (the reference levels), whatever [config.engine] simulates
+    the strikes.
+
+    Sharding: [range = (lo, hi)] claims global site indices
+    [\[lo, hi)] of the deterministic enumeration — the slice a worker
+    process owns.  Verdict indices reported through [on_verdict] stay
+    global, so shard journals merge by index ({!Journal.merge}).  The
+    default range is the whole campaign.
 
     Checkpoint/resume: [completed] (default empty) supplies verdicts
     already decided — typically loaded from a {!Journal} — which must
-    match the leading sites one-for-one; only the remaining sites are
-    simulated, so an interrupted-then-resumed campaign returns a value
-    byte-identical (through {!Fault_report}) to a straight-through one.
-    [limit] caps how many {e fresh} sites get simulated this call
-    (the campaign is then [cam_complete = false]).  [on_verdict] fires
-    after each fresh site with its global index — the journaling hook.
+    match the range's leading sites one-for-one; only the remaining
+    sites are simulated, so an interrupted-then-resumed campaign
+    returns a value byte-identical (through {!Fault_report}) to a
+    straight-through one.  [limit] caps how many {e fresh} sites get
+    simulated this call (the campaign is then [cam_complete = false]).
+    [on_verdict] fires after each fresh site with its global index —
+    the journaling hook.
     @raise Invalid_argument on an empty window or site list trouble.
     @raise Halotis_guard.Diag.Fail ([journal-mismatch]) when
-    [completed] does not match the campaign's site list. *)
+    [completed] does not match the campaign's site list, or
+    ([shard-range]) when [range] exceeds the enumeration. *)
 
 val counts : t -> int * int * int
 (** [(propagated, electrically_masked, logically_masked)] —

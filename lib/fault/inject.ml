@@ -1,6 +1,7 @@
 module Transition = Halotis_wave.Transition
 module Iddm = Halotis_engine.Iddm
 module Classic = Halotis_engine.Classic
+module Sim = Halotis_engine.Sim
 
 type pulse = { width : float; slope : float }
 
@@ -15,6 +16,12 @@ let transitions ~at ~polarity p =
     Transition.make ~start:(at +. p.width) ~slope_time:p.slope
       ~polarity:(Transition.opposite polarity);
   ]
+
+let injection (site : Site.t) p =
+  {
+    Sim.inj_signal = site.Site.st_signal;
+    inj_ramps = transitions ~at:site.Site.st_at ~polarity:site.Site.st_polarity p;
+  }
 
 let iddm_injection (site : Site.t) p =
   {

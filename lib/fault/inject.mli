@@ -23,6 +23,11 @@ val transitions :
 (** The two ramps of the SET: leading edge at [at], trailing (opposed)
     edge at [at +. width]. *)
 
+val injection : Site.t -> pulse -> Halotis_engine.Sim.injection
+(** The site's pulse as an engine-agnostic {!Halotis_engine.Sim}
+    injection: any engine run through the facade splices (or, for the
+    classic engine, boolean-abstracts) the same two ramps. *)
+
 val iddm_injection : Site.t -> pulse -> Halotis_engine.Iddm.injection
 (** The site's pulse in the IDDM engine's native representation. *)
 
@@ -40,6 +45,7 @@ val run_iddm :
   site:Site.t ->
   pulse:pulse ->
   Halotis_engine.Iddm.result
+  [@@deprecated "build a Sim.spec with Inject.injection and use Halotis_engine.Sim.run"]
 (** One injected run: the stimulus plus the site's SET. *)
 
 val run_classic :
@@ -49,3 +55,4 @@ val run_classic :
   site:Site.t ->
   pulse:pulse ->
   Halotis_engine.Classic.result
+  [@@deprecated "build a Sim.spec with Inject.injection and use Halotis_engine.Sim.run"]

@@ -12,11 +12,12 @@ type header = {
   jh_slope : float;
   jh_t_stop : float;
   jh_window : (float * float) option;
+  jh_range : (int * int) option;
 }
 
 let magic = "# halotis-faults journal v1"
 
-let header_of ~circuit (cfg : Campaign.config) =
+let header_of ~circuit ?range (cfg : Campaign.config) =
   {
     jh_circuit = circuit;
     jh_engine = cfg.Campaign.engine;
@@ -26,9 +27,10 @@ let header_of ~circuit (cfg : Campaign.config) =
     jh_slope = cfg.Campaign.pulse.Inject.slope;
     jh_t_stop = cfg.Campaign.t_stop;
     jh_window = cfg.Campaign.window;
+    jh_range = range;
   }
 
-let check h ~circuit (cfg : Campaign.config) =
+let check h ~circuit ?range (cfg : Campaign.config) =
   let fail what = Diag.fail ~code:"journal-mismatch"
       (Printf.sprintf "journal was written for a different campaign: %s differs" what)
   in
@@ -39,7 +41,8 @@ let check h ~circuit (cfg : Campaign.config) =
   if h.jh_width <> cfg.Campaign.pulse.Inject.width then fail "pulse width";
   if h.jh_slope <> cfg.Campaign.pulse.Inject.slope then fail "pulse slope";
   if h.jh_t_stop <> cfg.Campaign.t_stop then fail "t_stop";
-  if h.jh_window <> cfg.Campaign.window then fail "window"
+  if h.jh_window <> cfg.Campaign.window then fail "window";
+  if h.jh_range <> range then fail "shard range"
 
 (* %h prints a lossless hex float; float_of_string reads it back
    bit-exactly, which is what makes resumed reports byte-identical. *)
@@ -148,6 +151,11 @@ let open_new ?(sync_every = 8) path h =
     (Printf.sprintf "! params %s %d %d %s %s %s %s %s\n"
        (Campaign.engine_to_string h.jh_engine)
        h.jh_seed h.jh_n (fstr h.jh_width) (fstr h.jh_slope) (fstr h.jh_t_stop) w0 w1);
+  (* serial journals carry no range line, so their bytes are unchanged
+     from the pre-sharding format *)
+  (match h.jh_range with
+  | Some (lo, hi) -> output_string oc (Printf.sprintf "! range %d %d\n" lo hi)
+  | None -> ());
   sync w;
   w
 
@@ -231,6 +239,7 @@ let load path =
                       jh_slope;
                       jh_t_stop;
                       jh_window;
+                      jh_range = None;
                     }
                 in
                 match parsed with
@@ -239,19 +248,71 @@ let load path =
             | _ -> parse_fail path "missing '! params' line")
         | [] -> parse_fail path "missing '! params' line"
       in
+      (* optional shard-range line, written by worker journals only *)
+      let header, rest =
+        match rest with
+        | l :: tl when String.length l > 8 && String.sub l 0 8 = "! range " -> (
+            match String.split_on_char ' ' l with
+            | [ "!"; "range"; lo; hi ] -> (
+                match (int_of_string_opt lo, int_of_string_opt hi) with
+                | Some lo, Some hi -> ({ header with jh_range = Some (lo, hi) }, tl)
+                | _ -> parse_fail path "malformed '! range' line")
+            | _ -> parse_fail path "malformed '! range' line")
+        | _ -> (header, rest)
+      in
       let vlines = List.filter (fun l -> l <> "") rest in
       let nlines = List.length vlines in
       let verdicts = List.mapi (fun i l -> (l, i = nlines - 1)) vlines in
-      let rec collect acc next = function
+      let rec collect acc prev = function
         | [] -> List.rev acc
         | (line, is_last) :: tl -> (
             match parse_verdict_line line with
-            | Some (idx, v) when idx = next -> collect (v :: acc) (next + 1) tl
+            | Some (idx, v) when idx > prev -> collect ((idx, v) :: acc) idx tl
             | Some _ | None ->
                 (* only the final record may be torn; anything earlier
-                   is corruption *)
+                   is corruption (including an index that runs
+                   backwards) *)
                 if is_last then List.rev acc
                 else parse_fail path (Printf.sprintf "corrupt verdict record: %S" line))
       in
-      (header, collect [] 0 verdicts))
+      (header, collect [] (-1) verdicts))
   | _ -> parse_fail path "not a halotis-faults journal (bad magic line)"
+
+let contiguous ~first indexed =
+  List.mapi
+    (fun i (idx, v) ->
+      if idx <> first + i then
+        Diag.fail ~code:"journal-merge"
+          ~hint:"a worker died before journaling this site; re-run with --resume to fill the gap"
+          (Printf.sprintf "verdict for site %d is missing (found %d instead)" (first + i)
+             idx)
+      else v)
+    indexed
+
+let merge parts =
+  match parts with
+  | [] -> Diag.fail ~code:"journal-merge" "no journals to merge"
+  | (h0, _) :: _ ->
+      let strip h = { h with jh_range = None } in
+      List.iteri
+        (fun k (h, _) ->
+          if strip h <> strip h0 then
+            Diag.fail ~code:"journal-merge"
+              (Printf.sprintf
+                 "shard journal %d was written for a different campaign than shard 0" k))
+        parts;
+      let all = List.concat_map snd parts in
+      let sorted = List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) all in
+      (* Equal records for the same site (an overlap from a re-run
+         shard) collapse; different ones mean the shards simulated
+         different campaigns and nothing can be trusted. *)
+      let rec dedupe = function
+        | (ia, va) :: ((ib, vb) :: _ as tl) when ia = ib ->
+            if verdict_line ia va = verdict_line ib vb then dedupe tl
+            else
+              Diag.fail ~code:"journal-merge"
+                (Printf.sprintf "shard journals disagree on the verdict for site %d" ia)
+        | x :: tl -> x :: dedupe tl
+        | [] -> []
+      in
+      (strip h0, dedupe sorted)

@@ -15,13 +15,19 @@
     - [! circuit NAME] and
       [! params ENGINE SEED N WIDTH SLOPE T_STOP W0 W1] — the campaign
       fingerprint (floats printed with [%h], lossless);
+    - [! range LO HI] — optional: the global site-index range a shard
+      worker owns (absent from serial journals, whose bytes are
+      unchanged from the pre-sharding format);
     - [v IDX SIGNAL GATE POL AT OUTCOME PO_DELTA FIRST_DIFF 7xCOUNTER STOP]
-      — one verdict: site ids, hex-float strike instant, outcome
-      token, the stats delta, and a stop token ([-] = completed).
+      — one verdict: the {e global} site index, site ids, hex-float
+      strike instant, outcome token, the stats delta, and a stop token
+      ([-] = completed).
 
     {!load} tolerates a torn final line (the crash wrote half a record)
-    by discarding it; any earlier corruption or an index gap is an
-    error. *)
+    by discarding it; any earlier corruption is an error.  Shard
+    journals from one campaign {!merge} by global index into the serial
+    journal's record stream; {!contiguous} then recovers the plain
+    verdict list (or pinpoints the missing site after a worker died). *)
 
 type header = {
   jh_circuit : string;
@@ -32,12 +38,17 @@ type header = {
   jh_slope : float;
   jh_t_stop : float;
   jh_window : (float * float) option;
+  jh_range : (int * int) option;
+      (** the shard's global site-index range [\[lo, hi)]; [None] for a
+          serial (whole-campaign) journal *)
 }
 
-val header_of : circuit:string -> Campaign.config -> header
+val header_of : circuit:string -> ?range:int * int -> Campaign.config -> header
 
-val check : header -> circuit:string -> Campaign.config -> unit
-(** @raise Halotis_guard.Diag.Fail ([journal-mismatch]) naming the
+val check : header -> circuit:string -> ?range:int * int -> Campaign.config -> unit
+(** Validates the journal fingerprint against the campaign about to run,
+    including the shard range (default: expect a serial journal).
+    @raise Halotis_guard.Diag.Fail ([journal-mismatch]) naming the
     first campaign parameter that differs. *)
 
 type writer
@@ -57,9 +68,30 @@ val write : writer -> int -> Campaign.verdict -> unit
 val close : writer -> unit
 (** Final flush + fsync + close. *)
 
-val load : string -> header * Campaign.verdict list
-(** Parses a journal: the header and the verdicts in index order
-    (indices must be [0, 1, ...] consecutive).  A torn final line is
+val load : string -> header * (int * Campaign.verdict) list
+(** Parses a journal: the header and the verdicts paired with their
+    global site indices, which must be strictly increasing (a shard
+    journal starts at its range's [lo], not 0).  A torn final line is
     silently dropped.
     @raise Halotis_guard.Diag.Fail ([journal-parse]) on a missing or
     malformed file. *)
+
+val contiguous : first:int -> (int * Campaign.verdict) list -> Campaign.verdict list
+(** Checks the indices run [first, first+1, ...] without gaps and drops
+    them — the bridge from {!load}/{!merge} output to
+    {!Campaign.run}'s [completed].
+    @raise Halotis_guard.Diag.Fail ([journal-merge]) naming the first
+    missing site. *)
+
+val merge :
+  (header * (int * Campaign.verdict) list) list ->
+  header * (int * Campaign.verdict) list
+(** Merges shard journals from one campaign into a single index-sorted
+    record stream (the serial journal's content).  Headers must agree
+    on everything but [jh_range] (the result's is [None]); records
+    sharing an index must be byte-identical (overlapping re-runs
+    collapse, disagreement is fatal).  Gaps are allowed here — a dead
+    worker's missing slice surfaces in {!contiguous}, after the
+    survivors' work has been preserved.
+    @raise Halotis_guard.Diag.Fail ([journal-merge]) on an empty list,
+    mismatched headers or conflicting records. *)

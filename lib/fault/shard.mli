@@ -1,0 +1,78 @@
+(** Multi-process campaign sharding.
+
+    A campaign's site enumeration is deterministic (seeded PRNG or an
+    exhaustive grid), so N worker processes can share it without any
+    coordination: worker [k] of [N] claims the contiguous global index
+    range {!range}[ ~total ~jobs k] and journals its verdicts — with
+    their global indices — into its own shard journal
+    ({!journal_path}).  The parent forks the workers (re-executing its
+    own binary with [--shard k/N]), waits, merges the shard journals
+    ({!Journal.merge}) and renders a report byte-identical to the
+    serial run.
+
+    Crash recovery falls out of the journal: a dead worker's completed
+    verdicts survive in its shard file, and re-running the parent with
+    [--resume] hands each worker its existing journal so only the
+    missing suffix of each range is simulated.
+
+    This module holds the process plumbing (range arithmetic, worker
+    spawn via [Unix.create_process], wait loop, exit-code folding); the
+    argv a worker receives is the caller's business — the CLI
+    reconstructs its own campaign flags. *)
+
+val range : total:int -> jobs:int -> int -> int * int
+(** [range ~total ~jobs k] is worker [k]'s half-open global site-index
+    range [\[k*total/jobs, (k+1)*total/jobs)].  The ranges of
+    [0 .. jobs-1] partition [\[0, total)] with sizes differing by at
+    most one.
+    @raise Invalid_argument unless [0 <= k < jobs] and [total >= 0]. *)
+
+val ranges : total:int -> jobs:int -> (int * int) list
+(** All [jobs] ranges in worker order. *)
+
+val journal_path : string -> int -> string
+(** [journal_path base k] is ["base.k"] — where worker [k]'s shard
+    journal lives. *)
+
+val parse_spec : string -> (int * int) option
+(** Parses a [--shard] argument ["K/N"] into [(k, n)]; [None] unless
+    [0 <= k < n]. *)
+
+val spec_to_string : int * int -> string
+
+type worker = {
+  wk_index : int;
+  wk_range : int * int;
+  wk_journal : string;
+  wk_pid : int;
+}
+
+val spawn :
+  argv:string list -> index:int -> range:int * int -> journal:string -> worker
+(** Forks worker [index] by re-executing [Sys.executable_name] with
+    [argv] (complete, including the program name at its head); the
+    child inherits stdin/stdout/stderr. *)
+
+val wait_all : worker list -> (worker * Unix.process_status) list
+(** Blocks until every worker has exited, in worker order.  Never
+    raises on a worker that died to a signal — the status records it. *)
+
+val status_exit_code : Unix.process_status -> int
+(** [WEXITED n] is [n]; a signalled or stopped worker is a hard error
+    ([1]). *)
+
+val status_to_string : Unix.process_status -> string
+(** ["exit 0"], ["signal -9"], ... for progress messages. *)
+
+val exit_code : (worker * Unix.process_status) list -> int
+(** The parent's verdict over all workers
+    ({!Halotis_guard.Stop.worst_exit_code} of the per-worker codes). *)
+
+val load_merged :
+  base:string -> jobs:int -> Journal.header * (int * Campaign.verdict) list
+(** Loads every existing shard journal [base.0 .. base.(jobs-1)] and
+    {!Journal.merge}s them.  Shard files that do not exist (a worker
+    died before writing its header) are skipped — the gap surfaces in
+    {!Journal.contiguous}.
+    @raise Halotis_guard.Diag.Fail ([journal-merge]) when no shard
+    journal exists at all, or on merge conflicts. *)

@@ -39,3 +39,10 @@ val exit_code : t -> int
 (** The CLI contract (documented in [doc/robustness.md]): 0 for
     {!Completed}, 3 for any resource-budget trip, 4 for an oscillation
     halt. *)
+
+val worst_exit_code : int list -> int
+(** Folds many per-worker exit codes into the one a parent process
+    reports: [0] only when every code is [0]; otherwise the most severe
+    contributor wins — a hard error (any code outside the 0/3/4
+    contract, e.g. [1] or a signal death) over an oscillation halt
+    ([4]) over a budget trip ([3]).  [0] for the empty list. *)

@@ -49,3 +49,15 @@ let freeze_set netlist ~signal =
 
 let offender_names netlist signals =
   List.sort compare (List.map (Netlist.signal_name netlist) signals)
+
+let suggest_threshold ?(window = default_window) ~scc_gates () =
+  (* A feedback loop of [scc_gates] gates oscillates with a period of
+     roughly 2 x scc_gates x one gate delay (~50 ps in the built-in
+     technology), so each loop signal toggles about
+     window / (scc_gates * 50) times per window.  Half that rate trips
+     on a genuine oscillator well within one window while staying far
+     above what quiescing logic produces; the floor keeps tiny loops
+     (an inverter pair) from tripping on legitimate bursts. *)
+  let scc_gates = max 1 scc_gates in
+  let expected = window /. (50. *. float_of_int scc_gates) in
+  max 16 (int_of_float (expected /. 2.))

@@ -53,3 +53,11 @@ val freeze_set : Halotis_netlist.Netlist.t -> signal:int -> int list
 val offender_names : Halotis_netlist.Netlist.t -> int list -> string list
 (** Sorted signal names for a freeze set, for messages and
     [Stop.Oscillation]. *)
+
+val suggest_threshold : ?window:float -> scc_gates:int -> unit -> int
+(** A trip threshold tuned to a feedback loop of [scc_gates] gates
+    (e.g. the size of a preflight NL008 finding's SCC): half the event
+    rate a ring of that size sustains per [window] (default
+    {!default_window}), floored at 16.  Smaller loops oscillate faster,
+    so they get a {e higher} suggested threshold — the suggestion stays
+    comfortably between real oscillation and quiescing activity. *)

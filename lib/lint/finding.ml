@@ -1,3 +1,5 @@
+module Json = Halotis_util.Json
+
 type severity = Error | Warning | Info
 
 let severity_to_string = function Error -> "error" | Warning -> "warning" | Info -> "info"

@@ -38,5 +38,5 @@ val compare : t -> t -> int
 (** Worst severity first, then rule id, then message — a stable report
     order independent of rule evaluation order. *)
 
-val to_json : t -> Json.t
-val of_json : Json.t -> (t, string) result
+val to_json : t -> Halotis_util.Json.t
+val of_json : Halotis_util.Json.t -> (t, string) result

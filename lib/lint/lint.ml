@@ -1,4 +1,5 @@
 module DL = Halotis_tech.Default_lib
+module Json = Halotis_util.Json
 
 let run ?(config = Rule.default_config) ?(tech = DL.tech) ?liberty ?stim c =
   let netlist_findings = Netlist_rules.run config c in

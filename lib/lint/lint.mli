@@ -41,11 +41,11 @@ val summary : Finding.t list -> string
 val pp_text : Format.formatter -> Finding.t list -> unit
 (** One finding per line, worst first. *)
 
-val report_to_json : Finding.t list -> Json.t
+val report_to_json : Finding.t list -> Halotis_util.Json.t
 (** [{ "tool": "halotis-lint", "version": 1, "findings": [...],
     "summary": {...} }] — stable enough for machine consumption. *)
 
-val findings_of_json : Json.t -> (Finding.t list, string) result
+val findings_of_json : Halotis_util.Json.t -> (Finding.t list, string) result
 (** Inverse of {!report_to_json} (reads the ["findings"] array); the
     test suite round-trips reports through this. *)
 
@@ -53,5 +53,5 @@ val rules_markdown : unit -> string
 (** The rules table of [doc/lint.md], generated from {!Rule.all} so the
     documentation cannot drift from the registry. *)
 
-val rules_json : unit -> Json.t
+val rules_json : unit -> Halotis_util.Json.t
 (** The registry as JSON (for [--list-rules --format json]). *)

@@ -3,7 +3,7 @@
    data are declared as dune deps, so paths are relative to the test's
    build directory. *)
 
-module Json = Halotis_lint.Json
+module Json = Halotis_util.Json
 module Lint = Halotis_lint.Lint
 
 (* Anchor on the test binary so the paths resolve both under `dune
@@ -145,6 +145,61 @@ let test_faults_bad_engine () =
   in
   checkb "unknown engine rejected" true (status <> 0)
 
+(* --- Sharded campaigns: the --jobs N report must be the --jobs 1
+   report, byte for byte, on the 4x4 multiplier fixture --- *)
+
+let mult_faults_args =
+  [
+    "faults"; data "mult4x4.hnl"; "--stim"; data "mult4x4.hsv"; "-n"; "9";
+    "--seed"; "7"; "--t-stop"; "20000"; "--format"; "json";
+  ]
+
+let test_faults_jobs_byte_identical () =
+  let status_s, serial = run_capture mult_faults_args in
+  checki "serial campaign exits 0" 0 status_s;
+  let status_j, sharded = run_capture (mult_faults_args @ [ "--jobs"; "3" ]) in
+  checki "sharded campaign exits 0" 0 status_j;
+  Alcotest.(check string) "--jobs 3 report byte-identical to serial" serial sharded
+
+let test_faults_jobs_crash_resume () =
+  (* A worker "crash" is a shard journal with a torn tail: run one shard
+     to completion, tear its last record in half, then let the parent
+     resume all three shards.  The other two shards start from nothing
+     (their journals never existed), the torn one re-simulates only its
+     lost suffix, and the merged report must still match serial. *)
+  let _, serial = run_capture mult_faults_args in
+  let base = Filename.temp_file "halotis_cli_shard" ".journal" in
+  Sys.remove base;
+  let shard1 = base ^ ".1" in
+  let status_w, _ =
+    run_capture (mult_faults_args @ [ "--shard"; "1/3"; "--journal"; shard1 ])
+  in
+  checki "shard worker exits 0" 0 status_w;
+  (* tear: drop the trailing newline and half the final record *)
+  let ic = open_in_bin shard1 in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let torn =
+    let upto = String.rindex_from contents (String.length contents - 2) '\n' in
+    String.sub contents 0 (upto + 1 + ((String.length contents - upto) / 2))
+  in
+  checkb "fixture journal holds several verdicts" true
+    (String.length torn < String.length contents);
+  let oc = open_out_bin shard1 in
+  output_string oc torn;
+  close_out oc;
+  let status_r, resumed =
+    run_capture (mult_faults_args @ [ "--jobs"; "3"; "--resume"; base ])
+  in
+  checki "resumed sharded campaign exits 0" 0 status_r;
+  Alcotest.(check string) "post-crash resume report byte-identical to serial" serial
+    resumed;
+  (* the parent leaves one merged serial journal at the base path and
+     removes the per-shard files *)
+  checkb "merged journal written" true (Sys.file_exists base);
+  checkb "shard journals cleaned up" false (Sys.file_exists shard1);
+  Sys.remove base
+
 let tests =
   [
     ( "cli.faults",
@@ -152,6 +207,10 @@ let tests =
         Alcotest.test_case "json report" `Quick test_faults_json;
         Alcotest.test_case "deterministic" `Quick test_faults_deterministic;
         Alcotest.test_case "bad engine rejected" `Quick test_faults_bad_engine;
+        Alcotest.test_case "--jobs 3 byte-identical" `Quick
+          test_faults_jobs_byte_identical;
+        Alcotest.test_case "crash-resume byte-identical" `Quick
+          test_faults_jobs_crash_resume;
       ] );
     ( "cli.lint",
       [

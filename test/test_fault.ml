@@ -10,6 +10,7 @@ module D = Halotis_wave.Digital
 module W = Halotis_wave.Waveform
 module DL = Halotis_tech.Default_lib
 module Prng = Halotis_util.Prng
+module Sim = Halotis_engine.Sim
 module Site = Halotis_fault.Site
 module Inject = Halotis_fault.Inject
 module Campaign = Halotis_fault.Campaign
@@ -125,7 +126,15 @@ let test_fig1_split () =
   let site = Site.of_signal ~baseline f.G.sig_out0 ~at:2000. in
   checkb "out0 low, struck rising" true (site.Site.st_polarity = T.Rising);
   (* 60 ps at 100 ps slope peaks at 3.0 V: between the thresholds. *)
-  let injected = Inject.run_iddm cfg c ~drives ~site ~pulse:(Inject.pulse ~width:60. ()) in
+  let injected =
+    let r =
+      Sim.run Sim.Ddm
+        (Sim.spec ~drives ~t_stop:6000.
+           ~injections:[ Inject.injection site (Inject.pulse ~width:60. ()) ]
+           ~tech:DL.tech c)
+    in
+    match Sim.iddm r with Some r -> r | None -> assert false
+  in
   let tx r s = List.length (W.transitions r.Iddm.waveforms.(s)) in
   checkb "g1 branch disturbed" true (tx injected f.G.sig_out1 > tx baseline f.G.sig_out1);
   checki "g2 output untouched" (tx baseline f.G.sig_out2) (tx injected f.G.sig_out2);

@@ -27,6 +27,7 @@ module Watchdog = Halotis_guard.Watchdog
 module Diag = Halotis_guard.Diag
 module Campaign = Halotis_fault.Campaign
 module Journal = Halotis_fault.Journal
+module Shard = Halotis_fault.Shard
 module Fault_report = Halotis_fault.Fault_report
 module Lint = Halotis_lint.Lint
 module Finding = Halotis_lint.Finding
@@ -430,8 +431,9 @@ let test_resume_byte_identical () =
       output_string oc "v 5 17 3 R 0x1.8p+";
       close_out oc;
       (* phase 2: load survives the torn record, resume finishes the rest *)
-      let h, completed = Journal.load path in
+      let h, indexed = Journal.load path in
       Journal.check h ~circuit:(N.name c) cfg;
+      let completed = Journal.contiguous ~first:0 indexed in
       checki "torn tail dropped, five verdicts recovered" 5 (List.length completed);
       let w2 = Journal.open_append path in
       let resumed =
@@ -443,7 +445,8 @@ let test_resume_byte_identical () =
       checks "JSON report byte-identical" want_json (Fault_report.to_string resumed);
       checks "text report byte-identical" want_text (Fault_report.to_text resumed);
       (* the finished journal now replays to a full verdict list *)
-      let _, all = Journal.load path in
+      let _, all_indexed = Journal.load path in
+      let all = Journal.contiguous ~first:0 all_indexed in
       checki "journal holds every verdict" 12 (List.length all);
       let replay = Campaign.run ~completed:all cfg DL.tech c ~drives in
       checks "replayed-from-journal report byte-identical" want_json
@@ -459,6 +462,159 @@ let test_journal_mismatch_rejected () =
       match Journal.check h ~circuit:(N.name c) other with
       | () -> Alcotest.fail "seed mismatch must be rejected"
       | exception Diag.Fail d -> checks "diag code" "journal-mismatch" d.Diag.code)
+
+(* ------------------------------------------------------------------ *)
+(* Shard journals: merge semantics                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One serial campaign, journaled once; every property case below
+   reassembles shard journals out of its bytes. *)
+let serial_journal_fixture =
+  lazy
+    (let c, drives, cfg = Lazy.force campaign_fixture in
+     let path = Filename.temp_file "halotis_shard_serial" ".journal" in
+     let w = Journal.open_new path (Journal.header_of ~circuit:(N.name c) cfg) in
+     let cam = Campaign.run ~on_verdict:(fun i v -> Journal.write w i v) cfg DL.tech c ~drives in
+     Journal.close w;
+     assert cam.Campaign.cam_complete;
+     let header, indexed = Journal.load path in
+     let ic = open_in_bin path in
+     let text = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     Sys.remove path;
+     let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' text) in
+     match lines with
+     | magic :: circuit :: params :: verdict_lines ->
+         assert (List.length verdict_lines = List.length indexed);
+         ((magic, circuit, params), verdict_lines, header, indexed)
+     | _ -> assert false)
+
+let sublist lo hi l = List.filteri (fun i _ -> lo <= i && i < hi) l
+
+(* Shards with arbitrary overlaps and torn tails: merging them must
+   reproduce the serial journal whenever their (post-tear) ranges cover
+   every site, and [contiguous] must name the gap whenever they don't. *)
+let prop_shard_merge_equals_serial =
+  let gen =
+    QCheck.Gen.(
+      2 -- 4 >>= fun jobs ->
+      list_repeat jobs (0 -- 2) >>= fun exts ->
+      list_repeat jobs bool >>= fun tears -> return (jobs, exts, tears))
+  in
+  let print (jobs, exts, tears) =
+    Printf.sprintf "jobs=%d exts=[%s] tears=[%s]" jobs
+      (String.concat ";" (List.map string_of_int exts))
+      (String.concat ";" (List.map string_of_bool tears))
+  in
+  QCheck.Test.make ~count:60
+    ~name:"journal merge of overlapping/torn shards equals the serial journal"
+    (QCheck.make ~print gen)
+    (fun (jobs, exts, tears) ->
+      let (magic, circuit, params), verdict_lines, serial_header, serial_indexed =
+        Lazy.force serial_journal_fixture
+      in
+      let total = List.length verdict_lines in
+      let covered = Array.make total false in
+      let files =
+        List.map
+          (fun ((lo, hi), (ext, tear)) ->
+            let hi = min total (hi + ext) in
+            let body = sublist lo hi verdict_lines in
+            let tear = tear && body <> [] in
+            let cov_hi = if tear then hi - 1 else hi in
+            for i = lo to cov_hi - 1 do
+              covered.(i) <- true
+            done;
+            let body =
+              if not tear then List.map (fun l -> l ^ "\n") body
+              else
+                let rec cut = function
+                  | [] -> assert false
+                  | [ last ] -> [ String.sub last 0 (String.length last / 2) ]
+                  | l :: rest -> (l ^ "\n") :: cut rest
+                in
+                cut body
+            in
+            let path = Filename.temp_file "halotis_shard_part" ".journal" in
+            let oc = open_out_bin path in
+            output_string oc (magic ^ "\n" ^ circuit ^ "\n" ^ params ^ "\n");
+            output_string oc (Printf.sprintf "! range %d %d\n" lo hi);
+            List.iter (output_string oc) body;
+            close_out oc;
+            path)
+          (List.combine (Shard.ranges ~total ~jobs) (List.combine exts tears))
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter Sys.remove files)
+        (fun () ->
+          let merged_header, merged = Journal.merge (List.map Journal.load files) in
+          let covered_ix =
+            List.filter (fun i -> covered.(i)) (List.init total Fun.id)
+          in
+          (* the merged stream holds exactly the covered sites, with the
+             serial journal's verdict for each *)
+          merged_header = serial_header
+          && List.map fst merged = covered_ix
+          && List.for_all
+               (fun (i, v) -> List.assoc i serial_indexed = v)
+               merged
+          &&
+          (* a missing suffix is a resumable prefix; an interior gap is
+             a merge error naming it *)
+          let prefix_len = List.length covered_ix in
+          let is_prefix = List.for_all2 ( = ) covered_ix (List.init prefix_len Fun.id) in
+          match Journal.contiguous ~first:0 merged with
+          | vs -> is_prefix && List.length vs = prefix_len
+          | exception Diag.Fail d -> (not is_prefix) && d.Diag.code = "journal-merge"))
+
+(* Worker ranges partition the site list: every campaign size and job
+   count, no gaps, no overlaps, balanced to within one site. *)
+let prop_shard_ranges_partition =
+  QCheck.Test.make ~count:200 ~name:"shard ranges partition the site indices"
+    QCheck.(pair (int_range 0 500) (int_range 1 17))
+    (fun (total, jobs) ->
+      let rs = Shard.ranges ~total ~jobs in
+      let sizes = List.map (fun (lo, hi) -> hi - lo) rs in
+      List.length rs = jobs
+      && List.for_all (fun s -> s >= 0) sizes
+      && List.fold_left ( + ) 0 sizes = total
+      && fst (List.hd rs) = 0
+      && snd (List.nth rs (jobs - 1)) = total
+      && List.for_all2
+           (fun (_, hi) (lo, _) -> hi = lo)
+           (sublist 0 (jobs - 1) rs)
+           (List.tl rs)
+      && List.for_all (fun s -> abs (s - (total / jobs)) <= 1) sizes)
+
+(* Library-level sharding: running each range separately and handing the
+   concatenated verdicts back as [completed] reproduces the serial
+   report byte for byte. *)
+let test_range_runs_merge_byte_identical () =
+  let c, drives, cfg = Lazy.force campaign_fixture in
+  let serial = Campaign.run cfg DL.tech c ~drives in
+  let verdicts =
+    List.concat_map
+      (fun range -> (Campaign.run ~range cfg DL.tech c ~drives).Campaign.cam_verdicts)
+      (Shard.ranges ~total:serial.Campaign.cam_sites_total ~jobs:3)
+  in
+  let merged = Campaign.run ~completed:verdicts cfg DL.tech c ~drives in
+  checks "sharded report byte-identical" (Fault_report.to_string serial)
+    (Fault_report.to_string merged)
+
+let test_worst_exit_code () =
+  checki "no workers" 0 (Stop.worst_exit_code []);
+  checki "all clean" 0 (Stop.worst_exit_code [ 0; 0 ]);
+  checki "budget beats clean" 3 (Stop.worst_exit_code [ 0; 3; 0 ]);
+  checki "oscillation beats budget" 4 (Stop.worst_exit_code [ 3; 4; 0 ]);
+  checki "hard error beats everything" 2 (Stop.worst_exit_code [ 4; 2; 3 ])
+
+let test_watchdog_suggest_threshold () =
+  let small = Watchdog.suggest_threshold ~scc_gates:3 () in
+  let large = Watchdog.suggest_threshold ~scc_gates:40 () in
+  checkb "bigger loop, lower threshold" true (large <= small);
+  checkb "floor holds" true (Watchdog.suggest_threshold ~scc_gates:100_000 () >= 16);
+  checki "zero-size SCC clamps" (Watchdog.suggest_threshold ~scc_gates:1 ())
+    (Watchdog.suggest_threshold ~scc_gates:0 ())
 
 let test_site_budget_times_out () =
   let c, drives, cfg0 = Lazy.force campaign_fixture in
@@ -510,6 +666,13 @@ let tests =
           test_resume_byte_identical;
         Alcotest.test_case "journal: config mismatch rejected" `Quick
           test_journal_mismatch_rejected;
+        QCheck_alcotest.to_alcotest prop_shard_merge_equals_serial;
+        QCheck_alcotest.to_alcotest prop_shard_ranges_partition;
+        Alcotest.test_case "shard: range runs merge byte-identical" `Quick
+          test_range_runs_merge_byte_identical;
+        Alcotest.test_case "stop: worst exit code folding" `Quick test_worst_exit_code;
+        Alcotest.test_case "watchdog: threshold suggestion" `Quick
+          test_watchdog_suggest_threshold;
         Alcotest.test_case "campaign: per-site budget yields timed_out" `Quick
           test_site_budget_times_out;
       ] );

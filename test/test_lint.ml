@@ -1,7 +1,7 @@
 (* Tests for Halotis_lint: JSON round-trips, the rule registry, and the
    four rule domains on hand-crafted flawed inputs. *)
 
-module Json = Halotis_lint.Json
+module Json = Halotis_util.Json
 module Finding = Halotis_lint.Finding
 module Rule = Halotis_lint.Rule
 module Lint = Halotis_lint.Lint
