@@ -30,6 +30,7 @@ let experiments : (string * string * (unit -> Halotis_report.Experiment.t list))
     ("mult8", "the paper's protocol on an 8x8 multiplier (extension)", Exp_mult8.run);
     ("faults", "SET campaigns: DDM vs classic masking (extension)", Exp_faults.run);
     ("jobs", "sharded fault campaigns: identity and scaling (extension)", Exp_jobs.run);
+    ("prune", "statically pruned fault campaigns (extension)", Exp_prune.run);
   ]
 
 let list_experiments () =

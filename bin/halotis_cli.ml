@@ -462,11 +462,24 @@ let usage_diag ?hint m = die_diag (Diag.make ~code:"usage" ?hint m)
 let farg = Printf.sprintf "%h"
 
 let run_faults path stim_path engine n seed width slope t_stop exhaustive grid format
-    vcd_dir liberty journal_path resume_path limit_sites site_max_events jobs shard =
+    vcd_dir liberty journal_path resume_path limit_sites site_max_events jobs shard
+    prune_mode =
   let tech = load_tech liberty in
   let c = or_die (load_circuit path) in
   let stim = or_die (load_stimfile stim_path) in
   if jobs < 1 then usage_diag "--jobs must be at least 1";
+  let prune = prune_mode = `Static in
+  (* the campaign silently ignores the flag in these cases; say why *)
+  if prune && shard = None then begin
+    if engine = Campaign.Classic_inertial then
+      prerr_endline
+        "halotis: --prune static has no effect with the classic engine (no pulse-width \
+         semantics to bound); all sites will be simulated";
+    if site_max_events <> None then
+      prerr_endline
+        "halotis: --prune static is disabled by --site-max-events (a budget-tripped \
+         site must be able to report timed-out); all sites will be simulated"
+  end;
   if shard <> None && jobs > 1 then usage_diag "--shard and --jobs are mutually exclusive";
   if shard <> None && limit_sites <> None then
     usage_diag "--limit-sites cannot be used inside a shard worker";
@@ -480,7 +493,9 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
     with Invalid_argument m -> die_diag (Diag.make ~code:"invalid-input" m)
   in
   let site_budget = Budget.make ?max_events:site_max_events () in
-  let cfg = Campaign.config ~engine ~seed ~n ~pulse ~t_stop:horizon ~site_budget () in
+  let cfg =
+    Campaign.config ~engine ~seed ~n ~pulse ~t_stop:horizon ~site_budget ~prune ()
+  in
   let sites =
     if not exhaustive then None
     else
@@ -594,6 +609,7 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
           @ (match site_max_events with
             | Some e -> [ "--site-max-events"; string_of_int e ]
             | None -> [])
+          @ (if prune then [ "--prune"; "static" ] else [])
           @ [ "--shard"; Shard.spec_to_string (k, jobs) ]
           @ [ (if resume_worker then "--resume" else "--journal"); jpath ]
         in
@@ -714,12 +730,7 @@ let run_export path output =
 let run_timing path input_slope liberty period =
   let tech = load_tech liberty in
   let c = or_die (load_circuit path) in
-  let t =
-    try Sta.analyze ~input_slope tech c
-    with Invalid_argument m ->
-      prerr_endline ("halotis: " ^ m);
-      exit 1
-  in
+  let t = Sta.analyze ~input_slope tech c in
   Format.printf "%a@." N.pp_summary c;
   Printf.printf "worst arrival: %.1f ps%s\n" (Sta.worst t)
     (match Sta.worst_output t with
@@ -796,12 +807,7 @@ let run_explain path stim_path signal_name at t_stop =
 let run_hazards path input_slope =
   let c = or_die (load_circuit path) in
   let module Hazard = Halotis_sta.Hazard in
-  let h =
-    try Hazard.analyze ~input_slope DL.tech c
-    with Invalid_argument m ->
-      prerr_endline ("halotis: " ^ m);
-      exit 1
-  in
+  let h = Hazard.analyze ~input_slope DL.tech c in
   let sites = Hazard.sites h in
   let timing = Hazard.timing_sites h in
   Format.printf "%a@." N.pp_summary c;
@@ -809,6 +815,19 @@ let run_hazards path input_slope =
     (List.length sites) (N.gate_count c) (List.length timing)
     (List.length sites - List.length timing);
   Format.printf "%a" (Hazard.pp_sites c) sites;
+  0
+
+(* --- survival --- *)
+
+let run_survival path width slope engine liberty format =
+  let tech = load_tech liberty in
+  let c = or_die (load_circuit path) in
+  let module Survival = Halotis_sta.Survival in
+  let kind = match engine with `Ddm -> DM.Ddm | `Cdm -> DM.Cdm in
+  let s = Survival.analyze ~width ~slope ~kind tech c in
+  (match format with
+  | `Json -> print_endline (Json.to_string ~indent:true (Survival.to_json s))
+  | `Text -> Format.printf "%a" Survival.pp_text s);
   0
 
 (* --- equiv --- *)
@@ -1238,11 +1257,21 @@ let faults_cmd =
              only this shard's site range into its own journal; no report is \
              rendered.")
   in
+  let prune =
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("static", `Static) ]) `None
+      & info [ "prune" ] ~docv:"MODE"
+          ~doc:
+            "static: skip sites whose masking verdict the pulse-survival analysis \
+             proves from the baseline alone (journaled as pruned; taxonomy totals \
+             are identical to an unpruned run). Default: none.")
+  in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       const run_faults $ circuit_arg $ stim_arg $ engine $ n $ seed $ width $ slope
       $ t_stop_arg $ exhaustive $ grid $ format $ vcd_dir $ liberty_arg $ journal
-      $ resume $ limit_sites $ site_max_events $ jobs $ shard)
+      $ resume $ limit_sites $ site_max_events $ jobs $ shard $ prune)
 
 let export_cmd =
   let doc = "export a netlist as structural Verilog" in
@@ -1293,6 +1322,34 @@ let hazards_cmd =
   in
   Cmd.v (Cmd.info "hazards" ~doc) Term.(const run_hazards $ circuit_arg $ slope)
 
+let survival_cmd =
+  let doc = "static SET pulse-survival map (vulnerability bounds per gate and output)" in
+  let width =
+    Arg.(
+      value & opt float 150.
+      & info [ "width" ] ~docv:"PS" ~doc:"Canonical SET pulse width in picoseconds.")
+  in
+  let slope =
+    Arg.(
+      value & opt float 100.
+      & info [ "slope" ] ~docv:"PS" ~doc:"Canonical SET ramp slope in picoseconds.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("ddm", `Ddm); ("cdm", `Cdm) ]) `Ddm
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Delay model to bound the pulse transfer with: ddm (default) or cdm.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"text or json map on stdout.")
+  in
+  Cmd.v (Cmd.info "survival" ~doc)
+    Term.(const run_survival $ circuit_arg $ width $ slope $ engine $ liberty_arg $ format)
+
 let equiv_cmd =
   let doc = "exhaustive combinational equivalence check" in
   let file position docv =
@@ -1336,6 +1393,7 @@ let main_cmd =
       compare_cmd;
       faults_cmd;
       timing_cmd;
+      survival_cmd;
       export_cmd;
       characterize_cmd;
       diff_vcd_cmd;

@@ -90,7 +90,7 @@ module Cache = struct
           coef.(base + 1) <- p.Tech.d_slope;
           coef.(base + 2) <- Tech.output_slope p ~cl;
           coef.(base + 3) <- Tech.degradation_tau tech p ~cl;
-          coef.(base + 4) <- 0.5 -. (p.Tech.ddm_c /. Tech.vdd tech))
+          coef.(base + 4) <- Tech.degradation_t0_coef tech p)
         [ true; false ];
       for pin = 0 to Array.length g.Netlist.fanin - 1 do
         pf.(pf_off.(gid) + pin) <- gt.Tech.pin_factor pin
@@ -147,4 +147,48 @@ module Cache = struct
 
   let tp cache = cache.scratch.(0)
   let tau_out cache = cache.scratch.(1)
+
+  (* Read-only views of the cached per-(gate, edge) coefficients, for
+     static analyses that must bound eqs. 1-3 with exactly the numbers
+     the event kernel evaluates (same clamps, same associations). *)
+
+  type edge_coefficients = {
+    ec_d_base : float;  (* d0 + d_load * CL *)
+    ec_d_slope : float;
+    ec_tau_out : float;  (* clamped output slope *)
+    ec_ddm_tau : float;  (* clamped eq. 2 tau *)
+    ec_t0_coef : float;  (* 1/2 - C/VDD, eq. 3 before the tau_in product *)
+  }
+
+  let edge_coefficients cache gid ~rising =
+    let base = 5 * ((2 * gid) + if rising then 0 else 1) in
+    {
+      ec_d_base = cache.coef.(base);
+      ec_d_slope = cache.coef.(base + 1);
+      ec_tau_out = cache.coef.(base + 2);
+      ec_ddm_tau = cache.coef.(base + 3);
+      ec_t0_coef = cache.coef.(base + 4);
+    }
+
+  let coefficient_bounds cache gid =
+    let r = edge_coefficients cache gid ~rising:true in
+    let f = edge_coefficients cache gid ~rising:false in
+    let lo = {
+      ec_d_base = Float.min r.ec_d_base f.ec_d_base;
+      ec_d_slope = Float.min r.ec_d_slope f.ec_d_slope;
+      ec_tau_out = Float.min r.ec_tau_out f.ec_tau_out;
+      ec_ddm_tau = Float.min r.ec_ddm_tau f.ec_ddm_tau;
+      ec_t0_coef = Float.min r.ec_t0_coef f.ec_t0_coef;
+    }
+    and hi = {
+      ec_d_base = Float.max r.ec_d_base f.ec_d_base;
+      ec_d_slope = Float.max r.ec_d_slope f.ec_d_slope;
+      ec_tau_out = Float.max r.ec_tau_out f.ec_tau_out;
+      ec_ddm_tau = Float.max r.ec_ddm_tau f.ec_ddm_tau;
+      ec_t0_coef = Float.max r.ec_t0_coef f.ec_t0_coef;
+    }
+    in
+    (lo, hi)
+
+  let pin_factor cache gid ~pin = cache.pf.(cache.pf_off.(gid) + pin)
 end

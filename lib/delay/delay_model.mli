@@ -106,4 +106,26 @@ module Cache : sig
 
   val tau_out : t -> float
   (** Output ramp full-swing time computed by the last {!eval}, ps. *)
+
+  type edge_coefficients = {
+    ec_d_base : float;  (** [d0 + d_load * CL] — the load term of [tp0], ps *)
+    ec_d_slope : float;  (** input-slope sensitivity of [tp0] *)
+    ec_tau_out : float;  (** clamped output ramp full-swing time, ps *)
+    ec_ddm_tau : float;  (** clamped eq. 2 tau, ps *)
+    ec_t0_coef : float;  (** eq. 3's [1/2 - C/VDD] before the [tau_in] product *)
+  }
+  (** The five cached per-(gate, edge) coefficients, exactly as the
+      event kernel reads them (clamps applied). *)
+
+  val edge_coefficients : t -> Halotis_netlist.Netlist.gate_id -> rising:bool -> edge_coefficients
+  (** Coefficients of one output-edge direction of a gate. *)
+
+  val coefficient_bounds : t -> Halotis_netlist.Netlist.gate_id -> edge_coefficients * edge_coefficients
+  (** [(lo, hi)] — component-wise min/max over the two edge directions
+      of a gate; the conservative coefficient range static analyses
+      ({!Halotis_sta.Survival}) use when the edge direction of a
+      propagating pulse is not determined. *)
+
+  val pin_factor : t -> Halotis_netlist.Netlist.gate_id -> pin:int -> float
+  (** The cached per-pin delay factor. *)
 end

@@ -2,7 +2,10 @@ module Netlist = Halotis_netlist.Netlist
 module Sim = Halotis_engine.Sim
 module Stats = Halotis_engine.Stats
 module Digital = Halotis_wave.Digital
+module Transition = Halotis_wave.Transition
 module Hazard = Halotis_sta.Hazard
+module Survival = Halotis_sta.Survival
+module Delay_model = Halotis_delay.Delay_model
 module Prng = Halotis_util.Prng
 module Stop = Halotis_guard.Stop
 module Budget = Halotis_guard.Budget
@@ -36,13 +39,14 @@ type config = {
   t_stop : float;
   window : (float * float) option;
   site_budget : Budget.t;
+  prune : bool;
 }
 
 let config ?(engine = Ddm) ?(seed = 1) ?(n = 100) ?(pulse = Inject.pulse ~width:150. ())
-    ?window ?(site_budget = Budget.unlimited) ~t_stop () =
+    ?window ?(site_budget = Budget.unlimited) ?(prune = false) ~t_stop () =
   if n < 0 then invalid_arg "Campaign.config: n must be non-negative";
   if t_stop <= 0. then invalid_arg "Campaign.config: t_stop must be positive";
-  { engine; seed; n; pulse; t_stop; window; site_budget }
+  { engine; seed; n; pulse; t_stop; window; site_budget; prune }
 
 type verdict = {
   vd_site : Site.t;
@@ -50,6 +54,7 @@ type verdict = {
   vd_po_edges_delta : int;
   vd_first_diff_output : string option;
   vd_stats : Stats.t;
+  vd_pruned : bool;
 }
 
 type t = {
@@ -116,6 +121,7 @@ let classify ~c ~is_classic ~(base : observed) ~(site : Site.t) (inj : observed)
     vd_po_edges_delta = po_edges_delta;
     vd_first_diff_output = (match po_diff with [] -> None | sid :: _ -> Some (Netlist.signal_name c sid));
     vd_stats = delta;
+    vd_pruned = false;
   }
 
 let run ?sites ?range ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
@@ -140,10 +146,32 @@ let run ?sites ?range ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
   let observe (r : Sim.result) =
     { ob_edges = Sim.edges r; ob_stats = r.Sim.rs_stats }
   in
-  let base =
+  let base_run =
     match cfg.engine with
-    | Ddm -> observe ddm_baseline_run
-    | Cdm | Classic_inertial -> observe (Sim.run cfg.engine (spec ()))
+    | Ddm -> ddm_baseline_run
+    | Cdm | Classic_inertial -> Sim.run cfg.engine (spec ())
+  in
+  let base = observe base_run in
+  (* Static pruning oracle.  Only armed when every injected run would
+     be whole anyway: a finite per-site budget can turn a provably
+     masked site into [Timed_out], and pruning must never change a
+     verdict.  The classic engine has no pulse-width semantics to bound
+     statically. *)
+  let pruner =
+    if not (cfg.prune && Budget.is_unlimited cfg.site_budget) then None
+    else
+      match cfg.engine with
+      | Classic_inertial -> None
+      | Ddm | Cdm -> (
+          let kind =
+            match cfg.engine with Ddm -> Delay_model.Ddm | _ -> Delay_model.Cdm
+          in
+          match Sim.iddm base_run with
+          | None -> None
+          | Some baseline ->
+              Some
+                (Survival.pruner ~kind tech c ~baseline ~t_stop:cfg.t_stop
+                   ~width:cfg.pulse.Inject.width ~slope:cfg.pulse.Inject.slope))
   in
   let run_site site =
     observe
@@ -181,23 +209,50 @@ let run ?sites ?range ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
   let fresh_count =
     match limit with Some k -> min (max 0 k) fresh_total | None -> fresh_total
   in
+  let static_verdict site =
+    match pruner with
+    | None -> None
+    | Some pr -> (
+        match
+          Survival.site_verdict pr ~signal:site.Site.st_signal
+            ~rising:(site.Site.st_polarity = Transition.Rising)
+            ~at:site.Site.st_at
+        with
+        | Survival.Unknown -> None
+        | Survival.Proven_electrically_masked -> Some Electrically_masked
+        | Survival.Proven_logically_masked -> Some Logically_masked)
+  in
   let fresh = ref [] in
   for i = 0 to fresh_count - 1 do
     let idx = lo + ncompleted + i in
     let site = site_arr.(idx) in
-    let inj = run_site site in
     let v =
-      if not (Stop.completed inj.ob_stats.Stats.stopped_by) then
-        (* the per-site budget tripped: the run is a prefix, so no
-           verdict about masking can be trusted — record the trip *)
-        {
-          vd_site = site;
-          vd_outcome = Timed_out;
-          vd_po_edges_delta = 0;
-          vd_first_diff_output = None;
-          vd_stats = Stats.diff inj.ob_stats base.ob_stats;
-        }
-      else classify ~c ~is_classic ~base ~site inj
+      match static_verdict site with
+      | Some outcome ->
+          (* proven statically: no injected run happens, so the verdict
+             carries zero delta counters *)
+          {
+            vd_site = site;
+            vd_outcome = outcome;
+            vd_po_edges_delta = 0;
+            vd_first_diff_output = None;
+            vd_stats = Stats.create ();
+            vd_pruned = true;
+          }
+      | None ->
+          let inj = run_site site in
+          if not (Stop.completed inj.ob_stats.Stats.stopped_by) then
+            (* the per-site budget tripped: the run is a prefix, so no
+               verdict about masking can be trusted — record the trip *)
+            {
+              vd_site = site;
+              vd_outcome = Timed_out;
+              vd_po_edges_delta = 0;
+              vd_first_diff_output = None;
+              vd_stats = Stats.diff inj.ob_stats base.ob_stats;
+              vd_pruned = false;
+            }
+          else classify ~c ~is_classic ~base ~site inj
     in
     (match on_verdict with Some f -> f idx v | None -> ());
     fresh := v :: !fresh
@@ -206,12 +261,15 @@ let run ?sites ?range ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
   (* Rebuild the all-runs total from the per-verdict deltas: the raw
      counters of run [i] are [delta_i + base], integer-exact, so a
      resumed campaign reconstructs the same total an uninterrupted one
-     accumulates. *)
+     accumulates.  Pruned sites never ran, so they contribute
+     nothing. *)
   let total = Stats.create () in
   List.iter
     (fun (v : verdict) ->
-      Stats.merge total v.vd_stats;
-      Stats.merge total base.ob_stats)
+      if not v.vd_pruned then begin
+        Stats.merge total v.vd_stats;
+        Stats.merge total base.ob_stats
+      end)
     verdicts;
   {
     cam_circuit = c;
@@ -233,6 +291,9 @@ let counts t =
       | Logically_masked -> (p, e, l + 1)
       | Timed_out -> (p, e, l))
     (0, 0, 0) t.cam_verdicts
+
+let pruned_count t =
+  List.fold_left (fun n v -> if v.vd_pruned then n + 1 else n) 0 t.cam_verdicts
 
 let timed_out t =
   List.fold_left

@@ -54,6 +54,14 @@ type config = {
       (** resource budget applied to each {e injected} run (never to
           the baselines); a trip yields a {!Timed_out} verdict instead
           of aborting the campaign *)
+  prune : bool;
+      (** skip sites whose masking verdict the static survival analysis
+          ({!Halotis_sta.Survival}) proves from the baseline alone.
+          Pruned sites get the proven outcome with zero delta counters
+          and [vd_pruned = true]; taxonomy counts are identical to an
+          unpruned campaign.  Silently inert for the classic engine and
+          under a finite [site_budget] (where a pruned site could
+          otherwise differ from its simulated {!Timed_out} verdict). *)
 }
 
 val config :
@@ -63,11 +71,12 @@ val config :
   ?pulse:Inject.pulse ->
   ?window:Halotis_util.Units.time * Halotis_util.Units.time ->
   ?site_budget:Halotis_guard.Budget.t ->
+  ?prune:bool ->
   t_stop:Halotis_util.Units.time ->
   unit ->
   config
 (** Defaults: DDM, seed 1, 100 injections, a 150 ps / 100 ps pulse,
-    unlimited per-site budget. *)
+    unlimited per-site budget, no static pruning. *)
 
 type verdict = {
   vd_site : Site.t;
@@ -78,6 +87,9 @@ type verdict = {
       (** name of the first differing primary output *)
   vd_stats : Halotis_engine.Stats.t;
       (** injected-run counters minus baseline ({!Halotis_engine.Stats.diff}) *)
+  vd_pruned : bool;
+      (** the outcome was proven statically and the site never
+          simulated; [vd_stats] is all zeros *)
 }
 
 type t = {
@@ -139,6 +151,9 @@ val run :
 val counts : t -> int * int * int
 (** [(propagated, electrically_masked, logically_masked)] —
     {!Timed_out} verdicts are counted by {!timed_out} alone. *)
+
+val pruned_count : t -> int
+(** Number of verdicts decided statically ([vd_pruned]). *)
 
 val timed_out : t -> int
 (** Number of {!Timed_out} verdicts. *)

@@ -22,6 +22,7 @@ let verdict_json c (v : Campaign.verdict) =
     @ (match v.Campaign.vd_first_diff_output with
       | Some name -> [ ("first_diff_output", Json.Str name) ]
       | None -> [])
+    @ (if v.Campaign.vd_pruned then [ ("pruned", Json.Bool true) ] else [])
     @ [ ("stats_delta", stats_json v.Campaign.vd_stats) ])
 
 let to_json (t : Campaign.t) =
@@ -40,6 +41,14 @@ let to_json (t : Campaign.t) =
       ("seed", Json.Num (float_of_int cfg.Campaign.seed));
       ("injections", Json.Num (float_of_int (List.length t.Campaign.cam_verdicts)));
       ("sites_total", Json.Num (float_of_int t.Campaign.cam_sites_total));
+      (* pruned/simulated counts live outside "summary" on purpose: the
+         taxonomy summary of a pruned campaign must stay byte-identical
+         to its unpruned twin's *)
+      ("sites_pruned", Json.Num (float_of_int (Campaign.pruned_count t)));
+      ( "sites_simulated",
+        Json.Num
+          (float_of_int
+             (List.length t.Campaign.cam_verdicts - Campaign.pruned_count t)) );
       ("partial", Json.Bool (not t.Campaign.cam_complete));
       ( "pulse",
         Json.Obj
@@ -101,6 +110,9 @@ let to_text (t : Campaign.t) =
   addf "  timed out            %4d  (%5.1f%%)\n" (Campaign.timed_out t)
     (pct (Campaign.timed_out t));
   addf "  masking rate         %.2f\n" (Campaign.masking_rate t);
+  let pruned = Campaign.pruned_count t in
+  if pruned > 0 then
+    addf "  statically pruned    %4d  (%d simulated)\n" pruned (n - pruned);
   if not t.Campaign.cam_complete then
     addf "  PARTIAL: %d of %d sites simulated\n" n t.Campaign.cam_sites_total;
   (match Campaign.vulnerability t with
@@ -114,9 +126,10 @@ let to_text (t : Campaign.t) =
   addf "\nverdicts:\n";
   List.iter
     (fun (v : Campaign.verdict) ->
-      addf "  %-20s %s%s\n"
+      addf "  %-20s %s%s%s\n"
         (Format.asprintf "%a" (Site.pp c) v.Campaign.vd_site)
         (Campaign.outcome_to_string v.Campaign.vd_outcome)
+        (if v.Campaign.vd_pruned then " [pruned]" else "")
         (match v.Campaign.vd_first_diff_output with
         | Some po -> Printf.sprintf " (first at %s)" po
         | None -> ""))

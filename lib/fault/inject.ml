@@ -1,6 +1,5 @@
 module Transition = Halotis_wave.Transition
 module Iddm = Halotis_engine.Iddm
-module Classic = Halotis_engine.Classic
 module Sim = Halotis_engine.Sim
 
 type pulse = { width : float; slope : float }
@@ -37,9 +36,3 @@ let classic_injection (site : Site.t) p =
       (site.Site.st_at +. mid, leading);
       (site.Site.st_at +. p.width +. mid, not leading);
     ] )
-
-let run_iddm cfg c ~drives ~site ~pulse =
-  Iddm.run ~injections:[ iddm_injection site pulse ] cfg c ~drives
-
-let run_classic cfg c ~drives ~site ~pulse =
-  Classic.run ~injections:[ classic_injection site pulse ] cfg c ~drives

@@ -37,22 +37,3 @@ val classic_injection :
   Halotis_netlist.Netlist.signal_id * (Halotis_util.Units.time * bool) list
 (** The boolean abstraction for {!Halotis_engine.Classic}: two value
     toggles at the ramps' 50 % instants. *)
-
-val run_iddm :
-  Halotis_engine.Iddm.config ->
-  Halotis_netlist.Netlist.t ->
-  drives:(Halotis_netlist.Netlist.signal_id * Halotis_engine.Drive.t) list ->
-  site:Site.t ->
-  pulse:pulse ->
-  Halotis_engine.Iddm.result
-  [@@deprecated "build a Sim.spec with Inject.injection and use Halotis_engine.Sim.run"]
-(** One injected run: the stimulus plus the site's SET. *)
-
-val run_classic :
-  Halotis_engine.Classic.config ->
-  Halotis_netlist.Netlist.t ->
-  drives:(Halotis_netlist.Netlist.signal_id * Halotis_engine.Drive.t) list ->
-  site:Site.t ->
-  pulse:pulse ->
-  Halotis_engine.Classic.result
-  [@@deprecated "build a Sim.spec with Inject.injection and use Halotis_engine.Sim.run"]

@@ -13,9 +13,13 @@ type header = {
   jh_t_stop : float;
   jh_window : (float * float) option;
   jh_range : (int * int) option;
+  jh_prune : bool;
 }
 
-let magic = "# halotis-faults journal v1"
+(* v2 adds the prune flag to the params line and a trailing marker on
+   pruned verdict records; v1 files (never pruned) still load. *)
+let magic_v1 = "# halotis-faults journal v1"
+let magic = "# halotis-faults journal v2"
 
 let header_of ~circuit ?range (cfg : Campaign.config) =
   {
@@ -28,6 +32,7 @@ let header_of ~circuit ?range (cfg : Campaign.config) =
     jh_t_stop = cfg.Campaign.t_stop;
     jh_window = cfg.Campaign.window;
     jh_range = range;
+    jh_prune = cfg.Campaign.prune;
   }
 
 let check h ~circuit ?range (cfg : Campaign.config) =
@@ -42,7 +47,8 @@ let check h ~circuit ?range (cfg : Campaign.config) =
   if h.jh_slope <> cfg.Campaign.pulse.Inject.slope then fail "pulse slope";
   if h.jh_t_stop <> cfg.Campaign.t_stop then fail "t_stop";
   if h.jh_window <> cfg.Campaign.window then fail "window";
-  if h.jh_range <> range then fail "shard range"
+  if h.jh_range <> range then fail "shard range";
+  if h.jh_prune <> cfg.Campaign.prune then fail "prune mode"
 
 (* %h prints a lossless hex float; float_of_string reads it back
    bit-exactly, which is what makes resumed reports byte-identical. *)
@@ -72,7 +78,7 @@ let stop_of_token tok =
 let verdict_line idx (v : Campaign.verdict) =
   let site = v.Campaign.vd_site in
   let s = v.Campaign.vd_stats in
-  Printf.sprintf "v %d %d %d %c %s %s %d %s %d %d %d %d %d %d %d %s" idx
+  Printf.sprintf "v %d %d %d %c %s %s %d %s %d %d %d %d %d %d %d %s%s" idx
     site.Site.st_signal site.Site.st_gate
     (match site.Site.st_polarity with Transition.Rising -> 'R' | Transition.Falling -> 'F')
     (fstr site.Site.st_at)
@@ -83,9 +89,22 @@ let verdict_line idx (v : Campaign.verdict) =
     s.Stats.stale_skipped s.Stats.transitions_emitted s.Stats.transitions_annulled
     s.Stats.noop_evaluations
     (stop_token s.Stats.stopped_by)
+    (* the trailing marker exists only on pruned records, so unpruned
+       v2 lines are byte-identical to v1 ones *)
+    (if v.Campaign.vd_pruned then " p" else "")
 
 let parse_verdict_line line =
-  match String.split_on_char ' ' line with
+  (* 17 tokens = an unpruned record (also every v1 record); an 18th
+     token "p" marks a pruned one. *)
+  let tokens, vd_pruned =
+    match String.split_on_char ' ' line with
+    | [
+        "v"; _; _; _; _; _; _; _; _; _; _; _; _; _; _; _; _; "p";
+      ] as l ->
+        (List.filteri (fun i _ -> i < 17) l, true)
+    | l -> (l, false)
+  in
+  match tokens with
   | [
    "v"; idx; sig_; gate; pol; at; outcome; po_delta; first_diff; es; ep; ef; ss; te; ta;
    ne; stop;
@@ -129,6 +148,7 @@ let parse_verdict_line line =
             vd_po_edges_delta;
             vd_first_diff_output;
             vd_stats;
+            vd_pruned;
           } ))
   | _ -> None
 
@@ -148,9 +168,10 @@ let open_new ?(sync_every = 8) path h =
     match h.jh_window with Some (a, b) -> (fstr a, fstr b) | None -> ("-", "-")
   in
   output_string oc
-    (Printf.sprintf "! params %s %d %d %s %s %s %s %s\n"
+    (Printf.sprintf "! params %s %d %d %s %s %s %s %s %s\n"
        (Campaign.engine_to_string h.jh_engine)
-       h.jh_seed h.jh_n (fstr h.jh_width) (fstr h.jh_slope) (fstr h.jh_t_stop) w0 w1);
+       h.jh_seed h.jh_n (fstr h.jh_width) (fstr h.jh_slope) (fstr h.jh_t_stop) w0 w1
+       (if h.jh_prune then "p" else "-"));
   (* serial journals carry no range line, so their bytes are unchanged
      from the pre-sharding format *)
   (match h.jh_range with
@@ -201,7 +222,7 @@ let load path =
   let lines = if content = "" then [] else String.split_on_char '\n' content in
   match lines with
   | [] -> parse_fail path "empty journal"
-  | m :: rest when m = magic -> (
+  | m :: rest when m = magic || m = magic_v1 -> (
       let circuit, rest =
         match rest with
         | l :: tl when String.length l > 10 && String.sub l 0 10 = "! circuit " ->
@@ -211,8 +232,14 @@ let load path =
       let header, rest =
         match rest with
         | l :: tl -> (
-            match String.split_on_char ' ' l with
-            | [ "!"; "params"; engine; seed; n; width; slope; t_stop; w0; w1 ] -> (
+            (* v1 params lines have no prune token: normalise to "-" *)
+            let fields =
+              match String.split_on_char ' ' l with
+              | [ _; _; _; _; _; _; _; _; _; _ ] as f -> f @ [ "-" ]
+              | f -> f
+            in
+            match fields with
+            | [ "!"; "params"; engine; seed; n; width; slope; t_stop; w0; w1; prune ] -> (
                 let parsed =
                   let ( let* ) = Option.bind in
                   let* jh_engine = Campaign.engine_of_string engine in
@@ -229,6 +256,9 @@ let load path =
                         | Some a, Some b -> Some (Some (a, b))
                         | _ -> None)
                   in
+                  let* jh_prune =
+                    match prune with "p" -> Some true | "-" -> Some false | _ -> None
+                  in
                   Some
                     {
                       jh_circuit = circuit;
@@ -240,6 +270,7 @@ let load path =
                       jh_t_stop;
                       jh_window;
                       jh_range = None;
+                      jh_prune;
                     }
                 in
                 match parsed with

@@ -11,17 +11,20 @@
     uninterrupted run.
 
     Format (line-oriented text, one record per line):
-    - [# halotis-faults journal v1] — magic first line;
+    - [# halotis-faults journal v2] — magic first line (v1 files, which
+      predate static pruning, still load);
     - [! circuit NAME] and
-      [! params ENGINE SEED N WIDTH SLOPE T_STOP W0 W1] — the campaign
-      fingerprint (floats printed with [%h], lossless);
+      [! params ENGINE SEED N WIDTH SLOPE T_STOP W0 W1 PRUNE] — the
+      campaign fingerprint (floats printed with [%h], lossless; [PRUNE]
+      is [p] or [-], absent in v1);
     - [! range LO HI] — optional: the global site-index range a shard
       worker owns (absent from serial journals, whose bytes are
       unchanged from the pre-sharding format);
-    - [v IDX SIGNAL GATE POL AT OUTCOME PO_DELTA FIRST_DIFF 7xCOUNTER STOP]
+    - [v IDX SIGNAL GATE POL AT OUTCOME PO_DELTA FIRST_DIFF 7xCOUNTER STOP \[p\]]
       — one verdict: the {e global} site index, site ids, hex-float
-      strike instant, outcome token, the stats delta, and a stop token
-      ([-] = completed).
+      strike instant, outcome token, the stats delta, a stop token
+      ([-] = completed), and a trailing [p] only on statically pruned
+      verdicts (so unpruned records are byte-identical to v1's).
 
     {!load} tolerates a torn final line (the crash wrote half a record)
     by discarding it; any earlier corruption is an error.  Shard
@@ -41,6 +44,8 @@ type header = {
   jh_range : (int * int) option;
       (** the shard's global site-index range [\[lo, hi)]; [None] for a
           serial (whole-campaign) journal *)
+  jh_prune : bool;
+      (** the campaign ran with static pruning; [false] for v1 journals *)
 }
 
 val header_of : circuit:string -> ?range:int * int -> Campaign.config -> header

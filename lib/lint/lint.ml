@@ -4,6 +4,7 @@ module Json = Halotis_util.Json
 let run ?(config = Rule.default_config) ?(tech = DL.tech) ?liberty ?stim c =
   let netlist_findings = Netlist_rules.run config c in
   let tech_findings = Tech_rules.run config tech c in
+  let survival_findings = Survival_rules.run config tech c in
   let liberty_findings =
     match liberty with
     | Some lib -> Liberty_rules.run config ~base:tech lib
@@ -13,7 +14,8 @@ let run ?(config = Rule.default_config) ?(tech = DL.tech) ?liberty ?stim c =
     match stim with Some s -> Stim_rules.run config s c | None -> []
   in
   List.sort Finding.compare
-    (netlist_findings @ tech_findings @ liberty_findings @ stim_findings)
+    (netlist_findings @ tech_findings @ survival_findings @ liberty_findings
+   @ stim_findings)
 
 let preflight ?stim ~tech c =
   run ~config:Rule.default_config ~tech ?stim c

@@ -48,6 +48,11 @@ let nl008 =
     "feedback loop has inverting parity (or data-dependent gates) and may oscillate"
     "a ring `inv a b` + `inv b c` + `nand2 en c a` — odd inversion count"
 
+let nl020 =
+  rule "NL020" Finding.Netlist Finding.Warning
+    "fanout cones filter every feasible SET pulse: the fault-site list is degenerate"
+    "a circuit whose VT filtering provably kills the canonical pulse at every site"
+
 let tk001 =
   rule "TK001" Finding.Tech Finding.Error
     "output slope tau_out = s0 + s_load*CL is not positive at a representative load"
@@ -77,6 +82,11 @@ let tk006 =
   rule "TK006" Finding.Tech Finding.Warning
     "rise/fall delay asymmetry exceeds the sanity bound"
     "rise 300 ps vs fall 40 ps (7.5x) at mid grid"
+
+let tk007 =
+  rule "TK007" Finding.Tech Finding.Warning
+    "DDM coefficients admit pulse amplification along a chain: the T0 dead window covers the stage delay"
+    "`ddm_c ~ 0.2 V` at `VDD = 5 V` with slow inputs and a fast stage"
 
 let lb001 =
   rule "LB001" Finding.Liberty Finding.Warning
@@ -110,8 +120,8 @@ let st003 =
 
 let all =
   [
-    nl001; nl002; nl003; nl004; nl005; nl006; nl007; nl008;
-    tk001; tk002; tk003; tk004; tk005; tk006;
+    nl001; nl002; nl003; nl004; nl005; nl006; nl007; nl008; nl020;
+    tk001; tk002; tk003; tk004; tk005; tk006; tk007;
     lb001; lb002; lb003;
     st001; st002; st003;
   ]

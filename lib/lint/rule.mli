@@ -28,6 +28,8 @@ val nl007 : t  (** gate output fixed by tie cells (foldable) *)
 
 val nl008 : t  (** feedback loop with inverting parity: oscillation risk *)
 
+val nl020 : t  (** survival analysis proves every SET site filtered: degenerate *)
+
 (** Technology / delay-model parameters. *)
 
 val tk001 : t  (** non-positive output slope [tau_out] *)
@@ -41,6 +43,8 @@ val tk004 : t  (** input threshold VT outside (0, VDD) *)
 val tk005 : t  (** non-positive conventional delay [tp0] *)
 
 val tk006 : t  (** rise/fall delay asymmetry beyond the sanity bound *)
+
+val tk007 : t  (** DDM degradation window admits chain pulse amplification *)
 
 (** Liberty libraries. *)
 

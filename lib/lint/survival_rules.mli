@@ -1,0 +1,19 @@
+(** Lint rules backed by the static SET survival analysis
+    ({!Halotis_sta.Survival}) and the degradation-map coefficients:
+
+    - NL020 — every candidate fault site's canonical pulse is filtered
+      before reaching a primary output, so the circuit's fault-site
+      list is degenerate;
+    - TK007 — the DDM dead window T0 (eq. 3) covers a stage's own
+      nominal delay at a representative operating point, admitting
+      pulse amplification along a chain of such gates.
+
+    On a cyclic circuit NL020 is skipped silently (NL003 already
+    reports the cycle); TK007 only needs the technology and still
+    runs. *)
+
+val run :
+  Rule.config ->
+  Halotis_tech.Tech.t ->
+  Halotis_netlist.Netlist.t ->
+  Finding.t list

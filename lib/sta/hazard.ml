@@ -16,7 +16,7 @@ let analyze ?(input_slope = 100.) tech c =
   let order =
     match Check.topological_gates c with
     | Some order -> order
-    | None -> invalid_arg "Hazard.analyze: circuit has a combinational cycle"
+    | None -> Sta.fail_cyclic c ~what:"Hazard.analyze"
   in
   let loads = Halotis_delay.Loads.of_netlist tech c in
   let nsignals = Netlist.signal_count c in

@@ -26,11 +26,27 @@ let can_cause kind ~in_rising ~out_rising =
   | Gate_kind.Buf | Gate_kind.And _ | Gate_kind.Or _ -> in_rising = out_rising
   | Gate_kind.Xor _ | Gate_kind.Xnor _ | Gate_kind.Mux2 -> true
 
+(* Shared no-backtrace rejection of cyclic circuits for every static
+   analysis in this library: a structured diagnostic naming a witness
+   cycle beats [Invalid_argument] with no context. *)
+let fail_cyclic c ~what =
+  let witness =
+    match Check.find_cycle c with
+    | Some cycle ->
+        String.concat " -> "
+          (List.map (Netlist.gate_name c) (cycle @ [ List.hd cycle ]))
+    | None -> "<no witness>"
+  in
+  Halotis_guard.Diag.fail ~code:"cyclic-circuit"
+    ~hint:"static analyses need an acyclic gate graph; break the feedback loop or simulate with the oscillation watchdog instead"
+    (Printf.sprintf "%s: circuit %s has a combinational cycle: %s" what
+       (Netlist.name c) witness)
+
 let analyze ?(input_arrival = 0.) ?(input_slope = 100.) tech c =
   let order =
     match Check.topological_gates c with
     | Some order -> order
-    | None -> invalid_arg "Sta.analyze: circuit has a combinational cycle"
+    | None -> fail_cyclic c ~what:"Sta.analyze"
   in
   let nsignals = Netlist.signal_count c in
   let never = neg_infinity in

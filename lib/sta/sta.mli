@@ -28,7 +28,13 @@ val analyze :
   t
 (** Worst-case analysis with all primary inputs switching at
     [input_arrival] (default 0) with [input_slope] (default 100 ps).
-    @raise Invalid_argument on a combinational cycle. *)
+    @raise Halotis_guard.Diag.Fail (code [cyclic-circuit], with a
+    witness cycle) on a combinational cycle. *)
+
+val fail_cyclic : Halotis_netlist.Netlist.t -> what:string -> 'a
+(** Rejects a cyclic circuit with a [cyclic-circuit] diagnostic naming
+    a witness cycle; shared by every static analysis in this library.
+    @raise Halotis_guard.Diag.Fail always. *)
 
 val arrival : t -> Halotis_netlist.Netlist.signal_id -> arrival
 

@@ -1,0 +1,129 @@
+(** Static SET pulse-survival analysis — abstract interpretation over
+    pulse-width intervals.
+
+    A single-event transient at a gate output is a pair of ramps: a
+    leading edge away from the settled rail and a trailing edge back,
+    separated by the pulse width [w].  As the pulse crosses a fanout
+    input it is filtered by that pin's threshold [VT] (a ramp-start
+    separation below [slope * VT/VDD] never crosses), and as it passes
+    through a gate the trailing edge is delayed by the DDM degradation
+    map (eqs. 1-3) while the leading edge's delay can collapse to 0 —
+    so the width transforms through a per-gate transfer function.
+
+    This module computes conservative {e interval} bounds
+    [\[w_lo, w_hi\]] on the surviving width, per signal and per leading
+    polarity, propagated topologically through the fanout cone using
+    exactly the cached per-(gate, edge) coefficients the event kernel
+    evaluates ({!Halotis_delay.Delay_model.Cache.edge_coefficients}).
+    Two consumers:
+
+    {ul
+    {- {!analyze} — the baseline-free vulnerability map behind
+       [halotis survival] and the preflight lints: per-gate attenuation
+       bounds and the weakest injected width whose upper bound can
+       still reach each primary output.  It assumes a quiescent circuit
+       and non-interfering single-pulse propagation (reconvergent pulse
+       collisions are not modelled), so it is advisory.}
+    {- {!pruner} / {!site_verdict} — the campaign-facing side.  Built
+       from a {e completed} engine baseline, it only ever returns a
+       proven verdict when the dynamic outcome is certain: the site
+       must lie in the settled tail of the baseline, the cone analysis
+       aborts to {!Unknown} on reconvergence, straddled thresholds,
+       mid-rail levels or a possible primary-output crossing.  The
+       soundness contract — checked by a QCheck property against the
+       IDDM engine — is that a pruned site's dynamic verdict equals the
+       proven one; in particular no dynamically [Propagated] site is
+       ever pruned.}} *)
+
+module Netlist = Halotis_netlist.Netlist
+
+(** {1 Site verdicts} *)
+
+type verdict =
+  | Proven_electrically_masked
+      (** the pulse certainly dies electrically: every fanout threshold
+          filters it, or it provably degrades away inside the cone
+          without ever crossing a primary output's digital threshold *)
+  | Proven_logically_masked
+      (** the pulse certainly fires every fanout input but every
+          receiving gate is logically insensitive to it at the settled
+          input vector *)
+  | Unknown  (** not provable statically — simulate the site *)
+
+val verdict_to_string : verdict -> string
+
+(** {1 Campaign pruner} *)
+
+type pruner
+
+val pruner :
+  kind:Halotis_delay.Delay_model.kind ->
+  Halotis_tech.Tech.t ->
+  Netlist.t ->
+  baseline:Halotis_engine.Iddm.result ->
+  t_stop:float ->
+  width:float ->
+  slope:float ->
+  pruner
+(** [pruner ~kind tech c ~baseline ~t_stop ~width ~slope] prepares the
+    static verdict oracle for a campaign injecting [width]/[slope]
+    pulses under delay model [kind], against the given {e completed}
+    baseline run of the same engine.  If the baseline is partial,
+    frozen, cyclic or does not settle to the rails, every subsequent
+    {!site_verdict} is {!Unknown}. *)
+
+val site_verdict :
+  pruner -> signal:Netlist.signal_id -> rising:bool -> at:float -> verdict
+(** Static verdict for injecting the pruner's pulse at [signal] at time
+    [at], leading edge rising iff [rising].  Only sites strictly after
+    the baseline's last activity can be proven. *)
+
+(** {1 Baseline-free vulnerability map} *)
+
+type t
+
+val analyze :
+  ?width:float ->
+  ?slope:float ->
+  ?kind:Halotis_delay.Delay_model.kind ->
+  Halotis_tech.Tech.t ->
+  Netlist.t ->
+  t
+(** [analyze tech c] propagates a canonical pulse (default width 150 ps,
+    slope 100 ps — the campaign defaults) from every candidate site
+    through its fanout cone under the upper-bound transfer function.
+    @raise Halotis_guard.Diag.Fail on a combinational cycle. *)
+
+val width : t -> float
+val slope : t -> float
+
+val candidates : t -> Netlist.signal_id list
+(** The injectable sites the analysis covered: driven signals not
+    proven constant, in ascending id order. *)
+
+val gate_attenuation : t -> Netlist.gate_id -> float option
+(** Conservative bound on the width change of the canonical pulse
+    across one gate: [Some d] means a surviving pulse leaves the gate
+    at most [d] ps wider than it arrived (negative = guaranteed
+    attenuation); [None] means every input threshold of the gate
+    filters the canonical pulse outright. *)
+
+val surviving_width : t -> Netlist.signal_id -> rising:bool -> float
+(** Weakest injected width at this signal whose upper bound can still
+    produce a digital edge at some primary output ([infinity] when no
+    width can — the cone filters everything, or no output is
+    reachable).  Widths strictly below the returned value are proven
+    masked under the analysis' quiescence assumption. *)
+
+val weakest_surviving : t -> (Netlist.signal_id * float) list
+(** Per primary output, in declaration order: the weakest injected
+    width (over all candidate sites) whose bound reaches that output;
+    [infinity] when the output is unreachable by any feasible pulse. *)
+
+val all_sites_filtered : t -> bool
+(** True when {e no} candidate site's canonical pulse can reach any
+    primary output — the campaign's site list is degenerate (lint
+    NL020). *)
+
+val to_json : t -> Halotis_util.Json.t
+val pp_text : Format.formatter -> t -> unit

@@ -41,7 +41,9 @@ let raw_output_slope p ~cl = p.s0 +. (p.s_load *. cl)
 
 let raw_degradation_tau t p ~cl = (p.ddm_a +. (p.ddm_b *. cl)) /. t.tech_vdd
 
-let raw_degradation_t0 t p ~tau_in = (0.5 -. (p.ddm_c /. t.tech_vdd)) *. tau_in
+let degradation_t0_coef t p = 0.5 -. (p.ddm_c /. t.tech_vdd)
+
+let raw_degradation_t0 t p ~tau_in = degradation_t0_coef t p *. tau_in
 
 let output_slope p ~cl = Float.max 1.0 (raw_output_slope p ~cl)
 

@@ -71,6 +71,12 @@ val degradation_tau : t -> edge_params -> cl:float -> float
 val degradation_t0 : t -> edge_params -> tau_in:float -> float
 (** Eq. 3's T0 (ps); clamped to >= 0. *)
 
+val degradation_t0_coef : t -> edge_params -> float
+(** Eq. 3's slope-independent coefficient [1/2 - ddm_c / VDD] — the
+    factor the delay cache stores per (gate, edge) and that static
+    analyses ({!Halotis_sta}) bound the degradation map with.
+    [raw_degradation_t0 t p ~tau_in = degradation_t0_coef t p *. tau_in]. *)
+
 (** The [raw_*] variants below skip the engine-side clamps.  The clamps
     keep a simulation numerically alive, but they also hide physically
     meaningless parameter sets; static validation ([Halotis_lint]) must

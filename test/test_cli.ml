@@ -200,8 +200,66 @@ let test_faults_jobs_crash_resume () =
   checkb "shard journals cleaned up" false (Sys.file_exists shard1);
   Sys.remove base
 
+(* --- survival subcommand + static pruning --- *)
+
+let test_survival_text () =
+  let status, stdout = run_capture [ "survival"; data "c17.hnl" ] in
+  checki "survival exits 0" 0 status;
+  checkb "renders the map header" true
+    (String.length stdout > 0
+    && String.sub stdout 0 (min 12 (String.length stdout)) = "survival map")
+
+let test_survival_json () =
+  let status, stdout =
+    run_capture [ "survival"; data "mult4x4.hnl"; "--format"; "json" ]
+  in
+  checki "survival --format json exits 0" 0 status;
+  match Json.parse stdout with
+  | Error e -> Alcotest.failf "survival map is not valid JSON: %s" e
+  | Ok j ->
+      checkb "tool key" true
+        (Json.member "tool" j = Some (Json.Str "halotis-survival"));
+      checkb "not degenerate" true
+        (Json.member "degenerate" j = Some (Json.Bool false));
+      (match Json.member "sites" j with
+      | Some (Json.Arr sites) -> checkb "many sites" true (List.length sites > 50)
+      | _ -> Alcotest.fail "sites array missing")
+
+(* --prune static must leave the taxonomy untouched: same summary and
+   per-site outcomes, only the pruned/simulated split moves. *)
+let test_faults_prune_taxonomy_identical () =
+  let args =
+    [
+      "faults"; data "mult4x4.hnl"; "--stim"; data "mult4x4.hsv"; "-n"; "12";
+      "--seed"; "7"; "--t-stop"; "20000"; "--format"; "json";
+    ]
+  in
+  let s0, plain = run_capture args in
+  let s1, pruned = run_capture (args @ [ "--prune"; "static" ]) in
+  checki "plain exits 0" 0 s0;
+  checki "pruned exits 0" 0 s1;
+  match (Json.parse plain, Json.parse pruned) with
+  | Ok jp, Ok js ->
+      checkb "summary identical" true (Json.member "summary" jp = Json.member "summary" js);
+      let outcomes j =
+        match Json.member "verdicts" j with
+        | Some (Json.Arr vs) -> List.map (fun v -> Json.member "outcome" v) vs
+        | _ -> []
+      in
+      checkb "per-site outcomes identical" true (outcomes jp = outcomes js);
+      checkb "plain report never prunes" true
+        (Json.member "sites_pruned" jp = Some (Json.Num 0.))
+  | Error e, _ | _, Error e -> Alcotest.failf "report is not valid JSON: %s" e
+
 let tests =
   [
+    ( "cli.survival",
+      [
+        Alcotest.test_case "text map" `Quick test_survival_text;
+        Alcotest.test_case "json map" `Quick test_survival_json;
+        Alcotest.test_case "--prune static taxonomy identical" `Quick
+          test_faults_prune_taxonomy_identical;
+      ] );
     ( "cli.faults",
       [
         Alcotest.test_case "json report" `Quick test_faults_json;

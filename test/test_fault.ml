@@ -187,6 +187,106 @@ let test_classic_strike_not_preempted () =
   checkb "late strike on output propagates" true
     ((List.hd t.Campaign.cam_verdicts).Campaign.vd_outcome = Campaign.Propagated)
 
+(* --- static pruning (Survival) --- *)
+
+(* Headline soundness property: a campaign with [prune = true] returns
+   the same verdict for every site as its unpruned twin — across random
+   circuits, seeds and both pulse-width engines.  In particular no
+   dynamically Propagated site is ever statically pruned. *)
+let prop_prune_sound =
+  QCheck.Test.make ~name:"static pruning never changes a verdict" ~count:8
+    QCheck.(pair (int_range 10 35) (int_range 0 1000))
+    (fun (gates, seed) ->
+      let c, drives = Test_perf_equiv.workload ~gates ~seed in
+      let engine = if seed land 1 = 0 then Campaign.Ddm else Campaign.Cdm in
+      let cfg prune =
+        Campaign.config ~engine ~seed:(seed + 3) ~n:10 ~prune ~t_stop:12_000. ()
+      in
+      let plain = Campaign.run (cfg false) DL.tech c ~drives in
+      let pruned = Campaign.run (cfg true) DL.tech c ~drives in
+      List.length plain.Campaign.cam_verdicts
+      = List.length pruned.Campaign.cam_verdicts
+      && Campaign.counts plain = Campaign.counts pruned
+      && Campaign.timed_out plain = Campaign.timed_out pruned
+      && List.for_all2
+           (fun (a : Campaign.verdict) (b : Campaign.verdict) ->
+             a.Campaign.vd_site = b.Campaign.vd_site
+             && (not a.Campaign.vd_pruned)
+             && b.Campaign.vd_outcome = a.Campaign.vd_outcome
+             && ((not b.Campaign.vd_pruned)
+                || b.Campaign.vd_outcome <> Campaign.Propagated))
+           plain.Campaign.cam_verdicts pruned.Campaign.cam_verdicts)
+
+(* A runt strike in the long-settled tail of the chain is provably
+   electrically masked: the pruner must actually skip it, and skipping
+   must not change the verdict. *)
+let prune_chain_scenario () =
+  let c = Lazy.force chain in
+  let drives =
+    [ (sid c "in", Drive.of_levels ~slope:100. ~initial:false [ (1000., true) ]) ]
+  in
+  let baseline = Iddm.run (Iddm.config ~t_stop:30_000. DL.tech) c ~drives in
+  let site = Site.of_signal ~baseline (sid c "out1") ~at:25_000. in
+  let cfg prune =
+    Campaign.config
+      ~pulse:(Inject.pulse ~width:40. ~slope:100. ())
+      ~prune ~t_stop:30_000. ()
+  in
+  (c, drives, site, cfg)
+
+let test_prune_skips_proven_site () =
+  let c, drives, site, cfg = prune_chain_scenario () in
+  let plain = Campaign.run ~sites:[ site ] (cfg false) DL.tech c ~drives in
+  let pruned = Campaign.run ~sites:[ site ] (cfg true) DL.tech c ~drives in
+  checki "simulated run prunes nothing" 0 (Campaign.pruned_count plain);
+  checki "static run prunes the site" 1 (Campaign.pruned_count pruned);
+  let vp = List.hd plain.Campaign.cam_verdicts in
+  let vs = List.hd pruned.Campaign.cam_verdicts in
+  checkb "verdict agrees with simulation" true
+    (vs.Campaign.vd_outcome = vp.Campaign.vd_outcome);
+  checkb "pruned verdict is a masking one" true
+    (vs.Campaign.vd_outcome = Campaign.Electrically_masked
+    || vs.Campaign.vd_outcome = Campaign.Logically_masked);
+  (* taxonomy summaries stay byte-identical *)
+  checkb "counts identical" true (Campaign.counts plain = Campaign.counts pruned)
+
+module Journal = Halotis_fault.Journal
+
+(* Journal format v2: pruned verdicts round-trip with their flag, the
+   header records the prune mode, and a v2 journal from a pruned
+   campaign is rejected against an unpruned config. *)
+let test_journal_v2_pruned_roundtrip () =
+  let c, drives, site, cfg = prune_chain_scenario () in
+  let path = Filename.temp_file "halotis_fault_test" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let w =
+        Journal.open_new path (Journal.header_of ~circuit:(N.name c) (cfg true))
+      in
+      let t =
+        Campaign.run ~sites:[ site ]
+          ~on_verdict:(fun i v -> Journal.write w i v)
+          (cfg true) DL.tech c ~drives
+      in
+      Journal.close w;
+      checki "campaign pruned the site" 1 (Campaign.pruned_count t);
+      let h, indexed = Journal.load path in
+      checkb "header records prune mode" true h.Journal.jh_prune;
+      Journal.check h ~circuit:(N.name c) (cfg true);
+      (match Journal.contiguous ~first:0 indexed with
+      | [ v ] ->
+          checkb "pruned flag round-trips" true v.Campaign.vd_pruned;
+          checkb "outcome round-trips" true
+            (v.Campaign.vd_outcome
+            = (List.hd t.Campaign.cam_verdicts).Campaign.vd_outcome)
+      | l -> Alcotest.failf "expected one verdict, got %d" (List.length l));
+      match Journal.check h ~circuit:(N.name c) (cfg false) with
+      | () -> Alcotest.fail "prune-mode mismatch must be rejected"
+      | exception Halotis_guard.Diag.Fail d ->
+          Alcotest.(check string)
+            "diag code" "journal-mismatch" d.Halotis_guard.Diag.code)
+
 let test_engine_of_string () =
   checkb "ddm" true (Campaign.engine_of_string "ddm" = Some Campaign.Ddm);
   checkb "cdm" true (Campaign.engine_of_string "cdm" = Some Campaign.Cdm);
@@ -217,5 +317,12 @@ let tests =
         Alcotest.test_case "classic strike not preempted" `Quick
           test_classic_strike_not_preempted;
         Alcotest.test_case "engine names" `Quick test_engine_of_string;
+      ] );
+    ( "fault.prune",
+      [
+        QCheck_alcotest.to_alcotest prop_prune_sound;
+        Alcotest.test_case "proven site skipped" `Quick test_prune_skips_proven_site;
+        Alcotest.test_case "journal v2 round-trip" `Quick
+          test_journal_v2_pruned_roundtrip;
       ] );
   ]

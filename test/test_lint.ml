@@ -8,6 +8,7 @@ module Lint = Halotis_lint.Lint
 module Netlist_rules = Halotis_lint.Netlist_rules
 module Tech_rules = Halotis_lint.Tech_rules
 module Liberty_rules = Halotis_lint.Liberty_rules
+module Survival_rules = Halotis_lint.Survival_rules
 module Stim_rules = Halotis_lint.Stim_rules
 module N = Halotis_netlist.Netlist
 module Builder = Halotis_netlist.Builder
@@ -392,6 +393,77 @@ let test_preflight_filters_infos () =
   checkb "no infos" true
     (List.for_all (fun (f : Finding.t) -> f.Finding.severity <> Finding.Info) findings)
 
+(* --- survival-backed rules: NL020 and TK007 --- *)
+
+let one_inverter () =
+  let b = Builder.create "one" in
+  let a = Builder.input b "a" in
+  let y = Builder.signal b "y" in
+  let _ = Builder.add_gate b Gate_kind.Inv ~name:"g" ~inputs:[ a ] ~output:y in
+  Builder.mark_output b y;
+  Builder.finalize b
+
+(* ddm_c near zero stretches the eq. 3 dead window to tau_in/2, past
+   the stage's own (deliberately small) delay: TK007's amplification
+   criterion. *)
+let amplifying_tech () =
+  let base = Tech.gate_tech DL.tech Gate_kind.Inv in
+  let hot (p : Tech.edge_params) =
+    { p with Tech.d0 = 15.; d_load = 0.5; d_slope = 0.05; ddm_c = 0.1 }
+  in
+  let cell = { base with Tech.rise = hot base.Tech.rise; fall = hot base.Tech.fall } in
+  Tech.create ~name:"amplifying" ~vdd:5. ~lookup:(fun _ -> cell) ()
+
+let test_tk007_fires () =
+  let findings = Survival_rules.run cfg (amplifying_tech ()) (one_inverter ()) in
+  checkb "TK007 fires" true (fired "TK007" findings);
+  match
+    List.find_opt (fun (f : Finding.t) -> f.Finding.rule = "TK007") findings
+  with
+  | Some { Finding.location = Finding.Kind "inv"; _ } -> ()
+  | Some f -> Alcotest.failf "wrong location: %a" Finding.pp f
+  | None -> Alcotest.fail "missing TK007"
+
+let test_survival_rules_default_clean () =
+  checki "built-in library admits no amplification" 0
+    (List.length (Survival_rules.run cfg DL.tech (one_inverter ())))
+
+(* The only primary output is a tie cell: no candidate site's pulse can
+   reach an observable point, so the fault-site list is degenerate. *)
+let test_nl020_degenerate () =
+  let b = Builder.create "degen" in
+  let a = Builder.input b "a" in
+  let zero = Builder.const b Value.L0 in
+  let x = Builder.signal b "x" in
+  let _ = Builder.add_gate b Gate_kind.Inv ~name:"g" ~inputs:[ a ] ~output:x in
+  Builder.mark_output b zero;
+  let c = Builder.finalize b in
+  let findings = Survival_rules.run cfg DL.tech c in
+  checkb "NL020 fires" true (fired "NL020" findings);
+  (match
+     List.find_opt (fun (f : Finding.t) -> f.Finding.rule = "NL020") findings
+   with
+  | Some { Finding.location = Finding.Circuit; _ } -> ()
+  | Some f -> Alcotest.failf "wrong location: %a" Finding.pp f
+  | None -> Alcotest.fail "missing NL020");
+  (* an ordinary circuit is not degenerate *)
+  checkb "inverter not degenerate" false
+    (fired "NL020" (Survival_rules.run cfg DL.tech (one_inverter ())))
+
+(* A cyclic circuit must not crash the lint pass: NL003 owns cycles and
+   the survival rules stay silent rather than raising. *)
+let test_nl020_cyclic_silent () =
+  let b = Builder.create "ring" in
+  let x = Builder.signal b "x" in
+  let y = Builder.signal b "y" in
+  let _ = Builder.add_gate b Gate_kind.Inv ~name:"g1" ~inputs:[ x ] ~output:y in
+  let _ = Builder.add_gate b Gate_kind.Inv ~name:"g2" ~inputs:[ y ] ~output:x in
+  Builder.mark_output b x;
+  let c = Builder.finalize b in
+  checkb "no NL020 on a cycle" false (fired "NL020" (Survival_rules.run cfg DL.tech c));
+  let full = Lint.run ~tech:DL.tech c in
+  checkb "full lint still reports the cycle" true (fired "NL003" full)
+
 let tests =
   [
     ( "lint.json",
@@ -418,6 +490,13 @@ let tests =
         Alcotest.test_case "poisoned tech fires" `Quick test_tech_rules_fire;
         Alcotest.test_case "built-in clean" `Quick test_tech_rules_clean;
         Alcotest.test_case "pin override located" `Quick test_tech_rules_pin_override;
+      ] );
+    ( "lint.survival",
+      [
+        Alcotest.test_case "TK007 amplifying tech" `Quick test_tk007_fires;
+        Alcotest.test_case "built-in clean" `Quick test_survival_rules_default_clean;
+        Alcotest.test_case "NL020 degenerate circuit" `Quick test_nl020_degenerate;
+        Alcotest.test_case "cyclic stays silent" `Quick test_nl020_cyclic_silent;
       ] );
     ( "lint.liberty",
       [

@@ -71,7 +71,7 @@ let test_critical_path_chain () =
   checkb "pp renders" true
     (String.length (Format.asprintf "%a" (Sta.pp_path c) path) > 20)
 
-let test_cyclic_rejected () =
+let cyclic_circuit () =
   let b = Builder.create "cyc" in
   let a = Builder.input b "a" in
   let x = Builder.signal b "x" in
@@ -79,12 +79,30 @@ let test_cyclic_rejected () =
   let _ = Builder.add_gate b (Gate_kind.Nand 2) ~name:"g1" ~inputs:[ a; y ] ~output:x in
   let _ = Builder.add_gate b Gate_kind.Inv ~name:"g2" ~inputs:[ x ] ~output:y in
   Builder.mark_output b x;
-  let c = Builder.finalize b in
-  checkb "raises" true
-    (try
-       ignore (Sta.analyze DL.tech c);
-       false
-     with Invalid_argument _ -> true)
+  Builder.finalize b
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+(* Cyclic circuits used to die with a bare [Invalid_argument]; static
+   analyses now raise the structured diagnostic with a cycle witness. *)
+let test_cyclic_rejected () =
+  let c = cyclic_circuit () in
+  let expect_diag what f =
+    match f () with
+    | _ -> Alcotest.failf "%s accepted a cyclic circuit" what
+    | exception Halotis_guard.Diag.Fail d ->
+        Alcotest.(check string) (what ^ " code") "cyclic-circuit" d.Halotis_guard.Diag.code;
+        checkb (what ^ " witness names a cycle gate") true
+          (contains d.Halotis_guard.Diag.message "g1"
+          || contains d.Halotis_guard.Diag.message "g2");
+        checkb (what ^ " has a hint") true (d.Halotis_guard.Diag.hint <> None)
+  in
+  expect_diag "Sta.analyze" (fun () -> ignore (Sta.analyze DL.tech c));
+  expect_diag "Hazard.analyze" (fun () ->
+      ignore (Halotis_sta.Hazard.analyze DL.tech c))
 
 let test_constant_cone_never_switches () =
   (* a gate fed only by constants has no arrival; worst is 0 *)
@@ -241,6 +259,161 @@ let prop_hazard_covers_generated_glitches =
           end)
         (N.gates c))
 
+(* Hazard soundness against the committed paper fixture: every digital
+   edge the CDM engine produces under mult4x4.hsv lies inside some
+   input-change instant's arrival-uncertainty window.  Paths anchor on
+   the test binary, like test_cli.ml, so they resolve under both `dune
+   runtest` and `dune exec`. *)
+let data f =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "..")
+    (Filename.concat "examples" (Filename.concat "data" f))
+
+let test_hazard_soundness_mult4x4_fixture () =
+  let c =
+    match Halotis_netlist.Hnl.parse_file (data "mult4x4.hnl") with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "mult4x4.hnl: %s" e.Halotis_netlist.Hnl.message
+  in
+  let stim =
+    match Halotis_stim.Stimfile.parse_file (data "mult4x4.hsv") with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "mult4x4.hsv: %s" e.Halotis_stim.Stimfile.message
+  in
+  let drives =
+    match Halotis_stim.Stimfile.bind stim c with
+    | Ok d -> d
+    | Error m -> Alcotest.fail m
+  in
+  let h = Hazard.analyze ~input_slope:stim.Halotis_stim.Stimfile.slope DL.tech c in
+  let instants =
+    List.sort_uniq compare
+      (0.
+      :: List.concat_map
+           (fun (_, changes) -> List.map fst changes)
+           stim.Halotis_stim.Stimfile.raw_changes)
+  in
+  let r = Iddm.run (Iddm.config ~delay_kind:DM.Cdm DL.tech) c ~drives in
+  let checked = ref 0 in
+  Array.iter
+    (fun (s : N.signal) ->
+      let edges = D.edges r.Iddm.waveforms.(s.N.signal_id) ~vt:2.5 in
+      match Hazard.window h s.N.signal_id with
+      | None ->
+          checki (N.signal_name c s.N.signal_id ^ " cannot switch") 0
+            (List.length edges)
+      | Some w ->
+          List.iter
+            (fun (e : D.edge) ->
+              incr checked;
+              checkb
+                (Printf.sprintf "%s edge at %.1f inside a window"
+                   (N.signal_name c s.N.signal_id) e.D.at)
+                true
+                (List.exists
+                   (fun t0 ->
+                     e.D.at >= t0 +. w.Hazard.earliest -. 1e-6
+                     && e.D.at <= t0 +. w.Hazard.latest +. 1e-6)
+                   instants))
+            edges)
+    (N.signals c);
+  checkb "fixture actually produced edges" true (!checked > 50)
+
+(* --- SET survival analysis --- *)
+
+module Survival = Halotis_sta.Survival
+
+let test_survival_chain_map () =
+  let c = G.inverter_chain ~n:4 () in
+  let an = Survival.analyze DL.tech c in
+  Alcotest.(check (float 0.)) "canonical width" 150. (Survival.width an);
+  checkb "chain has candidates" true (Survival.candidates an <> []);
+  checkb "no degenerate verdict" false (Survival.all_sites_filtered an);
+  Array.iter
+    (fun (g : N.gate) ->
+      match Survival.gate_attenuation an g.N.gate_id with
+      | Some _ -> ()
+      | None ->
+          Alcotest.failf "%s filters the canonical pulse outright"
+            (N.gate_name c g.N.gate_id))
+    (N.gates c);
+  (* every candidate survives to the single output at some width, and
+     the weakest-surviving summary agrees with the per-site bound *)
+  (match Survival.weakest_surviving an with
+  | [ (po, w) ] ->
+      Alcotest.(check string) "one output" "out" (N.signal_name c po);
+      checkb "weakest width is feasible" true (Float.is_finite w && w > 0.);
+      checkb "weakest is the min over sites" true
+        (List.exists
+           (fun sid ->
+             Float.min
+               (Survival.surviving_width an sid ~rising:true)
+               (Survival.surviving_width an sid ~rising:false)
+             = w)
+           (Survival.candidates an))
+  | l -> Alcotest.failf "expected one output, got %d" (List.length l));
+  (* deeper sites need wider pulses: more gates left to attenuate *)
+  let min_w name =
+    let sid = sid c name in
+    Float.min
+      (Survival.surviving_width an sid ~rising:true)
+      (Survival.surviving_width an sid ~rising:false)
+  in
+  checkb "first stage needs the widest pulse" true (min_w "out1" >= min_w "out3")
+
+let test_survival_constant_site_excluded () =
+  let b = Builder.create "tie" in
+  let a = Builder.input b "a" in
+  let zero = Builder.const b Halotis_logic.Value.L0 in
+  let x = Builder.signal b "x" in
+  let y = Builder.signal b "y" in
+  let _ = Builder.add_gate b (Gate_kind.And 2) ~name:"g1" ~inputs:[ a; zero ] ~output:x in
+  let _ = Builder.add_gate b (Gate_kind.Or 2) ~name:"g2" ~inputs:[ x; a ] ~output:y in
+  Builder.mark_output b y;
+  let c = Builder.finalize b in
+  let an = Survival.analyze DL.tech c in
+  (* x is forced low by the tie: its driver is flagged blocked in the
+     vulnerability map *)
+  let module J = Halotis_util.Json in
+  let blocked_of name =
+    match J.member "gates" (Survival.to_json an) with
+    | Some (J.Arr gates) ->
+        List.find_map
+          (fun g ->
+            match (J.member "gate" g, J.member "blocked" g) with
+            | Some (J.Str n), Some (J.Bool b) when n = name -> Some b
+            | _ -> None)
+          gates
+    | _ -> None
+  in
+  Alcotest.(check (option bool)) "g1 blocked" (Some true) (blocked_of "g1");
+  Alcotest.(check (option bool)) "g2 live" (Some false) (blocked_of "g2");
+  checkb "live path keeps the circuit non-degenerate" false
+    (Survival.all_sites_filtered an)
+
+let test_survival_cyclic_rejected () =
+  match Survival.analyze DL.tech (cyclic_circuit ()) with
+  | _ -> Alcotest.fail "accepted a cyclic circuit"
+  | exception Halotis_guard.Diag.Fail d ->
+      Alcotest.(check string) "code" "cyclic-circuit" d.Halotis_guard.Diag.code
+
+let test_survival_json_shape () =
+  let c = G.inverter_chain ~n:3 () in
+  let an = Survival.analyze DL.tech c in
+  let j = Survival.to_json an in
+  let member n =
+    match Halotis_util.Json.member n j with
+    | Some v -> v
+    | None -> Alcotest.failf "missing %s" n
+  in
+  (match member "tool" with
+  | Halotis_util.Json.Str s -> Alcotest.(check string) "tool" "halotis-survival" s
+  | _ -> Alcotest.fail "tool is not a string");
+  checki "three gates" 3 (List.length (Halotis_util.Json.to_list (member "gates")));
+  checki "one output" 1 (List.length (Halotis_util.Json.to_list (member "outputs")));
+  checkb "text rendering mentions the output" true
+    (contains (Format.asprintf "%a" Survival.pp_text an) "out")
+
 let tests =
   [
     ( "sta.hazard",
@@ -249,7 +422,16 @@ let tests =
         Alcotest.test_case "balanced nand flagged" `Quick test_hazard_balanced_nand;
         Alcotest.test_case "constant input" `Quick test_hazard_constant_input_not_flagged;
         Alcotest.test_case "multiplier sites" `Quick test_hazard_multiplier_sites;
+        Alcotest.test_case "mult4x4.hsv soundness" `Quick
+          test_hazard_soundness_mult4x4_fixture;
         QCheck_alcotest.to_alcotest prop_hazard_covers_generated_glitches;
+      ] );
+    ( "sta.survival",
+      [
+        Alcotest.test_case "chain map" `Quick test_survival_chain_map;
+        Alcotest.test_case "blocked gate" `Quick test_survival_constant_site_excluded;
+        Alcotest.test_case "cyclic rejected" `Quick test_survival_cyclic_rejected;
+        Alcotest.test_case "json shape" `Quick test_survival_json_shape;
       ] );
     ( "sta",
       [
