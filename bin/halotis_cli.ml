@@ -43,6 +43,8 @@ module Shard = Halotis_fault.Shard
 module Stats = Halotis_engine.Stats
 module Stop = Halotis_guard.Stop
 module Budget = Halotis_guard.Budget
+module Server = Halotis_serve.Server
+module Protocol = Halotis_serve.Protocol
 module Watchdog = Halotis_guard.Watchdog
 module Diag = Halotis_guard.Diag
 
@@ -463,7 +465,7 @@ let farg = Printf.sprintf "%h"
 
 let run_faults path stim_path engine n seed width slope t_stop exhaustive grid format
     vcd_dir liberty journal_path resume_path limit_sites site_max_events jobs shard
-    prune_mode =
+    prune_mode keep_shards =
   let tech = load_tech liberty in
   let c = or_die (load_circuit path) in
   let stim = or_die (load_stimfile stim_path) in
@@ -664,10 +666,14 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
           List.iteri (fun i v -> Journal.write w i v) completed;
           Journal.close w
         end;
-        List.iter
-          (fun ((w : Shard.worker), _) ->
-            if Sys.file_exists w.Shard.wk_journal then Sys.remove w.Shard.wk_journal)
-          results;
+        if keep_shards then
+          Printf.eprintf "faults: keeping per-worker shard journals %s.0 .. %s.%d\n" base
+            base (jobs - 1)
+        else
+          List.iter
+            (fun ((w : Shard.worker), _) ->
+              if Sys.file_exists w.Shard.wk_journal then Sys.remove w.Shard.wk_journal)
+            results;
         if (not user_journal) && Sys.file_exists base then Sys.remove base;
         emit_report campaign
       end
@@ -1267,11 +1273,20 @@ let faults_cmd =
              proves from the baseline alone (journaled as pruned; taxonomy totals \
              are identical to an unpruned run). Default: none.")
   in
+  let keep_shards =
+    Arg.(
+      value & flag
+      & info [ "keep-shards" ]
+          ~doc:
+            "With $(b,--jobs), keep the per-worker shard journals (FILE.0, FILE.1, \
+             ...) after a successful merge instead of deleting them — e.g. to audit \
+             each worker's verdict stream.  Failed runs always keep them.")
+  in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       const run_faults $ circuit_arg $ stim_arg $ engine $ n $ seed $ width $ slope
       $ t_stop_arg $ exhaustive $ grid $ format $ vcd_dir $ liberty_arg $ journal
-      $ resume $ limit_sites $ site_max_events $ jobs $ shard $ prune)
+      $ resume $ limit_sites $ site_max_events $ jobs $ shard $ prune $ keep_shards)
 
 let export_cmd =
   let doc = "export a netlist as structural Verilog" in
@@ -1382,6 +1397,181 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run_compare $ circuit_arg $ stim_arg $ t_stop_arg)
 
+(* --- serve / client --- *)
+
+let serve_config cache_size max_events max_transitions no_watchdog liberty =
+  let d = Server.default_config () in
+  (* 0 means "no limit" for both budgets; absent keeps the server default *)
+  let cap dflt = function Some 0 -> None | Some n -> Some n | None -> dflt in
+  {
+    Server.cf_cache_size = cache_size;
+    cf_max_events = cap d.Server.cf_max_events max_events;
+    cf_max_transitions = cap d.Server.cf_max_transitions max_transitions;
+    cf_watchdog = not no_watchdog;
+    cf_tech = load_tech liberty;
+  }
+
+let run_serve socket cache_size max_events max_transitions no_watchdog liberty =
+  let server =
+    Server.create (serve_config cache_size max_events max_transitions no_watchdog liberty)
+  in
+  (match socket with
+  | Some path ->
+      Printf.eprintf "halotis: serving on %s\n%!" path;
+      Server.serve_socket server ~path
+  | None -> Server.serve_stdio server);
+  0
+
+(* The client re-encodes each script request canonically (ids assigned
+   1, 2, 3, ... in script order), so transcripts are deterministic no
+   matter how the script file is formatted. *)
+let client_lines script_path =
+  let text =
+    try
+      let ic = open_in_bin script_path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error m -> die_diag (io_diag m)
+  in
+  let requests =
+    List.filter
+      (fun l ->
+        let l = String.trim l in
+        l <> "" && l.[0] <> '#')
+      (String.split_on_char '\n' text)
+  in
+  List.mapi
+    (fun i line ->
+      let id = i + 1 in
+      match Json.parse line with
+      | Error m ->
+          die_diag (Diag.make ~code:"parse" ~file:script_path (Printf.sprintf "request %d: %s" id m))
+      | Ok j -> (
+          match Protocol.request_of_json j with
+          | Error m ->
+              die_diag
+                (Diag.make ~code:"bad-request" ~file:script_path
+                   (Printf.sprintf "request %d: %s" id m))
+          | Ok req -> Protocol.request_to_line ~id req))
+    requests
+
+let run_client script_path socket cache_size max_events max_transitions no_watchdog
+    liberty =
+  let lines = client_lines script_path in
+  match socket with
+  | None ->
+      (* in-process server: same dispatch path as the daemon, no I/O *)
+      let server =
+        Server.create
+          (serve_config cache_size max_events max_transitions no_watchdog liberty)
+      in
+      let conn = Server.connect server in
+      List.iter (fun line -> print_endline (Server.handle_line conn line)) lines;
+      0
+  | Some path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with Unix.Unix_error (e, _, _) ->
+         die_diag
+           (Diag.make ~code:"io"
+              (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))));
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let rc =
+        try
+          List.iter
+            (fun line ->
+              output_string oc line;
+              output_char oc '\n';
+              flush oc;
+              print_endline (input_line ic))
+            lines;
+          0
+        with End_of_file ->
+          prerr_endline "halotis: server closed the connection";
+          1
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      rc
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path (default: stdio).")
+
+let serve_opts =
+  let cache_size =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-size" ] ~docv:"N" ~doc:"Compiled-circuit LRU cache capacity.")
+  in
+  let max_events =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-events" ] ~docv:"N"
+          ~doc:"Default per-session event budget (0: unlimited).")
+  in
+  let max_transitions =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-transitions" ] ~docv:"N"
+          ~doc:"Default per-session transition (memory) budget (0: unlimited).")
+  in
+  let no_watchdog =
+    Arg.(
+      value & flag
+      & info [ "no-watchdog" ] ~doc:"Disable the per-session oscillation watchdog default.")
+  in
+  (cache_size, max_events, max_transitions, no_watchdog)
+
+let serve_cmd =
+  let doc = "persistent simulation service (newline-delimited JSON protocol)" in
+  let cache_size, max_events, max_transitions, no_watchdog = serve_opts in
+  Cmd.v
+    (Cmd.info "serve" ~doc
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Speaks the protocol documented in doc/serve.md: one JSON request per \
+              line with sequential ids, starting with a $(b,hello); sessions load a \
+              circuit once through the compiled-circuit cache and then advance, \
+              change inputs, inject SET pulses and query waveforms interactively.";
+         ])
+    Term.(
+      const run_serve $ socket_arg $ cache_size $ max_events $ max_transitions
+      $ no_watchdog $ liberty_arg)
+
+let client_cmd =
+  let doc = "script a serve session from a request file" in
+  let cache_size, max_events, max_transitions, no_watchdog = serve_opts in
+  let script =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:
+            "File of JSON requests, one per line ($(b,#) comments and blank lines \
+             ignored); ids are assigned sequentially in file order.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Replays SCRIPT against a running daemon ($(b,--socket)) or an \
+              in-process server (default), printing one response line per request — \
+              a deterministic transcript suitable for golden tests.";
+         ])
+    Term.(
+      const run_client $ script $ socket_arg $ cache_size $ max_events
+      $ max_transitions $ no_watchdog $ liberty_arg)
+
 let main_cmd =
   let doc = "HALOTIS: logic timing simulation with the inertial and degradation delay model" in
   Cmd.group (Cmd.info "halotis" ~version:"1.0.0" ~doc)
@@ -1391,6 +1581,8 @@ let main_cmd =
       generate_cmd;
       simulate_cmd;
       compare_cmd;
+      serve_cmd;
+      client_cmd;
       faults_cmd;
       timing_cmd;
       survival_cmd;

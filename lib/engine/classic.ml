@@ -395,6 +395,9 @@ let run ?(injections = []) cfg c ~drives =
     in
     Budget.Monitor.create { b with Budget.max_events }
   in
+  let max_tr =
+    match cfg.budget.Budget.max_transitions with Some n -> n | None -> max_int
+  in
   let end_time = ref 0. in
   let continue = ref true in
   while !continue do
@@ -410,6 +413,13 @@ let run ?(injections = []) cfg c ~drives =
         if Bytes.get st.tx_dead slot = '\001' then begin
           st.stats.Stats.stale_skipped <- st.stats.Stats.stale_skipped + 1;
           free_tx st slot
+        end
+        else if st.stats.Stats.transitions_emitted >= max_tr then begin
+          (* committed-edge (memory) cap: same pre-event check as the
+             IDDM engine's *)
+          free_tx st slot;
+          st.stop <- Stop.Transition_cap max_tr;
+          continue := false
         end
         else begin
           match Budget.Monitor.hit monitor ~queue:(Heap.Unboxed.length st.queue) with

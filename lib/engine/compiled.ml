@@ -1,0 +1,72 @@
+module Netlist = Halotis_netlist.Netlist
+module Tech = Halotis_tech.Tech
+module Delay_model = Halotis_delay.Delay_model
+
+type t = {
+  circuit : Netlist.t;
+  tech : Tech.t;
+  nsignals : int;
+  ngates : int;
+  npins : int;
+  g_kind : Halotis_logic.Gate_kind.t array;
+  g_out : int array;
+  g_base : int array;
+  pin_fanin : int array;
+  pin_vt : float array;
+  fan_off : int array;
+  fan_gate : int array;
+  fan_pin : int array;
+  cache : Delay_model.Cache.t;
+}
+
+let compile tech c =
+  let nsignals = Netlist.signal_count c and ngates = Netlist.gate_count c in
+  let g_kind = Array.init ngates (fun gid -> (Netlist.gate c gid).Netlist.kind) in
+  let g_out = Array.init ngates (fun gid -> (Netlist.gate c gid).Netlist.output) in
+  let g_base = Array.make (ngates + 1) 0 in
+  for gid = 0 to ngates - 1 do
+    g_base.(gid + 1) <- g_base.(gid) + Array.length (Netlist.gate c gid).Netlist.fanin
+  done;
+  let npins = g_base.(ngates) in
+  let pin_fanin = Array.make (max 1 npins) (-1) in
+  let vt_table = Halotis_delay.Thresholds.table tech c in
+  let pin_vt = Array.make (max 1 npins) 0. in
+  for gid = 0 to ngates - 1 do
+    let g = Netlist.gate c gid in
+    let base = g_base.(gid) in
+    Array.iteri
+      (fun pin sid ->
+        pin_fanin.(base + pin) <- sid;
+        pin_vt.(base + pin) <- vt_table.(gid).(pin))
+      g.Netlist.fanin
+  done;
+  let fan_off = Array.make (nsignals + 1) 0 in
+  for sid = 0 to nsignals - 1 do
+    fan_off.(sid + 1) <- fan_off.(sid) + Array.length (Netlist.signal c sid).Netlist.loads
+  done;
+  let nedges = fan_off.(nsignals) in
+  let fan_gate = Array.make (max 1 nedges) 0 and fan_pin = Array.make (max 1 nedges) 0 in
+  for sid = 0 to nsignals - 1 do
+    Array.iteri
+      (fun k (lg, lpin) ->
+        fan_gate.(fan_off.(sid) + k) <- lg;
+        fan_pin.(fan_off.(sid) + k) <- lpin)
+      (Netlist.signal c sid).Netlist.loads
+  done;
+  let loads = Halotis_delay.Loads.of_netlist tech c in
+  {
+    circuit = c;
+    tech;
+    nsignals;
+    ngates;
+    npins;
+    g_kind;
+    g_out;
+    g_base;
+    pin_fanin;
+    pin_vt;
+    fan_off;
+    fan_gate;
+    fan_pin;
+    cache = Delay_model.Cache.create tech c ~loads;
+  }

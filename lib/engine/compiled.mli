@@ -1,0 +1,40 @@
+(** A circuit compiled for the event kernel, independent of any one
+    run.
+
+    {!Iddm.run} used to rebuild these structures at every invocation:
+    the CSR-flattened netlist (per-(gate, pin) slot arrays and the
+    fanout edge list), the per-pin switching thresholds, and the
+    {!Halotis_delay.Delay_model.Cache} delay coefficients.  All of them
+    depend only on the netlist and the technology — never on drives,
+    injections or budgets — so a long-lived service compiles once and
+    starts many sessions against the same {!t} (the compiled-circuit
+    cache of [lib/serve] stores exactly these).
+
+    Sharing discipline: every array here is read-only to the engines
+    (per-run state — waveforms, pin levels, pending queues, event pools
+    — lives in the run itself).  The delay cache carries a small
+    scratch buffer written by each [eval] and read back immediately, so
+    a {!t} may be shared by any number of {e interleaved} sessions in
+    one thread but must not be used from several threads at once. *)
+
+type t = {
+  circuit : Halotis_netlist.Netlist.t;
+  tech : Halotis_tech.Tech.t;
+  nsignals : int;
+  ngates : int;
+  npins : int;  (** total (gate, pin) slots; [g_base.(ngates)] *)
+  g_kind : Halotis_logic.Gate_kind.t array;  (** gate -> logic function *)
+  g_out : int array;  (** gate -> output signal *)
+  g_base : int array;  (** gate -> first pin slot; length [ngates + 1] *)
+  pin_fanin : int array;  (** pin slot -> driving signal *)
+  pin_vt : float array;  (** pin slot -> switching threshold *)
+  fan_off : int array;  (** signal -> first fanout edge; length [nsignals + 1] *)
+  fan_gate : int array;  (** fanout edge -> loading gate *)
+  fan_pin : int array;  (** fanout edge -> pin of that gate *)
+  cache : Halotis_delay.Delay_model.Cache.t;
+      (** per-(gate, edge) delay coefficients for this tech *)
+}
+
+val compile : Halotis_tech.Tech.t -> Halotis_netlist.Netlist.t -> t
+(** Flattens the netlist and prices the delay coefficients.  Pure
+    setup: performs no simulation and touches no global state. *)

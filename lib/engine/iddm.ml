@@ -127,8 +127,9 @@ type state = {
   mutable ev_dead : Bytes.t;
   mutable ev_free : int array; (* stack of recycled slots *)
   mutable ev_free_top : int;
-  cache : Delay_model.Cache.t; (* per-run delay coefficients *)
-  injections : injection array;
+  cache : Delay_model.Cache.t; (* compiled delay coefficients (shareable) *)
+  mutable injections : injection array; (* grows when a live session injects *)
+  max_tr : int; (* committed-transition cap; max_int when unbudgeted *)
   stats : Stats.t;
   (* guardrails *)
   wd : Watchdog.t option;
@@ -335,7 +336,43 @@ let process_injection st inj =
       fan_out st inj.inj_signal outcome tr)
     inj.inj_transitions
 
-let run ?(injections = []) cfg c ~drives =
+(* Register an injection and queue its splice as a first-class event so
+   it happens at its instant, after any earlier native activity on the
+   victim has been appended.  Also the live-session [inject] path: the
+   injection array grows, never shrinks, so pool slots referencing
+   earlier indices stay valid. *)
+let add_injection st inj =
+  if inj.inj_signal < 0 || inj.inj_signal >= Array.length st.wf then
+    invalid_arg "Iddm.run: injection on unknown signal";
+  match inj.inj_transitions with
+  | [] -> ()
+  | first :: _ ->
+      let idx = Array.length st.injections in
+      st.injections <- Array.append st.injections [| inj |];
+      let ev = alloc_event st in
+      st.ev_gate.(ev) <- -1;
+      st.ev_pin.(ev) <- idx;
+      st.ev_tau.(ev) <- 0.;
+      st.ev_key.(ev) <- first.Transition.start;
+      Bytes.set st.ev_rising ev '\000';
+      Bytes.set st.ev_dead ev '\000';
+      ignore (Heap.Unboxed.insert st.queue ~key:first.Transition.start ev)
+
+(* A paused run: the state plus everything the main loop kept in locals
+   when [run] was monolithic.  [s_done] means no queued event can ever
+   be processed again (drained, past the horizon, or a guardrail/
+   watchdog stop) — fresh stimulus may clear it, a non-[Completed] stop
+   never does. *)
+type session = {
+  st : state;
+  monitor : Budget.Monitor.t;
+  s_horizon : float;
+  s_horizon_stop : Stop.t;
+  mutable s_end_time : float;
+  mutable s_done : bool;
+}
+
+let start ?(injections = []) ?compiled cfg c ~drives =
   let drives_tbl = Hashtbl.create 16 in
   List.iter
     (fun (sid, d) ->
@@ -347,68 +384,49 @@ let run ?(injections = []) cfg c ~drives =
     drives;
   let levels = dc_levels c drives_tbl in
   let vdd = Tech.vdd cfg.tech in
-  let nsignals = Netlist.signal_count c and ngates = Netlist.gate_count c in
+  (* Everything that depends only on (netlist, tech) comes precompiled
+     or is compiled here; per-run state is built fresh below. *)
+  let cp =
+    match compiled with
+    | Some cp ->
+        if cp.Compiled.circuit != c then
+          invalid_arg "Iddm.start: compiled structure is for a different netlist";
+        if cp.Compiled.tech != cfg.tech then
+          invalid_arg "Iddm.start: compiled structure is for a different technology";
+        cp
+    | None -> Compiled.compile cfg.tech c
+  in
+  let nsignals = cp.Compiled.nsignals and npins = cp.Compiled.npins in
+  let ngates = cp.Compiled.ngates in
   let wf =
     Array.init nsignals (fun sid ->
         Waveform.create ~initial:(if levels.(sid) then vdd else 0.) ~vdd ())
   in
-  (* Flatten the hot netlist structure (see the [state] comment). *)
-  let g_kind = Array.init ngates (fun gid -> (Netlist.gate c gid).Netlist.kind) in
-  let g_out = Array.init ngates (fun gid -> (Netlist.gate c gid).Netlist.output) in
-  let g_base = Array.make (ngates + 1) 0 in
-  for gid = 0 to ngates - 1 do
-    g_base.(gid + 1) <- g_base.(gid) + Array.length (Netlist.gate c gid).Netlist.fanin
-  done;
-  let npins = g_base.(ngates) in
-  let pin_fanin = Array.make (max 1 npins) (-1) in
   let pin_level = Bytes.make (max 1 npins) '\000' in
-  let vt_table = Halotis_delay.Thresholds.table cfg.tech c in
-  let pin_vt = Array.make (max 1 npins) 0. in
-  for gid = 0 to ngates - 1 do
-    let g = Netlist.gate c gid in
-    let base = g_base.(gid) in
-    Array.iteri
-      (fun pin sid ->
-        pin_fanin.(base + pin) <- sid;
-        Bytes.set pin_level (base + pin) (if levels.(sid) then '\001' else '\000');
-        pin_vt.(base + pin) <- vt_table.(gid).(pin))
-      g.Netlist.fanin
+  for p = 0 to npins - 1 do
+    Bytes.set pin_level p (if levels.(cp.Compiled.pin_fanin.(p)) then '\001' else '\000')
   done;
-  let fan_off = Array.make (nsignals + 1) 0 in
-  for sid = 0 to nsignals - 1 do
-    fan_off.(sid + 1) <-
-      fan_off.(sid) + Array.length (Netlist.signal c sid).Netlist.loads
-  done;
-  let nedges = fan_off.(nsignals) in
-  let fan_gate = Array.make (max 1 nedges) 0 and fan_pin = Array.make (max 1 nedges) 0 in
-  for sid = 0 to nsignals - 1 do
-    Array.iteri
-      (fun k (lg, lpin) ->
-        fan_gate.(fan_off.(sid) + k) <- lg;
-        fan_pin.(fan_off.(sid) + k) <- lpin)
-      (Netlist.signal c sid).Netlist.loads
-  done;
+  let g_out = cp.Compiled.g_out in
   let out_target = Array.init ngates (fun gid -> levels.(g_out.(gid))) in
-  let loads = Halotis_delay.Loads.of_netlist cfg.tech c in
   let st =
     {
       cfg;
       c;
       rev_trace = [];
       wf;
-      g_kind;
+      g_kind = cp.Compiled.g_kind;
       g_out;
-      g_base;
-      pin_fanin;
-      pin_vt;
+      g_base = cp.Compiled.g_base;
+      pin_fanin = cp.Compiled.pin_fanin;
+      pin_vt = cp.Compiled.pin_vt;
       pin_level;
       pending =
         (if cfg.cancellation then
            Array.init npins (fun _ -> { pq_buf = [||]; pq_head = 0; pq_tail = 0 })
          else [||]);
-      fan_off;
-      fan_gate;
-      fan_pin;
+      fan_off = cp.Compiled.fan_off;
+      fan_gate = cp.Compiled.fan_gate;
+      fan_pin = cp.Compiled.fan_pin;
       out_target;
       queue = Heap.Unboxed.create ~capacity:64 ();
       ev_gate = [||];
@@ -419,8 +437,10 @@ let run ?(injections = []) cfg c ~drives =
       ev_dead = Bytes.empty;
       ev_free = [||];
       ev_free_top = 0;
-      cache = Delay_model.Cache.create cfg.tech c ~loads;
-      injections = Array.of_list injections;
+      cache = cp.Compiled.cache;
+      injections = [||];
+      max_tr =
+        (match cfg.budget.Budget.max_transitions with Some n -> n | None -> max_int);
       stats = Stats.create ();
       wd = Option.map (fun w -> Watchdog.create w ~nsignals) cfg.watchdog;
       frozen = Bytes.make nsignals '\000';
@@ -437,10 +457,10 @@ let run ?(injections = []) cfg c ~drives =
     drives_tbl;
   Hashtbl.iter
     (fun sid (_ : Drive.t) ->
-      for e = fan_off.(sid) to fan_off.(sid + 1) - 1 do
-        let lg = fan_gate.(e) in
-        let lpin = fan_pin.(e) in
-        let slot = g_base.(lg) + lpin in
+      for e = st.fan_off.(sid) to st.fan_off.(sid + 1) - 1 do
+        let lg = st.fan_gate.(e) in
+        let lpin = st.fan_pin.(e) in
+        let slot = st.g_base.(lg) + lpin in
         List.iter
           (fun (crossing, (tr : Transition.t)) ->
             schedule st ~key:crossing ~gate:lg ~pin:lpin ~slot
@@ -449,30 +469,12 @@ let run ?(injections = []) cfg c ~drives =
                 | Transition.Rising -> true
                 | Transition.Falling -> false)
               ~tau_in:tr.Transition.slope_time)
-          (Waveform.crossings_with_transitions st.wf.(sid) ~vt:pin_vt.(slot))
+          (Waveform.crossings_with_transitions st.wf.(sid) ~vt:st.pin_vt.(slot))
       done)
     drives_tbl;
-  (* Injections enter the queue as first-class events so the splice
-     happens at its instant, after any earlier native activity on the
-     victim has been appended. *)
-  Array.iteri
-    (fun idx inj ->
-      if inj.inj_signal < 0 || inj.inj_signal >= nsignals then
-        invalid_arg "Iddm.run: injection on unknown signal";
-      match inj.inj_transitions with
-      | [] -> ()
-      | first :: _ ->
-          let ev = alloc_event st in
-          st.ev_gate.(ev) <- -1;
-          st.ev_pin.(ev) <- idx;
-          st.ev_tau.(ev) <- 0.;
-          st.ev_key.(ev) <- first.Transition.start;
-          Bytes.set st.ev_rising ev '\000';
-          Bytes.set st.ev_dead ev '\000';
-          ignore (Heap.Unboxed.insert st.queue ~key:first.Transition.start ev))
-    st.injections;
-  (* Main loop.  The simulated-time horizon folds [t_stop] and the
-     budget's [max_sim_time] into one comparison (recording which bound
+  List.iter (fun inj -> add_injection st inj) injections;
+  (* The simulated-time horizon folds [t_stop] and the budget's
+     [max_sim_time] into one comparison (recording which bound
      applied); the legacy [max_events] safety net folds into the budget
      monitor, which is exact, so both paths process the same events the
      old per-event counter check did. *)
@@ -492,16 +494,46 @@ let run ?(injections = []) cfg c ~drives =
     in
     Budget.Monitor.create { b with Budget.max_events }
   in
-  let end_time = ref 0. in
-  let continue = ref true in
+  { st; monitor; s_horizon = horizon; s_horizon_stop = horizon_stop;
+    s_end_time = 0.; s_done = false }
+
+let snapshot sess =
+  let st = sess.st in
+  st.stats.Stats.stopped_by <- st.stop;
+  {
+    circuit = st.c;
+    run_config = st.cfg;
+    waveforms = st.wf;
+    stats = st.stats;
+    end_time = sess.s_end_time;
+    truncated = not (Stop.completed st.stop);
+    stopped_by = st.stop;
+    frozen = List.rev st.rev_frozen;
+    trace = List.rev st.rev_trace;
+  }
+
+(* The main loop, paused at [upto].  Pausing is free: the loop always
+   inspects the heap minimum {e before} popping, so stopping short of
+   the horizon leaves the queue exactly as a one-shot run would have it
+   at that point — resuming pops the same events in the same order, and
+   the stepped run stays bit-identical to the one-shot run (the
+   equivalence suite pins this down). *)
+let advance sess ~upto =
+  let st = sess.st in
+  let continue = ref (not sess.s_done) in
   while !continue do
-    if Heap.Unboxed.is_empty st.queue then continue := false
+    if Heap.Unboxed.is_empty st.queue then begin
+      sess.s_done <- true;
+      continue := false
+    end
     else begin
       let t = Heap.Unboxed.min_key st.queue in
-      if t > horizon then begin
-        st.stop <- horizon_stop;
+      if t > sess.s_horizon then begin
+        st.stop <- sess.s_horizon_stop;
+        sess.s_done <- true;
         continue := false
       end
+      else if t > upto then continue := false
       else begin
         let ev = Heap.Unboxed.pop st.queue in
         if Bytes.get st.ev_dead ev = '\001' then begin
@@ -515,18 +547,27 @@ let run ?(injections = []) cfg c ~drives =
           (* Injection splices are stimulus, not simulation work; only
              pin events count as processed (and against the budget). *)
           if gate < 0 then begin
-            end_time := Float.max !end_time t;
+            sess.s_end_time <- Float.max sess.s_end_time t;
             free_event st ev;
             process_injection st st.injections.(pin)
           end
+          else if st.stats.Stats.transitions_emitted >= st.max_tr then begin
+            (* the waveform stores are full: the memory cap refuses
+               further gate activity *)
+            free_event st ev;
+            st.stop <- Stop.Transition_cap st.max_tr;
+            sess.s_done <- true;
+            continue := false
+          end
           else begin
-            match Budget.Monitor.hit monitor ~queue:(Heap.Unboxed.length st.queue) with
+            match Budget.Monitor.hit sess.monitor ~queue:(Heap.Unboxed.length st.queue) with
             | Some reason ->
                 free_event st ev;
                 st.stop <- reason;
+                sess.s_done <- true;
                 continue := false
             | None ->
-                end_time := Float.max !end_time t;
+                sess.s_end_time <- Float.max sess.s_end_time t;
                 st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1;
                 let rising = Bytes.get st.ev_rising ev = '\001' in
                 let tau_in = st.ev_tau.(ev) in
@@ -539,25 +580,51 @@ let run ?(injections = []) cfg c ~drives =
                 free_event st ev;
                 process_pin_event st ~now:t ~gate ~pin ~rising ~tau_in;
                 (* a Halt-mode watchdog trip inside process_pin_event *)
-                if not (Stop.completed st.stop) then continue := false
+                if not (Stop.completed st.stop) then begin
+                  sess.s_done <- true;
+                  continue := false
+                end
           end
         end
       end
     end
   done;
-  let final_stop = st.stop in
-  st.stats.Stats.stopped_by <- final_stop;
-  {
-    circuit = c;
-    run_config = cfg;
-    waveforms = st.wf;
-    stats = st.stats;
-    end_time = !end_time;
-    truncated = not (Stop.completed final_stop);
-    stopped_by = final_stop;
-    frozen = List.rev st.rev_frozen;
-    trace = List.rev st.rev_trace;
-  }
+  snapshot sess
+
+let run ?injections ?compiled cfg c ~drives =
+  advance (start ?injections ?compiled cfg c ~drives) ~upto:infinity
+
+(* Fresh stimulus can wake a quiesced session; a guardrail stop is
+   final. *)
+let revive sess =
+  if
+    sess.s_done
+    && Stop.completed sess.st.stop
+    && not (Heap.Unboxed.is_empty sess.st.queue)
+  then sess.s_done <- false
+
+let session_set_input sess sid transitions =
+  let st = sess.st in
+  if sid < 0 || sid >= Array.length st.wf then
+    invalid_arg "Iddm.session_set_input: unknown signal";
+  if not (Netlist.signal st.c sid).Netlist.is_primary_input then
+    invalid_arg
+      (Printf.sprintf "Iddm.session_set_input: drive on non-input signal %s"
+         (Netlist.signal_name st.c sid));
+  List.iter
+    (fun (tr : Transition.t) ->
+      let outcome = Waveform.append st.wf.(sid) tr in
+      fan_out st sid outcome tr)
+    transitions;
+  revive sess
+
+let session_inject sess inj =
+  add_injection sess.st inj;
+  revive sess
+
+let session_time sess = sess.s_end_time
+let session_finished sess = sess.s_done
+let session_result sess = snapshot sess
 
 (* The most recent traced ramp on [signal] at or before [at].  The
    trace is chronological but annulled ramps also appear in it; accept

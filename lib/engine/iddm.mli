@@ -89,6 +89,7 @@ type injection = {
 
 val run :
   ?injections:injection list ->
+  ?compiled:Compiled.t ->
   config ->
   Halotis_netlist.Netlist.t ->
   drives:(Halotis_netlist.Netlist.signal_id * Drive.t) list ->
@@ -96,6 +97,11 @@ val run :
 (** Simulates a circuit.  Primary inputs without a drive sit at
     logic 0.  Feedback loops are allowed when they have a DC fixed
     point (latches); see {!Dc.levels}.
+
+    [compiled], when given, must be {!Compiled.compile} of exactly this
+    netlist and [config.tech] (checked by physical equality) — the run
+    then skips the flattening/coefficient setup.  Equivalent to
+    [advance (start ...) ~upto:infinity].
 
     Each [injection] is spliced into its victim's waveform when the
     simulation clock reaches its first transition, using the engine's
@@ -107,6 +113,62 @@ val run :
     @raise Invalid_argument when the DC operating point does not settle
     (oscillating feedback), a drive names a non-input signal, or an
     injection names an unknown signal. *)
+
+(** {1 Resumable sessions}
+
+    A {!session} is a run that can pause between events and accept
+    fresh stimulus while paused — the substrate of the [halotis serve]
+    session layer.  The pause mechanism is free and exact: the main
+    loop inspects the queue minimum before popping, so a session
+    advanced in steps pops the same events in the same order as a
+    one-shot {!run} of the same spec, and its waveforms, statistics and
+    digitized edges are bit-identical (pinned by the equivalence test
+    suite).  The budget monitor lives across [advance] calls, so event
+    accounting is exact too.  Sessions are single-threaded. *)
+
+type session
+
+val start :
+  ?injections:injection list ->
+  ?compiled:Compiled.t ->
+  config ->
+  Halotis_netlist.Netlist.t ->
+  drives:(Halotis_netlist.Netlist.signal_id * Drive.t) list ->
+  session
+(** Validates, seeds drives and injections, and returns without
+    processing any event.  Same contract (and exceptions) as {!run}. *)
+
+val advance : session -> upto:Halotis_util.Units.time -> result
+(** Processes every queued event with instant [<= upto] (clamped to the
+    run's horizon), then snapshots.  [upto = infinity] finishes the
+    run.  The returned result aliases the session's live waveforms and
+    statistics: consume it before advancing further.  Idempotent once
+    {!session_finished}. *)
+
+val session_set_input :
+  session -> Halotis_netlist.Netlist.signal_id -> Halotis_wave.Transition.t list -> unit
+(** Appends fresh ramps to a primary input's waveform and propagates
+    them exactly as the engine's own append/fan-out machinery would
+    (cancellation included), waking a quiesced session.  The caller
+    must keep ramps at or after the last [advance] horizon — appending
+    into already-simulated time rewrites history.
+    @raise Invalid_argument for unknown or non-input signals. *)
+
+val session_inject : session -> injection -> unit
+(** Queues a live injection splice, exactly like a [start]-time
+    injection whose instant has not yet been reached.  Same caveat on
+    past instants as {!session_set_input}. *)
+
+val session_time : session -> Halotis_util.Units.time
+(** Time of the last processed event (the result's [end_time] so far). *)
+
+val session_finished : session -> bool
+(** No queued event can ever be processed again: the queue drained, the
+    horizon was passed, or a guardrail stopped the run.  Fresh stimulus
+    clears the first case; a guardrail stop is final. *)
+
+val session_result : session -> result
+(** Snapshot without advancing (same aliasing caveat as {!advance}). *)
 
 val waveform : result -> string -> Halotis_wave.Waveform.t
 (** Looks a signal's waveform up by name.

@@ -80,37 +80,44 @@ let classic_toggles ramps =
        tr.Transition.polarity = Transition.Rising))
     ramps
 
+(* The IDDM-side run configuration and injection shape shared by
+   one-shot runs and sessions. *)
+let iddm_config engine spec =
+  let kind = match engine with Cdm -> DM.Cdm | _ -> DM.Ddm in
+  Iddm.config ~delay_kind:kind ?t_stop:spec.sp_t_stop ~trace:spec.sp_trace
+    ~budget:spec.sp_budget ?watchdog:spec.sp_watchdog spec.sp_tech
+
+let iddm_injections spec =
+  List.map
+    (fun i -> { Iddm.inj_signal = i.inj_signal; inj_transitions = i.inj_ramps })
+    spec.sp_injections
+
+let wrap_iddm engine spec ~vt (r : Iddm.result) =
+  {
+    rs_engine = engine;
+    rs_spec = spec;
+    rs_stats = r.Iddm.stats;
+    rs_end_time = r.Iddm.end_time;
+    rs_truncated = r.Iddm.truncated;
+    rs_stopped_by = r.Iddm.stopped_by;
+    rs_frozen = r.Iddm.frozen;
+    rs_vt = vt;
+    rs_raw = Iddm_result r;
+    rs_edges = lazy (Array.map (fun wf -> Digital.edges wf ~vt) r.Iddm.waveforms);
+    rs_initial_levels =
+      lazy (Array.map (fun wf -> Waveform.initial wf > vt) r.Iddm.waveforms);
+  }
+
 let run engine spec =
   let c = spec.sp_circuit in
   let vt = Tech.vdd spec.sp_tech /. 2. in
   match engine with
   | Ddm | Cdm ->
-      let kind = match engine with Ddm -> DM.Ddm | _ -> DM.Cdm in
-      let cfg =
-        Iddm.config ~delay_kind:kind ?t_stop:spec.sp_t_stop ~trace:spec.sp_trace
-          ~budget:spec.sp_budget ?watchdog:spec.sp_watchdog spec.sp_tech
+      let r =
+        Iddm.run ~injections:(iddm_injections spec) (iddm_config engine spec) c
+          ~drives:spec.sp_drives
       in
-      let injections =
-        List.map
-          (fun i -> { Iddm.inj_signal = i.inj_signal; inj_transitions = i.inj_ramps })
-          spec.sp_injections
-      in
-      let r = Iddm.run ~injections cfg c ~drives:spec.sp_drives in
-      {
-        rs_engine = engine;
-        rs_spec = spec;
-        rs_stats = r.Iddm.stats;
-        rs_end_time = r.Iddm.end_time;
-        rs_truncated = r.Iddm.truncated;
-        rs_stopped_by = r.Iddm.stopped_by;
-        rs_frozen = r.Iddm.frozen;
-        rs_vt = vt;
-        rs_raw = Iddm_result r;
-        rs_edges =
-          lazy (Array.map (fun wf -> Digital.edges wf ~vt) r.Iddm.waveforms);
-        rs_initial_levels =
-          lazy (Array.map (fun wf -> Waveform.initial wf > vt) r.Iddm.waveforms);
-      }
+      wrap_iddm engine spec ~vt r
   | Classic_inertial ->
       let cfg =
         Classic.config ?t_stop:spec.sp_t_stop ~budget:spec.sp_budget
@@ -191,3 +198,43 @@ let iddm r = match r.rs_raw with Iddm_result ir -> Some ir | Classic_result _ ->
 
 let classic r =
   match r.rs_raw with Classic_result cr -> Some cr | Iddm_result _ -> None
+
+module Session = struct
+  type t = {
+    ss_engine : engine;
+    ss_spec : spec;
+    ss_vt : Halotis_util.Units.voltage;
+    ss_sess : Iddm.session;
+  }
+
+  let start ?compiled engine spec =
+    match engine with
+    | Classic_inertial ->
+        invalid_arg
+          "Sim.Session.start: resumable sessions need a waveform engine (ddm or cdm)"
+    | Ddm | Cdm ->
+        let sess =
+          Iddm.start ~injections:(iddm_injections spec) ?compiled
+            (iddm_config engine spec) spec.sp_circuit ~drives:spec.sp_drives
+        in
+        {
+          ss_engine = engine;
+          ss_spec = spec;
+          ss_vt = Tech.vdd spec.sp_tech /. 2.;
+          ss_sess = sess;
+        }
+
+  let wrap t r = wrap_iddm t.ss_engine t.ss_spec ~vt:t.ss_vt r
+  let advance t ~upto = wrap t (Iddm.advance t.ss_sess ~upto)
+  let snapshot t = wrap t (Iddm.session_result t.ss_sess)
+  let set_input t ~signal ramps = Iddm.session_set_input t.ss_sess signal ramps
+
+  let inject t (i : injection) =
+    Iddm.session_inject t.ss_sess
+      { Iddm.inj_signal = i.inj_signal; inj_transitions = i.inj_ramps }
+
+  let time t = Iddm.session_time t.ss_sess
+  let finished t = Iddm.session_finished t.ss_sess
+  let engine t = t.ss_engine
+  let spec t = t.ss_spec
+end

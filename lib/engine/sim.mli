@@ -122,3 +122,51 @@ val iddm : result -> Iddm.result option
 (** The full IDDM result (waveforms, trace) — [None] for classic runs. *)
 
 val classic : result -> Classic.result option
+
+(** {1 Resumable sessions}
+
+    The facade over {!Iddm.start}/{!Iddm.advance}: a run that pauses
+    between events, accepts fresh stimulus while paused, and — advanced
+    in steps — stays bit-identical to a one-shot {!run} of the same
+    spec.  Only the waveform engines support sessions; the classic
+    engine remains one-shot. *)
+module Session : sig
+  type t
+
+  val start : ?compiled:Compiled.t -> engine -> spec -> t
+  (** Seeds the spec's drives and injections without processing any
+      event.  [compiled] shares a pre-flattened circuit (see
+      {!Compiled}); it must be for exactly the spec's netlist and tech.
+      @raise Invalid_argument for [Classic_inertial], or as {!run}
+      does (unsettled DC point, bad drive, unknown injection signal). *)
+
+  val advance : t -> upto:Halotis_util.Units.time -> result
+  (** Processes every queued event at or before [upto] (clamped to the
+      spec's horizon); [upto = infinity] finishes the run.  The result
+      aliases the session's live state — query it before advancing
+      again (its lazy edge view digitizes at force time). *)
+
+  val snapshot : t -> result
+  (** The current result without advancing (same aliasing caveat). *)
+
+  val set_input :
+    t -> signal:Halotis_netlist.Netlist.signal_id -> Halotis_wave.Transition.t list -> unit
+  (** Appends fresh ramps to a primary input and propagates them
+      through the engine's own cancellation/fan-out machinery, waking a
+      quiesced session.  Ramps must lie at or after the last [advance]
+      horizon. @raise Invalid_argument for non-input signals. *)
+
+  val inject : t -> injection -> unit
+  (** Splices a live SET pulse, queued at its first ramp's instant —
+      exactly like a [start]-time injection not yet reached. *)
+
+  val time : t -> Halotis_util.Units.time
+  (** Time of the last processed event. *)
+
+  val finished : t -> bool
+  (** No queued event can ever run again (drained, past the horizon, or
+      guardrail-stopped); fresh stimulus clears the drained case. *)
+
+  val engine : t -> engine
+  val spec : t -> spec
+end

@@ -60,6 +60,7 @@ let stop_token = function
   | Stop.Wall_clock s -> "W" ^ fstr s
   | Stop.Queue_cap n -> "Q" ^ string_of_int n
   | Stop.Sim_time t -> "T" ^ fstr t
+  | Stop.Transition_cap n -> "C" ^ string_of_int n
   | Stop.Oscillation names -> "O" ^ String.concat ";" names
 
 let stop_of_token tok =
@@ -72,6 +73,7 @@ let stop_of_token tok =
     | 'W' -> Option.map (fun s -> Stop.Wall_clock s) (float_of_string_opt rest)
     | 'Q' -> Option.map (fun n -> Stop.Queue_cap n) (int_of_string_opt rest)
     | 'T' -> Option.map (fun t -> Stop.Sim_time t) (float_of_string_opt rest)
+    | 'C' -> Option.map (fun n -> Stop.Transition_cap n) (int_of_string_opt rest)
     | 'O' -> Some (Stop.Oscillation (String.split_on_char ';' rest))
     | _ -> None
 
@@ -212,14 +214,10 @@ let load path =
     try In_channel.with_open_bin path In_channel.input_all
     with Sys_error msg -> Diag.fail ~code:"journal-parse" msg
   in
-  (* A torn write can only affect the tail: drop anything after the
-     last newline so a half-written final record never parses. *)
-  let content =
-    match String.rindex_opt content '\n' with
-    | Some i -> String.sub content 0 i
-    | None -> ""
-  in
-  let lines = if content = "" then [] else String.split_on_char '\n' content in
+  (* The shared newline-delimited reader yields complete lines only: a
+     torn write can only affect the tail, and a half-written final
+     record stays in [leftover] and never parses. *)
+  let lines = Halotis_util.Json.Lines.to_list (Halotis_util.Json.Lines.of_string content) in
   match lines with
   | [] -> parse_fail path "empty journal"
   | m :: rest when m = magic || m = magic_v1 -> (

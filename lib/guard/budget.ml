@@ -3,15 +3,24 @@ type t = {
   max_wall_s : float option;
   max_queue : int option;
   max_sim_time : float option;
+  max_transitions : int option;
 }
 
-let unlimited = { max_events = None; max_wall_s = None; max_queue = None; max_sim_time = None }
+let unlimited =
+  {
+    max_events = None;
+    max_wall_s = None;
+    max_queue = None;
+    max_sim_time = None;
+    max_transitions = None;
+  }
 
-let make ?max_events ?max_wall_s ?max_queue ?max_sim_time () =
-  { max_events; max_wall_s; max_queue; max_sim_time }
+let make ?max_events ?max_wall_s ?max_queue ?max_sim_time ?max_transitions () =
+  { max_events; max_wall_s; max_queue; max_sim_time; max_transitions }
 
 let is_unlimited b =
   b.max_events = None && b.max_wall_s = None && b.max_queue = None && b.max_sim_time = None
+  && b.max_transitions = None
 
 module Monitor = struct
   type budget = t

@@ -15,12 +15,27 @@ type t = {
   max_wall_s : float option;  (** wall-clock seconds *)
   max_queue : int option;  (** event-queue occupancy (live + stale slots) *)
   max_sim_time : float option;  (** simulated time horizon, ps *)
+  max_transitions : int option;
+      (** committed output transitions across all waveform stores — the
+          memory cap: per-signal transition arrays grow with every
+          accepted ramp even when the event-queue budget holds, so a
+          long-lived session bounds them here.  Enforced by the engines
+          themselves (the monitor never sees transition counts): once
+          the store holds this many committed transitions, the next
+          live gate event stops the run with
+          {!Stop.Transition_cap} *)
 }
 
 val unlimited : t
 
 val make :
-  ?max_events:int -> ?max_wall_s:float -> ?max_queue:int -> ?max_sim_time:float -> unit -> t
+  ?max_events:int ->
+  ?max_wall_s:float ->
+  ?max_queue:int ->
+  ?max_sim_time:float ->
+  ?max_transitions:int ->
+  unit ->
+  t
 
 val is_unlimited : t -> bool
 

@@ -6,6 +6,7 @@ type t =
   | Wall_clock of float
   | Queue_cap of int
   | Sim_time of float
+  | Transition_cap of int
   | Oscillation of string list
 
 let completed = function Completed -> true | _ -> false
@@ -16,6 +17,7 @@ let to_string = function
   | Wall_clock s -> Printf.sprintf "wall-clock(%gs)" s
   | Queue_cap n -> Printf.sprintf "queue-cap(%d)" n
   | Sim_time t -> Printf.sprintf "sim-time(%gps)" t
+  | Transition_cap n -> Printf.sprintf "transition-cap(%d)" n
   | Oscillation names -> Printf.sprintf "oscillation(%s)" (String.concat "," names)
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
@@ -28,6 +30,9 @@ let to_json = function
   | Queue_cap n ->
       Json.Obj [ ("reason", Json.Str "queue-cap"); ("limit", Json.Num (float_of_int n)) ]
   | Sim_time t -> Json.Obj [ ("reason", Json.Str "sim-time"); ("limit", Json.Num t) ]
+  | Transition_cap n ->
+      Json.Obj
+        [ ("reason", Json.Str "transition-cap"); ("limit", Json.Num (float_of_int n)) ]
   | Oscillation names ->
       Json.Obj
         [
@@ -37,7 +42,7 @@ let to_json = function
 
 let exit_code = function
   | Completed -> 0
-  | Event_budget _ | Wall_clock _ | Queue_cap _ | Sim_time _ -> 3
+  | Event_budget _ | Wall_clock _ | Queue_cap _ | Sim_time _ | Transition_cap _ -> 3
   | Oscillation _ -> 4
 
 let worst_exit_code codes =

@@ -15,6 +15,8 @@ type t =
   | Wall_clock of float  (** wall-clock budget hit (the limit, seconds) *)
   | Queue_cap of int  (** event-queue occupancy cap exceeded (the cap) *)
   | Sim_time of float  (** simulated-time budget hit (the limit, ps) *)
+  | Transition_cap of int
+      (** committed-transition (waveform memory) budget hit (the cap) *)
   | Oscillation of string list
       (** the watchdog found non-quiescing signals and the run was
           configured to halt; carries the offending signal names

@@ -1,0 +1,286 @@
+module Json = Halotis_util.Json
+module Transition = Halotis_wave.Transition
+
+let version = 1
+
+type circuit_source = Path of string | Inline of string
+
+type load = {
+  ld_circuit : circuit_source;
+  ld_engine : string;
+  ld_stim : string option;
+  ld_t_stop : float option;
+  ld_max_events : int option;
+  ld_max_transitions : int option;
+  ld_watchdog : bool option;
+}
+
+type query =
+  | Q_edges of string option
+  | Q_waveform of string
+  | Q_offenders of int
+  | Q_stats
+
+type upto = Upto of float | Dt of float
+
+type request =
+  | Hello of int
+  | Load of load
+  | Set_input of {
+      si_session : int;
+      si_signal : string;
+      si_at : float;
+      si_level : bool;
+      si_slope : float option;
+    }
+  | Advance of { ad_session : int; ad_upto : upto }
+  | Query of { qu_session : int; qu_query : query }
+  | Inject of {
+      in_session : int;
+      in_signal : string;
+      in_at : float;
+      in_width : float;
+      in_slope : float option;
+      in_up : bool;
+    }
+  | Close of int
+  | Cache_stats
+  | Shutdown
+
+(* --- encoding --- *)
+
+let num f = Json.Num f
+let inum i = Json.Num (float_of_int i)
+let opt name conv = function None -> [] | Some v -> [ (name, conv v) ]
+
+let request_to_json = function
+  | Hello v -> Json.Obj [ ("op", Json.Str "hello"); ("version", inum v) ]
+  | Load l ->
+      Json.Obj
+        (("op", Json.Str "load")
+         :: (match l.ld_circuit with
+            | Path p -> [ ("circuit", Json.Str p) ]
+            | Inline s -> [ ("source", Json.Str s) ])
+        @ [ ("engine", Json.Str l.ld_engine) ]
+        @ opt "stim" (fun s -> Json.Str s) l.ld_stim
+        @ opt "t_stop" num l.ld_t_stop
+        @ opt "max_events" inum l.ld_max_events
+        @ opt "max_transitions" inum l.ld_max_transitions
+        @ opt "watchdog" (fun b -> Json.Bool b) l.ld_watchdog)
+  | Set_input s ->
+      Json.Obj
+        ([
+           ("op", Json.Str "set_input");
+           ("session", inum s.si_session);
+           ("signal", Json.Str s.si_signal);
+           ("at", num s.si_at);
+           ("level", Json.Bool s.si_level);
+         ]
+        @ opt "slope" num s.si_slope)
+  | Advance a ->
+      Json.Obj
+        [
+          ("op", Json.Str "advance");
+          ("session", inum a.ad_session);
+          (match a.ad_upto with Upto t -> ("upto", num t) | Dt t -> ("dt", num t));
+        ]
+  | Query q ->
+      let what =
+        match q.qu_query with
+        | Q_edges sigopt ->
+            [ ("what", Json.Str "edges") ] @ opt "signal" (fun s -> Json.Str s) sigopt
+        | Q_waveform s -> [ ("what", Json.Str "waveform"); ("signal", Json.Str s) ]
+        | Q_offenders n -> [ ("what", Json.Str "offenders"); ("n", inum n) ]
+        | Q_stats -> [ ("what", Json.Str "stats") ]
+      in
+      Json.Obj (("op", Json.Str "query") :: ("session", inum q.qu_session) :: what)
+  | Inject i ->
+      Json.Obj
+        ([
+           ("op", Json.Str "inject");
+           ("session", inum i.in_session);
+           ("signal", Json.Str i.in_signal);
+           ("at", num i.in_at);
+           ("width", num i.in_width);
+         ]
+        @ opt "slope" num i.in_slope
+        @ [ ("polarity", Json.Str (if i.in_up then "up" else "down")) ])
+  | Close s -> Json.Obj [ ("op", Json.Str "close"); ("session", inum s) ]
+  | Cache_stats -> Json.Obj [ ("op", Json.Str "cache-stats") ]
+  | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
+
+(* --- decoding --- *)
+
+let field name j = Json.member name j
+
+let int_field name j =
+  match field name j with
+  | Some (Json.Num f) when Float.is_integer f -> Ok (int_of_float f)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let float_field name j =
+  match field name j with
+  | Some (Json.Num f) -> Ok f
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str_field name j =
+  match field name j with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let bool_field name j =
+  match field name j with
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let opt_of name f j =
+  match field name j with
+  | None -> Ok None
+  | Some _ -> Result.map (fun v -> Some v) (f name j)
+
+let ( let* ) = Result.bind
+
+let request_of_json j =
+  let* op = str_field "op" j in
+  match op with
+  | "hello" ->
+      let* v = int_field "version" j in
+      Ok (Hello v)
+  | "load" ->
+      let* ld_circuit =
+        match (field "circuit" j, field "source" j) with
+        | Some (Json.Str p), None -> Ok (Path p)
+        | None, Some (Json.Str s) -> Ok (Inline s)
+        | Some _, Some _ -> Error "give either \"circuit\" or \"source\", not both"
+        | _ -> Error "load needs a \"circuit\" path or inline \"source\""
+      in
+      let* ld_engine = str_field "engine" j in
+      let* ld_stim = opt_of "stim" str_field j in
+      let* ld_t_stop = opt_of "t_stop" float_field j in
+      let* ld_max_events = opt_of "max_events" int_field j in
+      let* ld_max_transitions = opt_of "max_transitions" int_field j in
+      let* ld_watchdog = opt_of "watchdog" bool_field j in
+      Ok
+        (Load
+           {
+             ld_circuit;
+             ld_engine;
+             ld_stim;
+             ld_t_stop;
+             ld_max_events;
+             ld_max_transitions;
+             ld_watchdog;
+           })
+  | "set_input" ->
+      let* si_session = int_field "session" j in
+      let* si_signal = str_field "signal" j in
+      let* si_at = float_field "at" j in
+      let* si_level = bool_field "level" j in
+      let* si_slope = opt_of "slope" float_field j in
+      Ok (Set_input { si_session; si_signal; si_at; si_level; si_slope })
+  | "advance" ->
+      let* ad_session = int_field "session" j in
+      let* ad_upto =
+        match (field "upto" j, field "dt" j) with
+        | Some (Json.Num t), None -> Ok (Upto t)
+        | None, Some (Json.Num t) -> Ok (Dt t)
+        | Some _, Some _ -> Error "give either \"upto\" or \"dt\", not both"
+        | _ -> Error "advance needs an \"upto\" instant or a \"dt\" step"
+      in
+      Ok (Advance { ad_session; ad_upto })
+  | "query" ->
+      let* qu_session = int_field "session" j in
+      let* what = str_field "what" j in
+      let* qu_query =
+        match what with
+        | "edges" ->
+            let* s = opt_of "signal" str_field j in
+            Ok (Q_edges s)
+        | "waveform" ->
+            let* s = str_field "signal" j in
+            Ok (Q_waveform s)
+        | "offenders" ->
+            let* n = int_field "n" j in
+            Ok (Q_offenders n)
+        | "stats" -> Ok Q_stats
+        | w -> Error (Printf.sprintf "unknown query %S" w)
+      in
+      Ok (Query { qu_session; qu_query })
+  | "inject" ->
+      let* in_session = int_field "session" j in
+      let* in_signal = str_field "signal" j in
+      let* in_at = float_field "at" j in
+      let* in_width = float_field "width" j in
+      let* in_slope = opt_of "slope" float_field j in
+      let* in_up =
+        match field "polarity" j with
+        | None | Some (Json.Str "up") -> Ok true
+        | Some (Json.Str "down") -> Ok false
+        | Some _ -> Error "field \"polarity\" must be \"up\" or \"down\""
+      in
+      Ok (Inject { in_session; in_signal; in_at; in_width; in_slope; in_up })
+  | "close" ->
+      let* s = int_field "session" j in
+      Ok (Close s)
+  | "cache-stats" -> Ok Cache_stats
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+(* --- responses --- *)
+
+type error = { err_code : string; err_message : string }
+
+type response = { rp_id : int option; rp_payload : (Json.t, error) result }
+
+let ok ~id payload = { rp_id = Some id; rp_payload = Ok payload }
+
+let err ?id ~code message =
+  { rp_id = id; rp_payload = Error { err_code = code; err_message = message } }
+
+let response_to_json r =
+  let id = match r.rp_id with Some i -> inum i | None -> Json.Null in
+  match r.rp_payload with
+  | Ok payload ->
+      Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", payload) ]
+  | Error e ->
+      Json.Obj
+        [
+          ("id", id);
+          ("ok", Json.Bool false);
+          ( "error",
+            Json.Obj
+              [ ("code", Json.Str e.err_code); ("message", Json.Str e.err_message) ] );
+        ]
+
+let response_of_json j =
+  let* id =
+    match field "id" j with
+    | Some Json.Null -> Ok None
+    | Some (Json.Num f) when Float.is_integer f -> Ok (Some (int_of_float f))
+    | _ -> Error "response \"id\" must be an integer or null"
+  in
+  let* ok_flag = bool_field "ok" j in
+  if ok_flag then
+    match field "result" j with
+    | Some payload -> Ok { rp_id = id; rp_payload = Ok payload }
+    | None -> Error "ok response without \"result\""
+  else
+    match field "error" j with
+    | Some e ->
+        let* err_code = str_field "code" e in
+        let* err_message = str_field "message" e in
+        Ok { rp_id = id; rp_payload = Error { err_code; err_message } }
+    | None -> Error "error response without \"error\""
+
+(* --- wire framing --- *)
+
+let with_id ~id = function
+  | Json.Obj fields -> Json.Obj (("id", inum id) :: fields)
+  | j -> j
+
+let request_to_line ~id r = Json.to_string ~indent:false (with_id ~id (request_to_json r))
+let response_to_line r = Json.to_string ~indent:false (response_to_json r)

@@ -77,9 +77,13 @@ let to_string ?(indent = true) v =
 
 (* --- parser --- *)
 
+type parse_error = { pe_offset : int; pe_msg : string }
+
+let parse_error_to_string e = Printf.sprintf "%s at offset %d" e.pe_msg e.pe_offset
+
 exception Bad of int * string
 
-let parse text =
+let parse_strict text =
   let n = String.length text in
   let pos = ref 0 in
   let fail msg = raise (Bad (!pos, msg)) in
@@ -224,9 +228,59 @@ let parse text =
   try
     let v = parse_value () in
     skip_ws ();
-    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
-    else Ok v
-  with Bad (at, msg) -> Error (Printf.sprintf "%s at offset %d" msg at)
+    if !pos <> n then Error { pe_offset = !pos; pe_msg = "trailing garbage" } else Ok v
+  with Bad (at, msg) -> Error { pe_offset = at; pe_msg = msg }
+
+let parse text = Result.map_error parse_error_to_string (parse_strict text)
+
+(* --- newline-delimited streams --- *)
+
+module Lines = struct
+  type reader = {
+    refill : bytes -> int;  (* 0 = end of stream *)
+    chunk : bytes;
+    mutable acc : string;  (* bytes read but not yet consumed *)
+    mutable eof : bool;
+  }
+
+  let of_channel ic =
+    {
+      refill = (fun b -> input ic b 0 (Bytes.length b));
+      chunk = Bytes.create 4096;
+      acc = "";
+      eof = false;
+    }
+
+  let of_string s =
+    { refill = (fun _ -> 0); chunk = Bytes.create 1; acc = s; eof = true }
+
+  let strip_cr line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+  let rec next r =
+    match String.index_opt r.acc '\n' with
+    | Some i ->
+        let line = String.sub r.acc 0 i in
+        r.acc <- String.sub r.acc (i + 1) (String.length r.acc - i - 1);
+        Some (strip_cr line)
+    | None ->
+        if r.eof then None
+        else begin
+          let k = r.refill r.chunk in
+          if k = 0 then r.eof <- true
+          else r.acc <- r.acc ^ Bytes.sub_string r.chunk 0 k;
+          next r
+        end
+
+  let leftover r = r.acc
+
+  let fold r ~init ~f =
+    let rec go acc = match next r with None -> acc | Some l -> go (f acc l) in
+    go init
+
+  let to_list r = List.rev (fold r ~init:[] ~f:(fun acc l -> l :: acc))
+end
 
 (* --- accessors --- *)
 

@@ -17,10 +17,53 @@ val to_string : ?indent:bool -> t -> string
     indentation.  Strings are escaped per RFC 8259; integral numbers
     print without a decimal point. *)
 
-val parse : string -> (t, string) result
+type parse_error = {
+  pe_offset : int;  (** byte offset of the defect *)
+  pe_msg : string;  (** e.g. ["unterminated string"], ["trailing garbage"] *)
+}
+(** A structured parse failure — what a wire peer gets back instead of
+    a best-effort value.  Unterminated strings, truncated escapes and
+    garbage after the value are all hard errors. *)
+
+val parse_error_to_string : parse_error -> string
+(** ["<msg> at offset <n>"]. *)
+
+val parse_strict : string -> (t, parse_error) result
 (** Recursive-descent parser for the subset emitted by {!to_string}
     plus standard escapes (including [\uXXXX], encoded to UTF-8).
-    Errors carry a character offset. *)
+    Rejects anything that is not exactly one JSON value: an
+    unterminated string or a value followed by trailing bytes is an
+    [Error], never a truncated [Ok]. *)
+
+val parse : string -> (t, string) result
+(** {!parse_strict} with the error rendered by
+    {!parse_error_to_string}. *)
+
+(** Newline-delimited streams — the framing shared by the [halotis
+    serve] wire protocol and the fault-journal loader.  A {!Lines.reader}
+    yields complete ['\n']-terminated lines (terminator stripped, a
+    trailing ['\r'] too); a final unterminated fragment — a torn write,
+    a peer dying mid-request — is never yielded as a line and stays
+    readable via {!Lines.leftover}. *)
+module Lines : sig
+  type reader
+
+  val of_channel : in_channel -> reader
+  (** Reads incrementally (blocks only for the next available chunk),
+      so it serves interactive transports as well as files. *)
+
+  val of_string : string -> reader
+
+  val next : reader -> string option
+  (** The next complete line, [None] at end of stream. *)
+
+  val leftover : reader -> string
+  (** After {!next} returns [None]: the unterminated tail, [""] when
+      the stream ended cleanly. *)
+
+  val fold : reader -> init:'a -> f:('a -> string -> 'a) -> 'a
+  val to_list : reader -> string list
+end
 
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] otherwise. *)
