@@ -31,6 +31,7 @@ let experiments : (string * string * (unit -> Halotis_report.Experiment.t list))
     ("faults", "SET campaigns: DDM vs classic masking (extension)", Exp_faults.run);
     ("jobs", "sharded fault campaigns: identity and scaling (extension)", Exp_jobs.run);
     ("prune", "statically pruned fault campaigns (extension)", Exp_prune.run);
+    ("cone", "incremental cone re-simulation for fault campaigns (extension)", Exp_cone.run);
     ("serve", "persistent service: cache speedup and request throughput (extension)", Exp_serve.run);
   ]
 

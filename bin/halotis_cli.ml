@@ -465,11 +465,20 @@ let farg = Printf.sprintf "%h"
 
 let run_faults path stim_path engine n seed width slope t_stop exhaustive grid format
     vcd_dir liberty journal_path resume_path limit_sites site_max_events jobs shard
-    prune_mode keep_shards =
+    prune_mode incremental keep_shards =
   let tech = load_tech liberty in
   let c = or_die (load_circuit path) in
   let stim = or_die (load_stimfile stim_path) in
-  if jobs < 1 then usage_diag "--jobs must be at least 1";
+  if jobs < 0 then usage_diag "--jobs must be non-negative (0 auto-detects cores)";
+  let jobs =
+    if jobs > 0 then jobs
+    else begin
+      let n = Halotis_fault.Shard.available_cores () in
+      Printf.eprintf "faults: --jobs 0: using %d detected core%s\n%!" n
+        (if n = 1 then "" else "s");
+      n
+    end
+  in
   let prune = prune_mode = `Static in
   (* the campaign silently ignores the flag in these cases; say why *)
   if prune && shard = None then begin
@@ -496,7 +505,8 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
   in
   let site_budget = Budget.make ?max_events:site_max_events () in
   let cfg =
-    Campaign.config ~engine ~seed ~n ~pulse ~t_stop:horizon ~site_budget ~prune ()
+    Campaign.config ~engine ~seed ~n ~pulse ~t_stop:horizon ~site_budget ~prune
+      ~incremental ()
   in
   let sites =
     if not exhaustive then None
@@ -612,6 +622,7 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
             | Some e -> [ "--site-max-events"; string_of_int e ]
             | None -> [])
           @ (if prune then [ "--prune"; "static" ] else [])
+          @ [ "--incremental"; (if incremental then "on" else "off") ]
           @ [ "--shard"; Shard.spec_to_string (k, jobs) ]
           @ [ (if resume_worker then "--resume" else "--journal"); jpath ]
         in
@@ -1245,7 +1256,9 @@ let faults_cmd =
           ~doc:
             "Shard the campaign across N worker processes, each simulating a \
              disjoint site range and journaling its verdicts; the merged report \
-             is byte-identical to $(b,--jobs) 1 with the same seed.")
+             is byte-identical to $(b,--jobs) 1 with the same seed.  N=0 \
+             auto-detects the available cores (getconf, falling back to \
+             /proc/cpuinfo).  Default: 1 (serial).")
   in
   let shard =
     let parse s =
@@ -1273,6 +1286,18 @@ let faults_cmd =
              proves from the baseline alone (journaled as pruned; taxonomy totals \
              are identical to an unpruned run). Default: none.")
   in
+  let incremental =
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) true
+      & info [ "incremental" ] ~docv:"on|off"
+          ~doc:
+            "Incremental cone re-simulation: answer each site by re-simulating \
+             only the strike's static fanout cone against the baseline, falling \
+             back to a full per-site re-run whenever the shortcut cannot be \
+             proven exact.  Reports and journals are byte-identical either way; \
+             only the wall clock changes.  Default: on.")
+  in
   let keep_shards =
     Arg.(
       value & flag
@@ -1286,7 +1311,8 @@ let faults_cmd =
     Term.(
       const run_faults $ circuit_arg $ stim_arg $ engine $ n $ seed $ width $ slope
       $ t_stop_arg $ exhaustive $ grid $ format $ vcd_dir $ liberty_arg $ journal
-      $ resume $ limit_sites $ site_max_events $ jobs $ shard $ prune $ keep_shards)
+      $ resume $ limit_sites $ site_max_events $ jobs $ shard $ prune $ incremental
+      $ keep_shards)
 
 let export_cmd =
   let doc = "export a netlist as structural Verilog" in

@@ -19,6 +19,79 @@ type t = {
   cache : Delay_model.Cache.t;
 }
 
+type cone = {
+  cone_victim : int;
+  cone_gates : int array;
+  cone_signals : int array;
+  cone_signal_member : Bytes.t;
+  cone_bnd_gate : int array;
+  cone_bnd_pin : int array;
+}
+
+(* The static fanout cone of a victim signal: its driver gate plus the
+   transitive fanout closure.  Closure over fanout means a perturbation
+   of the victim can only ever schedule events on cone-gate pins, so a
+   run restricted to these gates is self-contained; the driver gate is
+   included because its native output activity interleaves with (and is
+   degraded by) the spliced pulse on the victim waveform itself. *)
+let fanout_cone cp ~victim =
+  if victim < 0 || victim >= cp.nsignals then
+    invalid_arg "Compiled.fanout_cone: unknown signal";
+  let smem = Bytes.make cp.nsignals '\000' in
+  let gmem = Bytes.make (max 1 cp.ngates) '\000' in
+  Bytes.set smem victim '\001';
+  (match (Netlist.signal cp.circuit victim).Netlist.driver with
+  | Some g -> Bytes.set gmem g '\001'
+  | None -> ());
+  let work = ref [ victim ] in
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | sid :: rest ->
+        work := rest;
+        for e = cp.fan_off.(sid) to cp.fan_off.(sid + 1) - 1 do
+          let g = cp.fan_gate.(e) in
+          if Bytes.get gmem g = '\000' then begin
+            Bytes.set gmem g '\001';
+            let out = cp.g_out.(g) in
+            if Bytes.get smem out = '\000' then begin
+              Bytes.set smem out '\001';
+              work := out :: !work
+            end
+          end
+        done
+  done;
+  let gates = ref [] and signals = ref [] in
+  for g = cp.ngates - 1 downto 0 do
+    if Bytes.get gmem g = '\001' then gates := g :: !gates
+  done;
+  for s = cp.nsignals - 1 downto 0 do
+    if Bytes.get smem s = '\001' then signals := s :: !signals
+  done;
+  (* Boundary feeds: cone-gate pins driven from outside the cone.  A
+     cone-restricted run replays the baseline crossings of these pins
+     verbatim — the rest of the circuit cannot be perturbed by the
+     victim, so its waveforms are already final. *)
+  let bnd_gate = ref [] and bnd_pin = ref [] in
+  List.iter
+    (fun g ->
+      let base = cp.g_base.(g) in
+      for pin = 0 to cp.g_base.(g + 1) - base - 1 do
+        if Bytes.get smem cp.pin_fanin.(base + pin) = '\000' then begin
+          bnd_gate := g :: !bnd_gate;
+          bnd_pin := pin :: !bnd_pin
+        end
+      done)
+    (List.rev !gates);
+  {
+    cone_victim = victim;
+    cone_gates = Array.of_list !gates;
+    cone_signals = Array.of_list !signals;
+    cone_signal_member = smem;
+    cone_bnd_gate = Array.of_list (List.rev !bnd_gate);
+    cone_bnd_pin = Array.of_list (List.rev !bnd_pin);
+  }
+
 let compile tech c =
   let nsignals = Netlist.signal_count c and ngates = Netlist.gate_count c in
   let g_kind = Array.init ngates (fun gid -> (Netlist.gate c gid).Netlist.kind) in

@@ -38,3 +38,35 @@ type t = {
 val compile : Halotis_tech.Tech.t -> Halotis_netlist.Netlist.t -> t
 (** Flattens the netlist and prices the delay coefficients.  Pure
     setup: performs no simulation and touches no global state. *)
+
+(** {1 Fanout cones}
+
+    The static region a perturbation of one signal can reach: the
+    substrate of incremental fault-campaign re-simulation
+    ({!Iddm.start_cone}, {!Sim.Cone}). *)
+
+type cone = {
+  cone_victim : int;  (** the perturbed signal *)
+  cone_gates : int array;
+      (** member gates, ascending: the victim's driver (when it has
+          one) plus the transitive fanout closure *)
+  cone_signals : int array;
+      (** member signals, ascending: the victim and every member
+          gate's output *)
+  cone_signal_member : Bytes.t;
+      (** signal -> ['\001'] iff member; length [nsignals] *)
+  cone_bnd_gate : int array;
+      (** boundary feeds: member-gate pins whose driving signal is
+          outside the cone, as parallel (gate, pin) arrays in
+          ascending gate order *)
+  cone_bnd_pin : int array;
+}
+
+val fanout_cone : t -> victim:int -> cone
+(** BFS over the CSR fanout arrays.  The closure property — a member
+    gate's output is always a member signal — means events born inside
+    the cone can never reach a non-member gate, so a cone-restricted
+    run needs no runtime escape check; only the boundary feeds (whose
+    waveforms the rest of the circuit fixes independently of the
+    victim) cross into it.
+    @raise Invalid_argument on an out-of-range signal id. *)

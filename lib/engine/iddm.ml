@@ -45,6 +45,7 @@ type result = {
   truncated : bool;
   stopped_by : Stop.t;
   frozen : (Netlist.signal_id * float) list;
+  replay_hazard : bool;
   trace : trace_entry list;
 }
 
@@ -137,7 +138,26 @@ type state = {
   mutable frozen_on : bool; (* cheap gate on the frozen lookups *)
   mutable rev_frozen : (int * float) list;
   mutable stop : Stop.t; (* Completed until a guardrail trips *)
+  (* Replay-hazard bookkeeping: cone re-simulation (see {!start_cone})
+     reconstructs a pin's event history from the {e final} baseline
+     waveform of its driving signal.  That reconstruction is exact
+     except in one case: a degradation delay of tp <= 0 makes a gate
+     rewrite its output ramp from a start at or before an event this
+     run already popped on a loading pin — the popped event's crossing
+     is no longer part of the final waveform, so a replay seeded from
+     it would miss the event.  [last_pop.(slot)] is the key of the
+     newest event processed on each pin; an append whose cancellation
+     front reaches at or below it flags the run. *)
+  last_pop : float array; (* pin slot -> key of newest processed event *)
+  mutable replay_hazard : bool;
 }
+
+(* Heap tie-break ranks: intrinsic to the event's identity, so equal-key
+   pop order is reproducible across runs that insert the same events in
+   different orders (a cone replay vs the full run).  Pin events rank by
+   their globally unique pin slot; injection splices rank below every
+   pin slot, in registration order. *)
+let splice_rank idx = idx - max_int
 
 let grow_pool st =
   let cap = Array.length st.ev_gate in
@@ -220,7 +240,7 @@ let schedule st ~key ~gate ~pin ~slot ~rising ~tau_in =
   st.ev_key.(ev) <- key;
   Bytes.set st.ev_rising ev (if rising then '\001' else '\000');
   Bytes.set st.ev_dead ev '\000';
-  ignore (Heap.Unboxed.insert st.queue ~key ev);
+  ignore (Heap.Unboxed.insert st.queue ~key ~rank:slot ev);
   if st.cfg.cancellation then pq_push st.pending.(slot) ev;
   st.stats.Stats.events_scheduled <- st.stats.Stats.events_scheduled + 1
 
@@ -231,6 +251,12 @@ let schedule st ~key ~gate ~pin ~slot ~rising ~tau_in =
    a suffix of the pin's (key-sorted) deque; each is tombstoned in
    place and reclaimed when the queue reaches it. *)
 let cancel_invalidated st ~slot ~from_time =
+  (* The newly appended ramp rewrites the waveform from [from_time] on.
+     If this pin already processed an event at or after that instant
+     (possible only when degradation drives tp <= 0), the final
+     waveform no longer records that event — a cone replay seeded from
+     final waveforms would diverge here, so flag the run. *)
+  if from_time <= st.last_pop.(slot) then st.replay_hazard <- true;
   let pq = st.pending.(slot) in
   let buf = pq.pq_buf in
   let i = ref (pq.pq_tail - 1) in
@@ -356,7 +382,9 @@ let add_injection st inj =
       st.ev_key.(ev) <- first.Transition.start;
       Bytes.set st.ev_rising ev '\000';
       Bytes.set st.ev_dead ev '\000';
-      ignore (Heap.Unboxed.insert st.queue ~key:first.Transition.start ev)
+      ignore
+        (Heap.Unboxed.insert st.queue ~key:first.Transition.start
+           ~rank:(splice_rank idx) ev)
 
 (* A paused run: the state plus everything the main loop kept in locals
    when [run] was monolithic.  [s_done] means no queued event can ever
@@ -371,6 +399,79 @@ type session = {
   mutable s_end_time : float;
   mutable s_done : bool;
 }
+
+(* The per-run state shared by a whole-circuit [start] and a
+   cone-restricted [start_cone]: everything except the waveform/level
+   seeding policy, which is the caller's. *)
+let make_state cfg c (cp : Compiled.t) ~wf ~pin_level ~out_target =
+  let nsignals = cp.Compiled.nsignals and npins = cp.Compiled.npins in
+  {
+    cfg;
+    c;
+    rev_trace = [];
+    wf;
+    g_kind = cp.Compiled.g_kind;
+    g_out = cp.Compiled.g_out;
+    g_base = cp.Compiled.g_base;
+    pin_fanin = cp.Compiled.pin_fanin;
+    pin_vt = cp.Compiled.pin_vt;
+    pin_level;
+    pending =
+      (if cfg.cancellation then
+         Array.init npins (fun _ -> { pq_buf = [||]; pq_head = 0; pq_tail = 0 })
+       else [||]);
+    fan_off = cp.Compiled.fan_off;
+    fan_gate = cp.Compiled.fan_gate;
+    fan_pin = cp.Compiled.fan_pin;
+    out_target;
+    queue = Heap.Unboxed.create ~capacity:64 ();
+    ev_gate = [||];
+    ev_pin = [||];
+    ev_tau = [||];
+    ev_key = [||];
+    ev_rising = Bytes.empty;
+    ev_dead = Bytes.empty;
+    ev_free = [||];
+    ev_free_top = 0;
+    cache = cp.Compiled.cache;
+    injections = [||];
+    max_tr =
+      (match cfg.budget.Budget.max_transitions with Some n -> n | None -> max_int);
+    stats = Stats.create ();
+    wd = Option.map (fun w -> Watchdog.create w ~nsignals) cfg.watchdog;
+    frozen = Bytes.make nsignals '\000';
+    frozen_on = false;
+    rev_frozen = [];
+    stop = Stop.Completed;
+    last_pop = Array.make (max 1 npins) neg_infinity;
+    replay_hazard = false;
+  }
+
+(* The simulated-time horizon folds [t_stop] and the budget's
+   [max_sim_time] into one comparison (recording which bound applied);
+   the legacy [max_events] safety net folds into the budget monitor,
+   which is exact, so both paths process the same events the old
+   per-event counter check did. *)
+let make_session st =
+  let cfg = st.cfg in
+  let horizon, horizon_stop =
+    match (cfg.t_stop, cfg.budget.Budget.max_sim_time) with
+    | None, None -> (infinity, Stop.Completed)
+    | Some ts, None -> (ts, Stop.Completed)
+    | None, Some mt -> (mt, Stop.Sim_time mt)
+    | Some ts, Some mt -> if mt < ts then (mt, Stop.Sim_time mt) else (ts, Stop.Completed)
+  in
+  let monitor =
+    let b = cfg.budget in
+    let max_events =
+      match b.Budget.max_events with
+      | Some n -> Some (min n cfg.max_events)
+      | None -> Some cfg.max_events
+    in
+    Budget.Monitor.create { b with Budget.max_events }
+  in
+  { st; monitor; s_horizon = horizon; s_horizon_stop = horizon_stop;
+    s_end_time = 0.; s_done = false }
 
 let start ?(injections = []) ?compiled cfg c ~drives =
   let drives_tbl = Hashtbl.create 16 in
@@ -406,49 +507,10 @@ let start ?(injections = []) ?compiled cfg c ~drives =
   for p = 0 to npins - 1 do
     Bytes.set pin_level p (if levels.(cp.Compiled.pin_fanin.(p)) then '\001' else '\000')
   done;
-  let g_out = cp.Compiled.g_out in
-  let out_target = Array.init ngates (fun gid -> levels.(g_out.(gid))) in
-  let st =
-    {
-      cfg;
-      c;
-      rev_trace = [];
-      wf;
-      g_kind = cp.Compiled.g_kind;
-      g_out;
-      g_base = cp.Compiled.g_base;
-      pin_fanin = cp.Compiled.pin_fanin;
-      pin_vt = cp.Compiled.pin_vt;
-      pin_level;
-      pending =
-        (if cfg.cancellation then
-           Array.init npins (fun _ -> { pq_buf = [||]; pq_head = 0; pq_tail = 0 })
-         else [||]);
-      fan_off = cp.Compiled.fan_off;
-      fan_gate = cp.Compiled.fan_gate;
-      fan_pin = cp.Compiled.fan_pin;
-      out_target;
-      queue = Heap.Unboxed.create ~capacity:64 ();
-      ev_gate = [||];
-      ev_pin = [||];
-      ev_tau = [||];
-      ev_key = [||];
-      ev_rising = Bytes.empty;
-      ev_dead = Bytes.empty;
-      ev_free = [||];
-      ev_free_top = 0;
-      cache = cp.Compiled.cache;
-      injections = [||];
-      max_tr =
-        (match cfg.budget.Budget.max_transitions with Some n -> n | None -> max_int);
-      stats = Stats.create ();
-      wd = Option.map (fun w -> Watchdog.create w ~nsignals) cfg.watchdog;
-      frozen = Bytes.make nsignals '\000';
-      frozen_on = false;
-      rev_frozen = [];
-      stop = Stop.Completed;
-    }
+  let out_target =
+    Array.init ngates (fun gid -> levels.(cp.Compiled.g_out.(gid)))
   in
+  let st = make_state cfg c cp ~wf ~pin_level ~out_target in
   (* Seed: apply the primary-input drives, then schedule the crossings
      the finished input waveforms actually contain. *)
   Hashtbl.iter
@@ -473,29 +535,78 @@ let start ?(injections = []) ?compiled cfg c ~drives =
       done)
     drives_tbl;
   List.iter (fun inj -> add_injection st inj) injections;
-  (* The simulated-time horizon folds [t_stop] and the budget's
-     [max_sim_time] into one comparison (recording which bound
-     applied); the legacy [max_events] safety net folds into the budget
-     monitor, which is exact, so both paths process the same events the
-     old per-event counter check did. *)
-  let horizon, horizon_stop =
-    match (cfg.t_stop, cfg.budget.Budget.max_sim_time) with
-    | None, None -> (infinity, Stop.Completed)
-    | Some ts, None -> (ts, Stop.Completed)
-    | None, Some mt -> (mt, Stop.Sim_time mt)
-    | Some ts, Some mt -> if mt < ts then (mt, Stop.Sim_time mt) else (ts, Stop.Completed)
+  make_session st
+
+(* Cone-restricted re-simulation: fresh waveforms for the cone's member
+   signals, the finished [baseline] waveforms aliased (read-only)
+   everywhere else.  Boundary feeds replay the baseline crossings of
+   their driving signals verbatim — exactly the events the full run
+   processed on those pins, because a processed pin event and a final
+   waveform crossing are the same thing whenever the baseline was free
+   of replay hazards (the caller's obligation, see {!Sim.Cone}), and
+   intrinsic heap ranks make the replay resolve equal-key ties exactly
+   as the full run did.  From there the cone evolves under the same
+   kernel as a full run; with the injection spliced in, the delta
+   against the baseline cone run equals the full-run delta, which is
+   all campaign classification consumes. *)
+let start_cone ?(injections = []) ~compiled:cp ~(cone : Compiled.cone) ~(baseline : result)
+    ~levels cfg c =
+  if cp.Compiled.circuit != c then
+    invalid_arg "Iddm.start_cone: compiled structure is for a different netlist";
+  if cp.Compiled.tech != cfg.tech then
+    invalid_arg "Iddm.start_cone: compiled structure is for a different technology";
+  if not cfg.cancellation then
+    (* without Fig. 4 cancellation, processed events and final-waveform
+       crossings no longer coincide, so the seeding below is unsound *)
+    invalid_arg "Iddm.start_cone: requires event cancellation";
+  let nsignals = cp.Compiled.nsignals and npins = cp.Compiled.npins in
+  let ngates = cp.Compiled.ngates in
+  if Array.length baseline.waveforms <> nsignals then
+    invalid_arg "Iddm.start_cone: baseline is for a different netlist";
+  if Array.length levels <> nsignals then
+    invalid_arg "Iddm.start_cone: DC level array is for a different netlist";
+  let vdd = Tech.vdd cfg.tech in
+  let member = cone.Compiled.cone_signal_member in
+  let wf =
+    Array.init nsignals (fun sid ->
+        if Bytes.get member sid = '\001' then
+          Waveform.create ~initial:(if levels.(sid) then vdd else 0.) ~vdd ()
+        else baseline.waveforms.(sid))
   in
-  let monitor =
-    let b = cfg.budget in
-    let max_events =
-      match b.Budget.max_events with
-      | Some n -> Some (min n cfg.max_events)
-      | None -> Some cfg.max_events
-    in
-    Budget.Monitor.create { b with Budget.max_events }
-  in
-  { st; monitor; s_horizon = horizon; s_horizon_stop = horizon_stop;
-    s_end_time = 0.; s_done = false }
+  let pin_level = Bytes.make (max 1 npins) '\000' in
+  for p = 0 to npins - 1 do
+    Bytes.set pin_level p (if levels.(cp.Compiled.pin_fanin.(p)) then '\001' else '\000')
+  done;
+  let out_target = Array.init ngates (fun gid -> levels.(cp.Compiled.g_out.(gid))) in
+  let st = make_state cfg c cp ~wf ~pin_level ~out_target in
+  (* Seed: replay each boundary feed's final baseline waveform into the
+     cone, the same way [start] replays primary-input drives. *)
+  Array.iteri
+    (fun k lg ->
+      let lpin = cone.Compiled.cone_bnd_pin.(k) in
+      let slot = st.g_base.(lg) + lpin in
+      let sid = st.pin_fanin.(slot) in
+      List.iter
+        (fun (crossing, (tr : Transition.t)) ->
+          schedule st ~key:crossing ~gate:lg ~pin:lpin ~slot
+            ~rising:
+              (match tr.Transition.polarity with
+              | Transition.Rising -> true
+              | Transition.Falling -> false)
+            ~tau_in:tr.Transition.slope_time)
+        (Waveform.crossings_with_transitions st.wf.(sid) ~vt:st.pin_vt.(slot)))
+    cone.Compiled.cone_bnd_gate;
+  List.iter
+    (fun inj ->
+      if inj.inj_signal < 0 || inj.inj_signal >= nsignals then
+        invalid_arg "Iddm.start_cone: injection on unknown signal";
+      (* an injection outside the cone would append to an aliased
+         baseline waveform — a correctness bug, not a fallback case *)
+      if Bytes.get member inj.inj_signal <> '\001' then
+        invalid_arg "Iddm.start_cone: injection outside the cone";
+      add_injection st inj)
+    injections;
+  make_session st
 
 let snapshot sess =
   let st = sess.st in
@@ -509,6 +620,7 @@ let snapshot sess =
     truncated = not (Stop.completed st.stop);
     stopped_by = st.stop;
     frozen = List.rev st.rev_frozen;
+    replay_hazard = st.replay_hazard;
     trace = List.rev st.rev_trace;
   }
 
@@ -569,6 +681,7 @@ let advance sess ~upto =
             | None ->
                 sess.s_end_time <- Float.max sess.s_end_time t;
                 st.stats.Stats.events_processed <- st.stats.Stats.events_processed + 1;
+                st.last_pop.(st.g_base.(gate) + pin) <- t;
                 let rising = Bytes.get st.ev_rising ev = '\001' in
                 let tau_in = st.ev_tau.(ev) in
                 if st.cfg.cancellation then begin

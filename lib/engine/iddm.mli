@@ -74,6 +74,18 @@ type result = {
       (** signals a [Degrade]-mode watchdog froze, with the freeze
           instant — their waveforms are meaningless (X) from that time
           on; in freeze order *)
+  replay_hazard : bool;
+      (** the run retroactively invalidated an event it had already
+          processed: a degradation delay of tp <= 0 made a gate rewrite
+          its output ramp from a start at or before a crossing some
+          loading pin had popped, so that crossing is absent from the
+          final waveform even though its consequences happened.  A
+          cone replay seeded from final waveforms ({!start_cone})
+          cannot reconstruct such a history — the soundness gate of
+          {!Sim.Cone}.  Equal-key pop order itself is never a hazard:
+          the event queue breaks ties by intrinsic pin-slot rank, so
+          every run of a spec — full or cone-restricted — resolves
+          coincidences identically. *)
   trace : trace_entry list;
       (** chronological causality record of every accepted output
           transition; empty unless [config.trace] *)
@@ -137,6 +149,34 @@ val start :
   session
 (** Validates, seeds drives and injections, and returns without
     processing any event.  Same contract (and exceptions) as {!run}. *)
+
+val start_cone :
+  ?injections:injection list ->
+  compiled:Compiled.t ->
+  cone:Compiled.cone ->
+  baseline:result ->
+  levels:bool array ->
+  config ->
+  Halotis_netlist.Netlist.t ->
+  session
+(** A run restricted to a {!Compiled.cone}: fresh waveforms for the
+    cone's member signals, [baseline]'s finished waveforms aliased
+    read-only everywhere else, and the event queue seeded by replaying
+    each boundary feed's baseline crossings (the cone's closure under
+    fanout guarantees nothing ever escapes, so no runtime frontier
+    check is needed).  [levels] must be the baseline's DC operating
+    point ({!Dc.levels} of the same drives).
+
+    Soundness requires the baseline to be [Completed] with
+    [replay_hazard = false]; the cone session's own [replay_hazard]
+    must be checked by the caller before trusting its delta (see
+    {!Sim.Cone}, which drives both checks and falls back to a full run
+    otherwise).  Every injection must name a cone member signal — an
+    outside splice would write an aliased baseline waveform.
+    @raise Invalid_argument on compiled/baseline/levels mismatches, an
+    out-of-cone injection, or [config.cancellation = false] (without
+    cancellation, processed events and final-waveform crossings no
+    longer coincide, so the boundary seeding is unsound). *)
 
 val advance : session -> upto:Halotis_util.Units.time -> result
 (** Processes every queued event with instant [<= upto] (clamped to the

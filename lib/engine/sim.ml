@@ -199,6 +199,202 @@ let iddm r = match r.rs_raw with Iddm_result ir -> Some ir | Classic_result _ ->
 let classic r =
   match r.rs_raw with Classic_result cr -> Some cr | Iddm_result _ -> None
 
+let replay_hazard r =
+  match r.rs_raw with
+  | Iddm_result ir -> ir.Iddm.replay_hazard
+  | Classic_result _ -> false
+
+(* Incremental cone re-simulation: the fault-campaign fast path.  For
+   an injection on [victim], only the victim's static fanout cone can
+   ever diverge from the baseline — so instead of re-running the whole
+   circuit, re-run the cone twice (without and with the pulse), diff
+   those two small runs, and graft the diff onto the full baseline.
+
+   Soundness rests on the runs being replayable: the event queue
+   resolves equal-key ties by intrinsic pin-slot rank, so a cone replay
+   pops coinciding events exactly as the full run did — the one history
+   it cannot reconstruct is a retroactive invalidation (tp <= 0
+   rewriting a waveform below an already-processed crossing), flagged
+   as {!Iddm.result.replay_hazard} and checked in the full baseline
+   (once at [create]; a hazardous baseline disables the context), in
+   the cone replay of the baseline (per victim, plus a belt-and-braces
+   edge comparison against the baseline itself), and in the injected
+   cone run (per site).  Any hazard, any guardrail trip, or a
+   driverless victim returns [Fallback] and the caller runs the site
+   the old way; verdicts are byte-identical either way. *)
+module Cone = struct
+  module Compiled_ = Compiled
+  module Stop = Halotis_guard.Stop
+
+  type totals = {
+    ct_exact : int;
+    ct_fallback : int;
+    ct_cone_gates : int;
+    ct_cone_events : int;
+  }
+
+  (* Per-victim memo: campaigns strike the same driver outputs many
+     times, and the cone plus its baseline replay depend only on the
+     victim. *)
+  type victim_entry = { ve_cone : Compiled_.cone; ve_base : Iddm.result }
+  type victim_state = Good of victim_entry | Bad of string
+
+  type ctx = {
+    cx_engine : engine;
+    cx_spec : spec;
+    cx_cfg : Iddm.config;
+    cx_compiled : Compiled_.t;
+    cx_levels : bool array;
+    cx_baseline : Iddm.result;
+    cx_base_edges : Digital.edge list array; (* full-baseline digitized view *)
+    cx_base_stats : Stats.t;
+    cx_vt : Halotis_util.Units.voltage;
+    cx_victims : (int, victim_state) Hashtbl.t;
+    mutable cx_exact : int;
+    mutable cx_fallback : int;
+    mutable cx_cone_gates : int;
+    mutable cx_cone_events : int;
+  }
+
+  type outcome =
+    | Exact of {
+        edges : Digital.edge list array;
+        stats : Stats.t;
+        cone_gates : int;
+        cone_events : int;
+      }
+    | Fallback of string
+
+  let create engine spec ~baseline =
+    match engine with
+    | Classic_inertial -> None
+    | Ddm | Cdm -> (
+        if baseline.rs_engine <> engine then None
+        else
+          match baseline.rs_raw with
+          | Classic_result _ -> None
+          | Iddm_result br ->
+              if
+                (not (Stop.completed br.Iddm.stopped_by))
+                || br.Iddm.replay_hazard
+                || br.Iddm.frozen <> []
+              then None
+              else begin
+                let c = spec.sp_circuit in
+                let drives_tbl = Hashtbl.create 16 in
+                List.iter (fun (sid, d) -> Hashtbl.replace drives_tbl sid d) spec.sp_drives;
+                let input_level sid =
+                  match Hashtbl.find_opt drives_tbl sid with
+                  | Some (d : Drive.t) -> d.Drive.initial
+                  | None -> false
+                in
+                Some
+                  {
+                    cx_engine = engine;
+                    cx_spec = spec;
+                    cx_cfg = iddm_config engine spec;
+                    cx_compiled = Compiled_.compile spec.sp_tech c;
+                    cx_levels = Dc.levels c ~input_level;
+                    cx_baseline = br;
+                    cx_base_edges = Lazy.force baseline.rs_edges;
+                    cx_base_stats = baseline.rs_stats;
+                    cx_vt = baseline.rs_vt;
+                    cx_victims = Hashtbl.create 64;
+                    cx_exact = 0;
+                    cx_fallback = 0;
+                    cx_cone_gates = 0;
+                    cx_cone_events = 0;
+                  }
+              end)
+
+  let run_cone ctx ~cone ~injections =
+    Iddm.advance
+      (Iddm.start_cone ~injections ~compiled:ctx.cx_compiled ~cone
+         ~baseline:ctx.cx_baseline ~levels:ctx.cx_levels ctx.cx_cfg
+         ctx.cx_spec.sp_circuit)
+      ~upto:infinity
+
+  (* The baseline cone replay must land exactly on the full baseline:
+     completed, hazard-free, and digitizing to the same edges on every
+     member signal.  The edge comparison is the dirty-frontier check
+     made static — any divergence (which hazard-freedom should already
+     exclude) is caught here once per victim rather than trusted. *)
+  let victim_entry ctx victim =
+    match Hashtbl.find_opt ctx.cx_victims victim with
+    | Some st -> st
+    | None ->
+        let st =
+          if (Netlist.signal ctx.cx_spec.sp_circuit victim).Netlist.driver = None then
+            Bad "victim has no driver gate (primary input or constant)"
+          else begin
+            let cone = Compiled_.fanout_cone ctx.cx_compiled ~victim in
+            let base = run_cone ctx ~cone ~injections:[] in
+            if not (Stop.completed base.Iddm.stopped_by) then
+              Bad "baseline cone replay tripped a guardrail"
+            else if base.Iddm.replay_hazard then Bad "baseline cone replay hazard"
+            else if base.Iddm.frozen <> [] then Bad "baseline cone replay froze signals"
+            else if
+              Array.exists
+                (fun sid ->
+                  Digital.edges base.Iddm.waveforms.(sid) ~vt:ctx.cx_vt
+                  <> ctx.cx_base_edges.(sid))
+                cone.Compiled_.cone_signals
+            then Bad "baseline cone replay diverged from the baseline"
+            else Good { ve_cone = cone; ve_base = base }
+          end
+        in
+        Hashtbl.replace ctx.cx_victims victim st;
+        st
+
+  let run_site ctx (i : injection) =
+    let fallback reason =
+      ctx.cx_fallback <- ctx.cx_fallback + 1;
+      Fallback reason
+    in
+    if i.inj_signal < 0 || i.inj_signal >= Array.length ctx.cx_base_edges then
+      fallback "injection on unknown signal"
+    else
+      match victim_entry ctx i.inj_signal with
+      | Bad reason -> fallback reason
+      | Good { ve_cone; ve_base } -> (
+          let inj =
+            run_cone ctx ~cone:ve_cone
+              ~injections:[ { Iddm.inj_signal = i.inj_signal; inj_transitions = i.inj_ramps } ]
+          in
+          if not (Stop.completed inj.Iddm.stopped_by) then
+            fallback "injected cone run tripped a guardrail"
+          else if inj.Iddm.replay_hazard then fallback "injected cone run replay hazard"
+          else if inj.Iddm.frozen <> [] then fallback "injected cone run froze signals"
+          else begin
+            (* Graft: member signals re-digitized from the injected cone
+               run, every other signal aliasing the baseline edge list
+               (structurally — and physically — equal, so classification
+               compares them for free).  The stats are the baseline's
+               plus the cone delta, which equals the full-run counters
+               exactly when the runs are order-deterministic. *)
+            let edges = Array.copy ctx.cx_base_edges in
+            Array.iter
+              (fun sid -> edges.(sid) <- Digital.edges inj.Iddm.waveforms.(sid) ~vt:ctx.cx_vt)
+              ve_cone.Compiled_.cone_signals;
+            let stats = Stats.copy ctx.cx_base_stats in
+            Stats.merge stats (Stats.diff inj.Iddm.stats ve_base.Iddm.stats);
+            let cone_gates = Array.length ve_cone.Compiled_.cone_gates in
+            let cone_events = inj.Iddm.stats.Stats.events_processed in
+            ctx.cx_exact <- ctx.cx_exact + 1;
+            ctx.cx_cone_gates <- ctx.cx_cone_gates + cone_gates;
+            ctx.cx_cone_events <- ctx.cx_cone_events + cone_events;
+            Exact { edges; stats; cone_gates; cone_events }
+          end)
+
+  let totals ctx =
+    {
+      ct_exact = ctx.cx_exact;
+      ct_fallback = ctx.cx_fallback;
+      ct_cone_gates = ctx.cx_cone_gates;
+      ct_cone_events = ctx.cx_cone_events;
+    }
+end
+
 module Session = struct
   type t = {
     ss_engine : engine;

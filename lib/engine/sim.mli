@@ -123,6 +123,71 @@ val iddm : result -> Iddm.result option
 
 val classic : result -> Classic.result option
 
+val replay_hazard : result -> bool
+(** Whether the run retroactively invalidated an already-processed
+    event (see {!Iddm.result.replay_hazard}); always [false] for
+    classic runs, which cone re-simulation does not cover anyway. *)
+
+(** {1 Incremental cone re-simulation}
+
+    The fault-campaign fast path: an injection on [victim] can only
+    perturb the victim's static fanout cone ({!Compiled.fanout_cone}),
+    so instead of re-running the whole circuit per site, a {!Cone.ctx}
+    re-runs just the cone twice — once clean, once with the pulse —
+    and grafts the difference onto the full baseline.  The grafted
+    edges and statistics are {e exactly} what a full injected run would
+    produce whenever every involved run is replayable
+    (hazard-free, see {!Iddm.result.replay_hazard}) and no guardrail
+    trips; every other case returns {!Cone.Fallback} and the caller
+    re-simulates the site in full, so campaign verdicts are
+    byte-identical with the optimization on or off. *)
+module Cone : sig
+  type ctx
+
+  (** Cumulative accounting across {!run_site} calls, for reporting a
+      campaign's incremental behaviour (bench and CLI summaries; never
+      part of verdict bytes). *)
+  type totals = {
+    ct_exact : int;  (** sites answered by the cone graft *)
+    ct_fallback : int;  (** sites that fell back to a full re-run *)
+    ct_cone_gates : int;  (** total cone gates over exact sites *)
+    ct_cone_events : int;
+        (** total injected-cone events processed over exact sites *)
+  }
+
+  type outcome =
+    | Exact of {
+        edges : Halotis_wave.Digital.edge list array;
+            (** per-signal digitized edges of the injected run: cone
+                members re-digitized, all others aliasing the baseline
+                lists *)
+        stats : Stats.t;
+            (** baseline counters plus the cone delta — equal to the
+                full injected run's counters *)
+        cone_gates : int;
+        cone_events : int;
+      }
+    | Fallback of string  (** human-readable reason; run the site in full *)
+
+  val create : engine -> spec -> baseline:result -> ctx option
+  (** Compiles the circuit, captures the baseline's DC operating point
+      and digitized view, and arms the per-victim memo.  [spec] must be
+      the baseline's spec (same circuit, drives, tech, horizon) and
+      [baseline] its finished result on [engine].  Returns [None] —
+      incremental disabled for the whole campaign — for the classic
+      engine, an engine/baseline mismatch, or a baseline that is
+      truncated, watchdog-frozen or replay-hazardous. *)
+
+  val run_site : ctx -> injection -> outcome
+  (** One injection site.  Cone construction and the clean cone replay
+      are memoized per victim signal; the injected cone run is fresh.
+      Falls back (never raises) on driverless victims, guardrail trips,
+      replay hazards, or a cone replay that fails to reproduce the
+      baseline edges. *)
+
+  val totals : ctx -> totals
+end
+
 (** {1 Resumable sessions}
 
     The facade over {!Iddm.start}/{!Iddm.advance}: a run that pauses

@@ -40,13 +40,15 @@ type config = {
   window : (float * float) option;
   site_budget : Budget.t;
   prune : bool;
+  incremental : bool;
 }
 
 let config ?(engine = Ddm) ?(seed = 1) ?(n = 100) ?(pulse = Inject.pulse ~width:150. ())
-    ?window ?(site_budget = Budget.unlimited) ?(prune = false) ~t_stop () =
+    ?window ?(site_budget = Budget.unlimited) ?(prune = false) ?(incremental = true)
+    ~t_stop () =
   if n < 0 then invalid_arg "Campaign.config: n must be non-negative";
   if t_stop <= 0. then invalid_arg "Campaign.config: t_stop must be positive";
-  { engine; seed; n; pulse; t_stop; window; site_budget; prune }
+  { engine; seed; n; pulse; t_stop; window; site_budget; prune; incremental }
 
 type verdict = {
   vd_site : Site.t;
@@ -66,6 +68,7 @@ type t = {
   cam_sites_total : int;
   cam_complete : bool;
   cam_range : (int * int) option;
+  cam_cone : Sim.Cone.totals option;
 }
 
 (* One injected run reduced to what classification needs: per-signal
@@ -173,10 +176,33 @@ let run ?sites ?range ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
                 (Survival.pruner ~kind tech c ~baseline ~t_stop:cfg.t_stop
                    ~width:cfg.pulse.Inject.width ~slope:cfg.pulse.Inject.slope))
   in
-  let run_site site =
+  (* Incremental cone re-simulation.  Armed only when every injected
+     run would be whole anyway (unlimited per-site budget — a cone run
+     cannot reproduce the exact trip point of a budgeted full run) and
+     the engine has waveform semantics; [Sim.Cone.create] additionally
+     refuses a truncated or tie-hazardous baseline.  When armed, a site
+     whose cone graft is exact skips the full re-run entirely; any
+     fallback re-runs it the old way, so verdicts, reports and journals
+     are byte-identical with the optimization on or off. *)
+  let cone_ctx =
+    if not (cfg.incremental && Budget.is_unlimited cfg.site_budget) then None
+    else
+      match cfg.engine with
+      | Classic_inertial -> None
+      | Ddm | Cdm -> Sim.Cone.create cfg.engine (spec ()) ~baseline:base_run
+  in
+  let run_site_full site =
     observe
       (Sim.run cfg.engine
          (spec ~injections:[ Inject.injection site cfg.pulse ] ~budget:cfg.site_budget ()))
+  in
+  let run_site site =
+    match cone_ctx with
+    | None -> run_site_full site
+    | Some ctx -> (
+        match Sim.Cone.run_site ctx (Inject.injection site cfg.pulse) with
+        | Sim.Cone.Exact { edges; stats; _ } -> { ob_edges = edges; ob_stats = stats }
+        | Sim.Cone.Fallback _ -> run_site_full site)
   in
   let is_classic = cfg.engine = Classic_inertial in
   let site_arr = Array.of_list sites in
@@ -280,6 +306,7 @@ let run ?sites ?range ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
     cam_sites_total = nsites;
     cam_complete = List.length verdicts = hi - lo;
     cam_range = range;
+    cam_cone = Option.map Sim.Cone.totals cone_ctx;
   }
 
 let counts t =

@@ -62,6 +62,15 @@ type config = {
           unpruned campaign.  Silently inert for the classic engine and
           under a finite [site_budget] (where a pruned site could
           otherwise differ from its simulated {!Timed_out} verdict). *)
+  incremental : bool;
+      (** answer each site by incremental cone re-simulation
+          ({!Halotis_engine.Sim.Cone}) when the graft is provably exact,
+          falling back to a full per-site re-run otherwise — verdicts,
+          reports and journals are byte-identical either way, only
+          [cam_cone] and the wall clock change.  Default on.  Silently
+          inert for the classic engine, under a finite [site_budget],
+          and for baselines the cone machinery refuses (truncated,
+          watchdog-frozen or tie-hazardous). *)
 }
 
 val config :
@@ -72,11 +81,13 @@ val config :
   ?window:Halotis_util.Units.time * Halotis_util.Units.time ->
   ?site_budget:Halotis_guard.Budget.t ->
   ?prune:bool ->
+  ?incremental:bool ->
   t_stop:Halotis_util.Units.time ->
   unit ->
   config
 (** Defaults: DDM, seed 1, 100 injections, a 150 ps / 100 ps pulse,
-    unlimited per-site budget, no static pruning. *)
+    unlimited per-site budget, no static pruning, incremental cone
+    re-simulation on. *)
 
 type verdict = {
   vd_site : Site.t;
@@ -108,6 +119,11 @@ type t = {
   cam_range : (int * int) option;
       (** the global index range [\[lo, hi)] this value covers; [None]
           for a whole-campaign run *)
+  cam_cone : Halotis_engine.Sim.Cone.totals option;
+      (** incremental accounting (exact/fallback site counts, cone
+          sizes) when cone re-simulation was armed; [None] when it was
+          off or refused.  Never rendered into reports — report bytes
+          must not depend on the engine path. *)
 }
 
 val run :

@@ -49,6 +49,11 @@ let check h ~circuit ?range (cfg : Campaign.config) =
   if h.jh_window <> cfg.Campaign.window then fail "window";
   if h.jh_range <> range then fail "shard range";
   if h.jh_prune <> cfg.Campaign.prune then fail "prune mode"
+(* [cfg.incremental] is deliberately NOT part of the fingerprint: cone
+   re-simulation is result-invariant (byte-identical verdicts), so a
+   journal written with it on resumes cleanly with it off and vice
+   versa.  Prune is fingerprinted because it changes verdict records
+   (zero-delta pruned entries); incremental never does. *)
 
 (* %h prints a lossless hex float; float_of_string reads it back
    bit-exactly, which is what makes resumed reports byte-identical. *)

@@ -45,7 +45,12 @@ type header = {
       (** the shard's global site-index range [\[lo, hi)]; [None] for a
           serial (whole-campaign) journal *)
   jh_prune : bool;
-      (** the campaign ran with static pruning; [false] for v1 journals *)
+      (** the campaign ran with static pruning; [false] for v1 journals.
+          [Campaign.config.incremental] is deliberately absent from the
+          fingerprint: cone re-simulation is result-invariant, so a
+          journal resumes across incremental modes — prune is recorded
+          only because pruned campaigns write different verdict
+          records *)
 }
 
 val header_of : circuit:string -> ?range:int * int -> Campaign.config -> header

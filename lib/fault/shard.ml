@@ -1,6 +1,40 @@
 module Stop = Halotis_guard.Stop
 module Diag = Halotis_guard.Diag
 
+(* Core-count autodetection for [--jobs 0].  [getconf] is POSIX and
+   respects the process's scheduling restrictions on glibc; the
+   /proc/cpuinfo fallback covers systems without it.  Never raises —
+   an undetectable count degrades to serial. *)
+let available_cores () =
+  let from_getconf () =
+    try
+      let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" in
+      let line = try Some (input_line ic) with End_of_file -> None in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, Some l -> int_of_string_opt (String.trim l)
+      | _ -> None
+    with Unix.Unix_error _ | Sys_error _ -> None
+  in
+  let from_proc () =
+    try
+      let ic = open_in "/proc/cpuinfo" in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               if String.length line >= 9 && String.sub line 0 9 = "processor" then incr n
+             done
+           with End_of_file -> ());
+          if !n > 0 then Some !n else None)
+    with Sys_error _ -> None
+  in
+  match from_getconf () with
+  | Some n when n >= 1 -> n
+  | _ -> ( match from_proc () with Some n -> n | None -> 1)
+
 let range ~total ~jobs k =
   if total < 0 then invalid_arg "Shard.range: total must be non-negative";
   if jobs <= 0 then invalid_arg "Shard.range: jobs must be positive";

@@ -20,6 +20,12 @@
     argv a worker receives is the caller's business — the CLI
     reconstructs its own campaign flags. *)
 
+val available_cores : unit -> int
+(** The number of processor cores available to this process — what
+    [faults --jobs 0] resolves to.  Asks [getconf _NPROCESSORS_ONLN]
+    first, counts [/proc/cpuinfo] processor lines as a fallback, and
+    returns [1] when neither source answers.  Never raises. *)
+
 val range : total:int -> jobs:int -> int -> int * int
 (** [range ~total ~jobs k] is worker [k]'s half-open global site-index
     range [\[k*total/jobs, (k+1)*total/jobs)].  The ranges of

@@ -1,6 +1,7 @@
 (* Array-based binary heap.  Each entry records its current array index
-   so handles can remove it in O(log n).  [seq] is a monotonically
-   increasing stamp used to break key ties FIFO. *)
+   so handles can remove it in O(log n).  [seq] is the tie-break rank:
+   the caller's [~rank] when given, else a monotonically increasing
+   insertion stamp (FIFO among equal keys). *)
 
 type 'a entry = {
   key : float;
@@ -59,8 +60,9 @@ let grow h =
     h.data <- data
   end
 
-let insert h ~key value =
-  let entry = { key; seq = h.next_seq; value; index = h.size } in
+let insert h ~key ?rank value =
+  let seq = match rank with Some r -> r | None -> h.next_seq in
+  let entry = { key; seq; value; index = h.size } in
   h.next_seq <- h.next_seq + 1;
   if Array.length h.data = 0 then h.data <- Array.make 8 entry else grow h;
   h.data.(h.size) <- entry;
@@ -113,10 +115,11 @@ let to_sorted_list h =
   List.map (fun e -> (e.key, e.value)) (List.sort compare_entry copy)
 
 (* Structure-of-arrays variant: keys live in a flat float array, so the
-   sift loops read unboxed floats from contiguous memory.  [ids.(i)] is
-   the insertion stamp of slot [i], breaking key ties FIFO.  Payloads
-   are plain ints (engines store pool-slot indices), so sifting moves
-   immediates with no write barrier and insertion never allocates.
+   sift loops read unboxed floats from contiguous memory.  [ids.(i)]
+   breaks key ties: the caller's [~rank] when given, else an insertion
+   stamp (FIFO).  Payloads are plain ints (engines store pool-slot
+   indices), so sifting moves immediates with no write barrier and
+   insertion never allocates.
 
    The tree is 4-ary: half the depth of a binary heap, and the four
    children of a node occupy one cache line of the keys array, so a
@@ -212,10 +215,10 @@ module Unboxed = struct
       h.vals <- vals
     end
 
-  let insert h ~key v =
+  let insert h ~key ?rank v =
     grow h;
-    let id = h.next_id in
-    h.next_id <- id + 1;
+    let id = match rank with Some r -> r | None -> h.next_id in
+    h.next_id <- h.next_id + 1;
     h.size <- h.size + 1;
     sift_up h (h.size - 1) key id v;
     id

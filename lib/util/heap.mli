@@ -8,8 +8,14 @@
     implementation (the equivalence suite's reference kernels are built
     on it).
 
-    Entries are ordered by their [float] key; ties are broken by
-    insertion order (FIFO), which makes simulations deterministic. *)
+    Entries are ordered by their [float] key; ties are broken by the
+    explicit [~rank] when one is supplied at insertion, else by
+    insertion order (FIFO).  Either way the order is a strict total
+    order, which makes simulations deterministic; an {e intrinsic} rank
+    (one derived from the entry's identity rather than from history)
+    additionally makes the pop order reproducible across runs that
+    insert the same entries in different orders — what cone
+    re-simulation needs to replay a full run's tie resolution. *)
 
 type 'a t
 (** A heap holding payloads of type ['a]. *)
@@ -26,9 +32,11 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 (** [is_empty h] is [length h = 0]. *)
 
-val insert : 'a t -> key:float -> 'a -> 'a handle
+val insert : 'a t -> key:float -> ?rank:int -> 'a -> 'a handle
 (** [insert h ~key v] adds [v] with priority [key] and returns its
-    handle. *)
+    handle.  [rank] overrides the FIFO tie-break stamp; mixing ranked
+    and unranked insertions in one heap interleaves the two rank
+    spaces and is almost never what you want. *)
 
 val pop_min : 'a t -> (float * 'a) option
 (** [pop_min h] removes and returns the entry with the smallest key
@@ -63,9 +71,10 @@ val to_sorted_list : 'a t -> (float * 'a) list
     insertion and popping never allocate and sifting carries no write
     barrier.
 
-    Ordering is identical to the boxed heap: ascending key, FIFO among
-    equal keys.  There is no entry removal — engines that cancel
-    lazily (tombstone flags on the payload) never need it. *)
+    Ordering is identical to the boxed heap: ascending key, with ties
+    broken by the explicit [~rank] when supplied, else FIFO.  There is
+    no entry removal — engines that cancel lazily (tombstone flags on
+    the payload) never need it. *)
 module Unboxed : sig
   type t
 
@@ -80,7 +89,9 @@ module Unboxed : sig
   val length : t -> int
   val is_empty : t -> bool
 
-  val insert : t -> key:float -> int -> handle
+  val insert : t -> key:float -> ?rank:int -> int -> handle
+  (** [rank] overrides the FIFO tie-break stamp (see the boxed
+      {!insert}). *)
 
   val min_key : t -> float
   (** Key of the next entry to pop, without allocation.

@@ -287,6 +287,188 @@ let test_journal_v2_pruned_roundtrip () =
           Alcotest.(check string)
             "diag code" "journal-mismatch" d.Halotis_guard.Diag.code)
 
+(* --- incremental cone re-simulation --- *)
+
+module Compiled = Halotis_engine.Compiled
+
+(* Structural invariants of the static fanout cone: the victim and
+   every member gate's output are members, membership is closed under
+   fanout (the property that makes a cone run escape-proof), and the
+   boundary feeds are exactly the member-gate pins driven from
+   outside. *)
+let test_fanout_cone_structure () =
+  let c, _ = Test_perf_equiv.workload ~gates:30 ~seed:17 in
+  let cp = Compiled.compile DL.tech c in
+  List.iter
+    (fun victim ->
+      let cone = Compiled.fanout_cone cp ~victim in
+      let member sid = Bytes.get cone.Compiled.cone_signal_member sid = '\001' in
+      checkb "victim is a member" true (member victim);
+      checkb "victim listed" true (Array.mem victim cone.Compiled.cone_signals);
+      Array.iter
+        (fun g -> checkb "gate output is a member" true (member cp.Compiled.g_out.(g)))
+        cone.Compiled.cone_gates;
+      Array.iter
+        (fun sid ->
+          checkb "member flag consistent" true (member sid);
+          for e = cp.Compiled.fan_off.(sid) to cp.Compiled.fan_off.(sid + 1) - 1 do
+            checkb "fanout closure" true
+              (Array.mem cp.Compiled.fan_gate.(e) cone.Compiled.cone_gates)
+          done)
+        cone.Compiled.cone_signals;
+      checki "boundary arrays parallel"
+        (Array.length cone.Compiled.cone_bnd_gate)
+        (Array.length cone.Compiled.cone_bnd_pin);
+      Array.iteri
+        (fun k g ->
+          let pin = cone.Compiled.cone_bnd_pin.(k) in
+          let sid = cp.Compiled.pin_fanin.(cp.Compiled.g_base.(g) + pin) in
+          checkb "boundary gate is a member" true
+            (Array.mem g cone.Compiled.cone_gates);
+          checkb "boundary feed comes from outside" true (not (member sid)))
+        cone.Compiled.cone_bnd_gate)
+    (List.filteri (fun i _ -> i mod 7 = 0) (Site.candidates c))
+
+(* Direct graft check: an [Exact] cone outcome must reproduce the full
+   injected run's digitized edges and counters exactly — the identity
+   the whole optimization rests on. *)
+let test_cone_exact_matches_full () =
+  let c, drives = Test_perf_equiv.workload ~gates:30 ~seed:42 in
+  let spec = Sim.spec ~drives ~t_stop:12_000. ~tech:DL.tech c in
+  let base = Sim.run Sim.Ddm spec in
+  let ctx =
+    match Sim.Cone.create Sim.Ddm spec ~baseline:base with
+    | Some ctx -> ctx
+    | None -> Alcotest.fail "cone context refused a completed baseline"
+  in
+  let baseline = match Sim.iddm base with Some r -> r | None -> assert false in
+  let exact = ref 0 in
+  List.iteri
+    (fun i victim ->
+      let site = Site.of_signal ~baseline victim ~at:(3000. +. (137. *. float_of_int i)) in
+      let inj = Inject.injection site (Inject.pulse ~width:150. ()) in
+      match Sim.Cone.run_site ctx inj with
+      | Sim.Cone.Fallback _ -> ()
+      | Sim.Cone.Exact { edges; stats; _ } ->
+          incr exact;
+          let full = Sim.run Sim.Ddm { spec with Sim.sp_injections = [ inj ] } in
+          let full_edges = Sim.edges full in
+          Array.iteri
+            (fun sid es -> checkb "edges identical" true (es = full_edges.(sid)))
+            edges;
+          checkb "stats identical" true
+            (stats = Halotis_engine.Stats.copy full.Sim.rs_stats))
+    (Site.candidates c);
+  checkb "at least one exact site (non-vacuous)" true (!exact > 0);
+  let tot = Sim.Cone.totals ctx in
+  checki "totals count the exact sites" !exact tot.Sim.Cone.ct_exact
+
+(* Primary inputs have no driver gate and their baseline waveform
+   carries the drive itself — the cone path must refuse, not graft. *)
+let test_cone_pi_victim_falls_back () =
+  let c = Lazy.force chain in
+  let drives = [ (sid c "in", Drive.of_levels ~slope:100. ~initial:false [ (1000., true) ]) ] in
+  let spec = Sim.spec ~drives ~t_stop:8000. ~tech:DL.tech c in
+  let base = Sim.run Sim.Ddm spec in
+  let ctx =
+    match Sim.Cone.create Sim.Ddm spec ~baseline:base with
+    | Some ctx -> ctx
+    | None -> Alcotest.fail "cone context refused a completed baseline"
+  in
+  match
+    Sim.Cone.run_site ctx
+      {
+        Sim.inj_signal = sid c "in";
+        inj_ramps =
+          Inject.transitions ~at:2000. ~polarity:T.Rising (Inject.pulse ~width:150. ());
+      }
+  with
+  | Sim.Cone.Fallback _ -> ()
+  | Sim.Cone.Exact _ -> Alcotest.fail "primary-input victim must fall back"
+
+(* Headline equivalence property: incremental and full campaigns agree
+   byte-for-byte — reports and journal files — across random circuits,
+   seeds and both waveform engines. *)
+let prop_incremental_equals_full =
+  QCheck.Test.make ~name:"incremental cone campaign == full re-simulation" ~count:8
+    QCheck.(pair (int_range 10 35) (int_range 0 1000))
+    (fun (gates, seed) ->
+      let c, drives = Test_perf_equiv.workload ~gates ~seed in
+      let engine = if seed land 1 = 0 then Campaign.Ddm else Campaign.Cdm in
+      let cfg incremental =
+        Campaign.config ~engine ~seed:(seed + 11) ~n:12 ~incremental ~t_stop:12_000. ()
+      in
+      let campaign_and_journal cfg =
+        let path = Filename.temp_file "halotis_cone_test" ".journal" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            let w =
+              Journal.open_new path (Journal.header_of ~circuit:(N.name c) cfg)
+            in
+            let t =
+              Campaign.run
+                ~on_verdict:(fun i v -> Journal.write w i v)
+                cfg DL.tech c ~drives
+            in
+            Journal.close w;
+            let ic = open_in_bin path in
+            let bytes =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            (t, bytes))
+      in
+      let t_on, j_on = campaign_and_journal (cfg true) in
+      let t_off, j_off = campaign_and_journal (cfg false) in
+      Fault_report.to_string t_on = Fault_report.to_string t_off
+      && Fault_report.to_text t_on = Fault_report.to_text t_off
+      && j_on = j_off
+      && t_off.Campaign.cam_cone = None
+      && match t_on.Campaign.cam_cone with
+         | None -> false
+         | Some tot ->
+             tot.Sim.Cone.ct_exact + tot.Sim.Cone.ct_fallback
+             = List.length t_on.Campaign.cam_verdicts)
+
+(* Deliberate coincidence fixture: strike the victim at the exact
+   instant a boundary-feed event fires inside its cone.  The injected
+   cone run pops two same-instant events — the splice and a replayed
+   pin event — whose order the queue's intrinsic ranks fix identically
+   in cone and full runs (splice first), so the graft must stay exact
+   and the report byte-identical to incremental-off.  This is the
+   regression test for the rank-based tie-break: under history-derived
+   (FIFO) tie-breaking this very fixture diverges. *)
+let test_cone_same_instant_strike_exact () =
+  let c = Lazy.force chain in
+  let input = sid c "in" in
+  let drives = [ (input, Drive.of_levels ~slope:100. ~initial:false [ (1000., true) ]) ] in
+  let baseline = Iddm.run (Iddm.config ~t_stop:8000. DL.tech) c ~drives in
+  let victim = sid c "out2" in
+  (* out2's driver gate is fed by out1 — a boundary signal of out2's
+     cone.  Its replayed event fires when out1 crosses that pin's
+     threshold; strike at exactly that instant. *)
+  let cp = Compiled.compile DL.tech c in
+  let driver =
+    match (N.signal c victim).N.driver with Some g -> g | None -> assert false
+  in
+  let slot = cp.Compiled.g_base.(driver) in
+  let at =
+    W.last_crossing baseline.Iddm.waveforms.(cp.Compiled.pin_fanin.(slot))
+      ~vt:cp.Compiled.pin_vt.(slot)
+  in
+  checkb "fixture has a boundary crossing" true (not (Float.is_nan at));
+  let site = Site.of_signal ~baseline victim ~at in
+  let cfg incremental = Campaign.config ~incremental ~t_stop:8000. () in
+  let t_on = Campaign.run ~sites:[ site ] (cfg true) DL.tech c ~drives in
+  let t_off = Campaign.run ~sites:[ site ] (cfg false) DL.tech c ~drives in
+  (match t_on.Campaign.cam_cone with
+  | None -> Alcotest.fail "incremental was refused outright"
+  | Some tot -> checki "site grafted exactly" 1 tot.Sim.Cone.ct_exact);
+  Alcotest.(check string) "report byte-identical" (Fault_report.to_string t_off)
+    (Fault_report.to_string t_on)
+
 let test_engine_of_string () =
   checkb "ddm" true (Campaign.engine_of_string "ddm" = Some Campaign.Ddm);
   checkb "cdm" true (Campaign.engine_of_string "cdm" = Some Campaign.Cdm);
@@ -324,5 +506,16 @@ let tests =
         Alcotest.test_case "proven site skipped" `Quick test_prune_skips_proven_site;
         Alcotest.test_case "journal v2 round-trip" `Quick
           test_journal_v2_pruned_roundtrip;
+      ] );
+    ( "fault.cone",
+      [
+        Alcotest.test_case "fanout cone structure" `Quick test_fanout_cone_structure;
+        Alcotest.test_case "exact graft matches full run" `Quick
+          test_cone_exact_matches_full;
+        Alcotest.test_case "primary-input victim falls back" `Quick
+          test_cone_pi_victim_falls_back;
+        QCheck_alcotest.to_alcotest prop_incremental_equals_full;
+        Alcotest.test_case "same-instant strike stays exact" `Quick
+          test_cone_same_instant_strike_exact;
       ] );
   ]

@@ -71,10 +71,18 @@ module Ref_iddm = struct
     let queue : ev Heap.t = Heap.create () in
     (* eager cancellation: per (gate, pin), the handles of pending events *)
     let pending = Array.init ngates (fun gid -> Array.map (fun _ -> []) (N.gate c gid).N.fanin) in
+    (* global pin-slot offsets — the engine's intrinsic heap tie-break
+       ranks, reproduced so equal-key events pop in the same order *)
+    let pin_base = Array.make (ngates + 1) 0 in
+    for gid = 0 to ngates - 1 do
+      pin_base.(gid + 1) <- pin_base.(gid) + Array.length (N.gate c gid).N.fanin
+    done;
     let stats = Stats.create () in
     let injections = Array.of_list injections in
     let schedule ~key ~gate ~pin ~rising ~tau_in =
-      let h = Heap.insert queue ~key { gate; pin; rising; tau_in } in
+      let h =
+        Heap.insert queue ~key ~rank:(pin_base.(gate) + pin) { gate; pin; rising; tau_in }
+      in
       if cfg.Iddm.cancellation then pending.(gate).(pin) <- pending.(gate).(pin) @ [ h ];
       stats.Stats.events_scheduled <- stats.Stats.events_scheduled + 1
     in
@@ -174,7 +182,7 @@ module Ref_iddm = struct
         | [] -> ()
         | first :: _ ->
             ignore
-              (Heap.insert queue ~key:first.Transition.start
+              (Heap.insert queue ~key:first.Transition.start ~rank:(idx - max_int)
                  { gate = -1; pin = idx; rising = false; tau_in = 0. }))
       injections;
     let end_time = ref 0. in
