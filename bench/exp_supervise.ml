@@ -1,0 +1,139 @@
+(* SUPERVISE — fault-tolerant campaign supervision (extension).
+
+   The supervisor turns one-shot sharding into a work-queue of chunks
+   with heartbeats, retry/backoff and poison quarantine.  Its costs are
+   (a) a fixed overhead over unsupervised sharding — more process
+   spawns (chunks instead of workers) and per-verdict fsyncs — and
+   (b) recovery cost per injected worker death.  This experiment
+   measures both: a supervised campaign with 0, 1 and 2 injected
+   SIGKILLs (bounded by a chaos token directory) against the
+   unsupervised `--supervise off` baseline, asserting every recovered
+   report stays byte-identical. *)
+
+open Common
+
+let injections = 800
+let seed = 42
+let jobs = 2
+
+let cli_exe =
+  Filename.concat (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "halotis_cli.exe"))
+
+let data f =
+  let local = Filename.concat "examples" (Filename.concat "data" f) in
+  if Sys.file_exists local then local
+  else
+    Filename.concat (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." local)
+
+(* A token directory holding exactly [kills] claimable files bounds how
+   many times HALOTIS_CHAOS_KILL may fire across all workers. *)
+let with_token_dir kills f =
+  let dir = Filename.temp_file "halotis_chaos" ".tokens" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  for i = 0 to kills - 1 do
+    let oc = open_out (Filename.concat dir (Printf.sprintf "token%d" i)) in
+    close_out oc
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let run_campaign ~mode out =
+  let flags =
+    match mode with `Unsupervised -> "--supervise off" | `Supervised _ -> "--supervise on"
+  in
+  let go env_prefix =
+    let cmd =
+      Printf.sprintf
+        "%s%s faults %s --stim %s -n %d --seed %d --t-stop 20000 --format json \
+         --jobs %d %s > %s 2> /dev/null"
+        env_prefix (Filename.quote cli_exe)
+        (Filename.quote (data "mult4x4.hnl"))
+        (Filename.quote (data "mult4x4.hsv"))
+        injections seed jobs flags (Filename.quote out)
+    in
+    let t0 = Unix.gettimeofday () in
+    let status = Sys.command cmd in
+    let dt = Unix.gettimeofday () -. t0 in
+    if status <> 0 then
+      failwith (Printf.sprintf "campaign (%s) exited %d" flags status);
+    (dt, Digest.file out)
+  in
+  match mode with
+  | `Supervised kills when kills > 0 ->
+      (* each worker would die after 40 fresh verdicts, but only
+         [kills] token claims succeed across the whole campaign *)
+      with_token_dir kills (fun dir ->
+          go
+            (Printf.sprintf "HALOTIS_CHAOS_KILL=40 HALOTIS_CHAOS_TOKENS=%s "
+               (Filename.quote dir)))
+  | _ -> go ""
+
+let run () =
+  section "SUPERVISE -- fault-tolerant campaign supervision (extension)";
+  Printf.printf
+    "circuit mult4x4, %d injections, seed %d, --jobs %d; injected worker kills \
+     bounded by a chaos token directory\n\n"
+    injections seed jobs;
+  let out = Filename.temp_file "halotis_supervise" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let base_t, base_digest = run_campaign ~mode:`Unsupervised out in
+      let rows =
+        List.map
+          (fun kills -> (kills, run_campaign ~mode:(`Supervised kills) out))
+          [ 0; 1; 2 ]
+      in
+      Printf.printf "  %-16s %10s %10s %s\n" "mode" "wall (s)" "overhead" "report";
+      Printf.printf "  %-16s %10.3f %10s %s\n" "unsupervised" base_t "--" "baseline";
+      List.iter
+        (fun (kills, (dt, digest)) ->
+          Printf.printf "  %-16s %10.3f %9.2fx %s\n"
+            (Printf.sprintf "supervised+%dk" kills)
+            dt (dt /. base_t)
+            (if digest = base_digest then "identical" else "MISMATCH"))
+        rows;
+      let identical =
+        List.for_all (fun (_, (_, digest)) -> digest = base_digest) rows
+      in
+      let sup0_t = fst (List.assoc 0 rows) in
+      let sup2_t = fst (List.assoc 2 rows) in
+      let data =
+        ("faults_unsupervised_wall_s", base_t)
+        :: List.map
+             (fun (kills, (dt, _)) ->
+               (Printf.sprintf "faults_supervised_%dkill_wall_s" kills, dt))
+             rows
+      in
+      [
+        Experiment.make ~data ~exp_id:"SUPERVISE"
+          ~title:"Fault-tolerant campaign supervision (extension)"
+          [
+            Experiment.observation ~agrees:identical
+              ~metric:"supervised report byte-identical to unsupervised (0/1/2 kills)"
+              ~paper:"(determinism of the seeded campaign enumeration)"
+              ~measured:(if identical then "identical in all three runs" else "MISMATCH")
+              ();
+            Experiment.observation
+              ~metric:"supervision overhead, no failures"
+              ~paper:"(expected: small constant from chunking + per-verdict fsync)"
+              ~measured:
+                (Printf.sprintf "%.3f s supervised vs %.3f s unsupervised (%.2fx)"
+                   sup0_t base_t (sup0_t /. base_t))
+              ();
+            Experiment.observation
+              ~metric:"recovery cost of injected worker deaths"
+              ~paper:"(expected: bounded by one chunk of lost work per kill)"
+              ~measured:
+                (Printf.sprintf "+%.3f s for 2 kills over the 0-kill supervised run"
+                   (sup2_t -. sup0_t))
+              ();
+          ];
+      ])

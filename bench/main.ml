@@ -33,6 +33,7 @@ let experiments : (string * string * (unit -> Halotis_report.Experiment.t list))
     ("prune", "statically pruned fault campaigns (extension)", Exp_prune.run);
     ("cone", "incremental cone re-simulation for fault campaigns (extension)", Exp_cone.run);
     ("serve", "persistent service: cache speedup and request throughput (extension)", Exp_serve.run);
+    ("supervise", "fault-tolerant campaign supervision: recovery overhead (extension)", Exp_supervise.run);
   ]
 
 let list_experiments () =

@@ -40,6 +40,7 @@ module Campaign = Halotis_fault.Campaign
 module Fault_report = Halotis_fault.Fault_report
 module Journal = Halotis_fault.Journal
 module Shard = Halotis_fault.Shard
+module Supervisor = Halotis_fault.Supervisor
 module Stats = Halotis_engine.Stats
 module Stop = Halotis_guard.Stop
 module Budget = Halotis_guard.Budget
@@ -463,8 +464,90 @@ let usage_diag ?hint m = die_diag (Diag.make ~code:"usage" ?hint m)
    fingerprint (journal header) byte-identical to the parent's. *)
 let farg = Printf.sprintf "%h"
 
+(* Chaos-injection hooks, honoured only in [--range] worker mode: the
+   supervisor tests, the CI chaos smoke job and bench/exp_supervise
+   inject worker crashes and hangs through the environment.
+     HALOTIS_CHAOS_KILL=N    torn journal write + SIGKILL self after N
+                             fresh verdicts (at most once per chunk)
+     HALOTIS_CHAOS_HANG=N    stop heartbeating after N fresh verdicts
+                             (at most once per chunk)
+     HALOTIS_CHAOS_POISON=I  SIGKILL self just before journaling global
+                             site I — every attempt, so the supervisor
+                             must quarantine I to finish
+     HALOTIS_CHAOS_TOKENS=D  bound kills/hangs globally: each claims a
+                             token file from directory D instead of the
+                             per-chunk sentinel *)
+type chaos = {
+  cz_kill : int option;
+  cz_hang : int option;
+  cz_poison : int option;
+  cz_tokens : string option;
+  mutable cz_count : int;
+}
+
+let chaos_of_env () =
+  let geti v = Option.bind (Sys.getenv_opt v) int_of_string_opt in
+  {
+    cz_kill = geti "HALOTIS_CHAOS_KILL";
+    cz_hang = geti "HALOTIS_CHAOS_HANG";
+    cz_poison = geti "HALOTIS_CHAOS_POISON";
+    cz_tokens = Sys.getenv_opt "HALOTIS_CHAOS_TOKENS";
+    cz_count = 0;
+  }
+
+(* One chaos event per claim: a token file from the bounding directory,
+   or (without one) a per-chunk sentinel created O_EXCL so retries of
+   the same chunk don't crash forever. *)
+let chaos_claim cz ~journal =
+  match cz.cz_tokens with
+  | Some dir -> (
+      match Sys.readdir dir with
+      | files ->
+          Array.exists
+            (fun f ->
+              match Sys.remove (Filename.concat dir f) with
+              | () -> true
+              | exception Sys_error _ -> false)
+            files
+      | exception Sys_error _ -> false)
+  | None -> (
+      match
+        Unix.openfile (journal ^ ".chaos")
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ]
+          0o644
+      with
+      | fd ->
+          Unix.close fd;
+          true
+      | exception Unix.Unix_error _ -> false)
+
+let chaos_die () = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+(* fires just before journaling the fresh verdict of global site [idx] *)
+let chaos_pre cz idx =
+  match cz.cz_poison with Some p when p = idx -> chaos_die () | _ -> ()
+
+(* fires just after journaling (and fsyncing) a fresh verdict *)
+let chaos_post cz ~journal =
+  cz.cz_count <- cz.cz_count + 1;
+  (match cz.cz_hang with
+  | Some n when cz.cz_count >= n && chaos_claim cz ~journal ->
+      while true do
+        Unix.sleep 3600
+      done
+  | _ -> ());
+  match cz.cz_kill with
+  | Some n when cz.cz_count >= n && chaos_claim cz ~journal ->
+      (* leave a torn final line behind: readers must cope with it *)
+      let oc = open_out_gen [ Open_append ] 0o644 journal in
+      output_string oc "v 99999 torn";
+      flush oc;
+      chaos_die ()
+  | _ -> ()
+
 let run_faults path stim_path engine n seed width slope t_stop exhaustive grid format
     vcd_dir liberty journal_path resume_path limit_sites site_max_events jobs shard
+    range_spec supervise worker_timeout max_retries chunk_sites poison_after
     prune_mode incremental keep_shards =
   let tech = load_tech liberty in
   let c = or_die (load_circuit path) in
@@ -479,9 +562,13 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
       n
     end
   in
+  let is_worker = shard <> None || range_spec <> None in
+  let supervised =
+    match supervise with `On -> true | `Off -> false | `Auto -> jobs > 1
+  in
   let prune = prune_mode = `Static in
   (* the campaign silently ignores the flag in these cases; say why *)
-  if prune && shard = None then begin
+  if prune && not is_worker then begin
     if engine = Campaign.Classic_inertial then
       prerr_endline
         "halotis: --prune static has no effect with the classic engine (no pulse-width \
@@ -491,12 +578,15 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
         "halotis: --prune static is disabled by --site-max-events (a budget-tripped \
          site must be able to report timed-out); all sites will be simulated"
   end;
-  if shard <> None && jobs > 1 then usage_diag "--shard and --jobs are mutually exclusive";
-  if shard <> None && limit_sites <> None then
-    usage_diag "--limit-sites cannot be used inside a shard worker";
+  if shard <> None && range_spec <> None then
+    usage_diag "--shard and --range are mutually exclusive";
+  if is_worker && jobs > 1 then
+    usage_diag "--shard/--range and --jobs are mutually exclusive";
+  if is_worker && limit_sites <> None then
+    usage_diag "--limit-sites cannot be used inside a worker";
   (* A worker's stderr should carry verdict progress, not N copies of
      the same preflight report the parent already printed. *)
-  if shard = None then preflight ~stim tech c;
+  if not is_worker then preflight ~stim tech c;
   let drives = bind_stim stim c in
   let horizon = horizon_of_drives drives t_stop in
   let pulse =
@@ -563,30 +653,98 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
     | None -> ());
     0
   in
-  match shard with
-  | Some (k, nworkers) ->
+  (* The campaign-defining flags a parent hands its workers, shared by
+     the supervised and the legacy one-shot paths. *)
+  let campaign_argv =
+    [ Sys.executable_name; "faults"; path; "--stim"; stim_path ]
+    @ [ "--engine"; Campaign.engine_to_string engine ]
+    @ [ "-n"; string_of_int n; "--seed"; string_of_int seed ]
+    @ [ "--width"; farg width; "--slope"; farg slope ]
+    @ [ "--t-stop"; farg horizon ]
+    @ (if exhaustive then [ "--exhaustive"; "--grid"; string_of_int grid ] else [])
+    @ (match liberty with Some p -> [ "--liberty"; p ] | None -> [])
+    @ (match site_max_events with
+      | Some e -> [ "--site-max-events"; string_of_int e ]
+      | None -> [])
+    @ (if prune then [ "--prune"; "static" ] else [])
+    @ [ "--incremental"; (if incremental then "on" else "off") ]
+  in
+  match (shard, range_spec) with
+  | Some _, Some _ -> assert false (* rejected above *)
+  | None, Some (lo, hi) ->
+      (* ----- supervised worker: one chunk of the site enumeration,
+         fsynced per verdict with a heartbeat cursor; on a retry it
+         resumes its own chunk journal, skipping quarantined sites ----- *)
+      let jpath =
+        match journal_path with
+        | Some p -> p
+        | None -> usage_diag "a --range worker needs --journal"
+      in
+      if resume_path <> None then
+        usage_diag "--range workers resume their own --journal automatically";
+      if lo < 0 || lo >= hi || hi > sites_total then
+        usage_diag
+          (Printf.sprintf "--range %d:%d out of bounds for %d sites" lo hi
+             sites_total);
+      let open_fresh () =
+        ( [],
+          [],
+          Journal.open_new ~sync_every:1 ~cursor:true jpath
+            (Journal.header_of ~circuit:(N.name c) ~range:(lo, hi) cfg) )
+      in
+      let completed, quarantined, writer =
+        if not (Sys.file_exists jpath) then open_fresh ()
+        else
+          match Journal.load jpath with
+          | h, indexed ->
+              Journal.check h ~circuit:(N.name c) ~range:(lo, hi) cfg;
+              let entries = Journal.contiguous ~first:lo indexed in
+              let completed, quarantined = Journal.partition ~first:lo entries in
+              Printf.eprintf "faults: range [%d,%d): resuming %s: %d of %d entries kept\n%!"
+                lo hi jpath (List.length entries) (hi - lo);
+              (completed, quarantined, Journal.open_append ~sync_every:1 ~cursor:true jpath)
+          | exception Diag.Fail _ ->
+              (* died inside the header write: nothing durable to keep *)
+              open_fresh ()
+      in
+      let cz = chaos_of_env () in
+      let campaign =
+        Campaign.run ?sites ~range:(lo, hi) ~completed ~quarantined
+          ~on_verdict:(fun idx v ->
+            chaos_pre cz idx;
+            Journal.write writer idx v;
+            chaos_post cz ~journal:jpath)
+          cfg tech c ~drives
+      in
+      Journal.close writer;
+      Printf.eprintf "faults: range [%d,%d): %d sites done\n%!" lo hi
+        (List.length campaign.Campaign.cam_verdicts);
+      0
+  | Some (k, nworkers), None ->
       (* ----- worker: simulate one deterministic site range, journal
          verdicts under their global indices, render nothing ----- *)
       let lo, hi = Halotis_fault.Shard.range ~total:sites_total ~jobs:nworkers k in
-      let completed, writer =
+      let completed, quarantined, writer =
         match (journal_path, resume_path) with
         | Some p, None ->
             ( [],
+              [],
               Journal.open_new p
                 (Journal.header_of ~circuit:(N.name c) ~range:(lo, hi) cfg) )
         | None, Some p ->
             let h, indexed = Journal.load p in
             Journal.check h ~circuit:(N.name c) ~range:(lo, hi) cfg;
-            let completed = Journal.contiguous ~first:lo indexed in
+            let entries = Journal.contiguous ~first:lo indexed in
+            let completed, quarantined = Journal.partition ~first:lo entries in
             Printf.eprintf "faults: shard %d/%d: resuming %s: %d of %d verdicts kept\n"
-              k nworkers p (List.length completed) (hi - lo);
-            (completed, Journal.open_append p)
+              k nworkers p (List.length entries) (hi - lo);
+            (completed, quarantined, Journal.open_append p)
         | None, None ->
             usage_diag "a shard worker needs --journal or --resume"
         | Some _, Some _ -> assert false
       in
       let campaign =
-        Campaign.run ?sites ~range:(lo, hi) ~completed
+        Campaign.run ?sites ~range:(lo, hi) ~completed ~quarantined
           ~on_verdict:(fun idx v -> Journal.write writer idx v)
           cfg tech c ~drives
       in
@@ -594,9 +752,110 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
       Printf.eprintf "faults: shard %d/%d: %d sites done\n" k nworkers
         (List.length campaign.Campaign.cam_verdicts);
       0
-  | None when jobs > 1 ->
-      (* ----- parent: fork one worker per shard, wait, merge their
-         journals, render the serial report ----- *)
+  | None, None when supervised ->
+      (* ----- supervised parent: a work-queue of chunk sub-ranges
+         dispatched to a bounded pool, with heartbeats, retry/backoff
+         and poison-site quarantine; the merged report stays
+         byte-identical to --jobs 1 ----- *)
+      if limit_sites <> None then
+        usage_diag ~hint:"chunking is per worker range under --jobs"
+          "--limit-sites cannot be combined with --jobs";
+      let base, user_journal =
+        match (journal_path, resume_path) with
+        | Some p, None | None, Some p -> (p, true)
+        | None, None -> (Filename.temp_file "halotis-faults" ".journal", false)
+        | Some _, Some _ -> assert false
+      in
+      let worker_argv ~range:(lo, hi) ~journal =
+        campaign_argv
+        @ [ "--range"; Printf.sprintf "%d:%d" lo hi ]
+        @ [ "--journal"; journal ]
+      in
+      let scfg =
+        try
+          Supervisor.config
+            ~chunk_sites:
+              (if chunk_sites > 0 then chunk_sites
+               else Supervisor.auto_chunk_sites ~total:sites_total ~jobs)
+            ~worker_timeout ~max_retries ~poison_after ~jobs ()
+        with Invalid_argument m -> usage_diag m
+      in
+      Printf.eprintf
+        "faults: supervising %d sites across %d workers (chunks of %d)\n%!"
+        sites_total jobs scfg.Supervisor.sv_chunk_sites;
+      let check h =
+        match h.Journal.jh_range with
+        | Some r -> Journal.check h ~circuit:(N.name c) ~range:r cfg
+        | None -> Journal.check h ~circuit:(N.name c) cfg
+      in
+      let mk_header ~range = Journal.header_of ~circuit:(N.name c) ~range cfg in
+      let outcome =
+        Supervisor.run scfg ~total:sites_total ~base ~worker_argv ~check ~mk_header
+          ~log:(fun m -> Printf.eprintf "faults: %s\n%!" m)
+          ()
+      in
+      let slots = outcome.Supervisor.sv_slots in
+      let h, indexed = Shard.load_merged ~base ~jobs:slots in
+      Journal.check h ~circuit:(N.name c) cfg;
+      let entries = Journal.contiguous ~first:0 indexed in
+      let completed, quarantined = Journal.partition ~first:0 entries in
+      (* re-running zero fresh sites revalidates every journaled verdict
+         against the deterministic site list and rebuilds the aggregate
+         stats exactly as a serial run would *)
+      let campaign = Campaign.run ?sites ~completed ~quarantined cfg tech c ~drives in
+      Format.eprintf "faults: %s: %s@." (N.name c) (Fault_report.summary campaign);
+      if outcome.Supervisor.sv_retries > 0 then
+        Printf.eprintf
+          "faults: supervisor recovered %d worker failure%s (%d stall kill%s)\n%!"
+          outcome.Supervisor.sv_retries
+          (if outcome.Supervisor.sv_retries = 1 then "" else "s")
+          outcome.Supervisor.sv_kills
+          (if outcome.Supervisor.sv_kills = 1 then "" else "s");
+      (match campaign.Campaign.cam_quarantined with
+      | [] -> ()
+      | qs ->
+          Printf.eprintf "faults: DEGRADED: %d quarantined site%s: %s\n%!"
+            (List.length qs)
+            (if List.length qs = 1 then "" else "s")
+            (String.concat ", "
+               (List.map
+                  (fun (i, site) ->
+                    Printf.sprintf "%d (%s)" i
+                      (Format.asprintf "%a" (Site.pp c) site))
+                  qs)));
+      if user_journal then begin
+        (* leave the user one merged serial journal, as if --jobs 1 had
+           written it; quarantine records keep their global indices *)
+        let w =
+          Journal.open_new ~sync_every:1024 base
+            (Journal.header_of ~circuit:(N.name c) cfg)
+        in
+        List.iter
+          (fun (i, e) ->
+            match e with
+            | Journal.Verdict v -> Journal.write w i v
+            | Journal.Quarantined -> Journal.write_quarantine w i)
+          indexed;
+        Journal.close w
+      end;
+      for k = 0 to slots - 1 do
+        let jpath = Shard.journal_path base k in
+        if (not keep_shards) && Sys.file_exists jpath then Sys.remove jpath;
+        List.iter
+          (fun p -> if Sys.file_exists p then Sys.remove p)
+          [ Shard.stderr_path base k; jpath ^ ".cursor"; jpath ^ ".chaos" ]
+      done;
+      if keep_shards then
+        Printf.eprintf "faults: keeping per-chunk shard journals %s.0 .. %s.%d\n" base
+          base (slots - 1);
+      if (not user_journal) && Sys.file_exists base then Sys.remove base;
+      let rc = emit_report campaign in
+      if outcome.Supervisor.sv_exit_code <> 0 then outcome.Supervisor.sv_exit_code
+      else rc
+  | None, None when jobs > 1 ->
+      (* ----- legacy one-shot parent (--supervise off): fork one worker
+         per shard, wait, merge their journals, render the serial
+         report ----- *)
       if limit_sites <> None then
         usage_diag ~hint:"chunking is per worker range under --jobs"
           "--limit-sites cannot be combined with --jobs";
@@ -611,18 +870,7 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
         let jpath = Shard.journal_path base k in
         let resume_worker = resuming && Sys.file_exists jpath in
         let argv =
-          [ Sys.executable_name; "faults"; path; "--stim"; stim_path ]
-          @ [ "--engine"; Campaign.engine_to_string engine ]
-          @ [ "-n"; string_of_int n; "--seed"; string_of_int seed ]
-          @ [ "--width"; farg width; "--slope"; farg slope ]
-          @ [ "--t-stop"; farg horizon ]
-          @ (if exhaustive then [ "--exhaustive"; "--grid"; string_of_int grid ] else [])
-          @ (match liberty with Some p -> [ "--liberty"; p ] | None -> [])
-          @ (match site_max_events with
-            | Some e -> [ "--site-max-events"; string_of_int e ]
-            | None -> [])
-          @ (if prune then [ "--prune"; "static" ] else [])
-          @ [ "--incremental"; (if incremental then "on" else "off") ]
+          campaign_argv
           @ [ "--shard"; Shard.spec_to_string (k, jobs) ]
           @ [ (if resume_worker then "--resume" else "--journal"); jpath ]
         in
@@ -633,7 +881,7 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
         List.init jobs (fun k ->
             let jpath, resume_worker, argv = worker_plan k in
             let range = Shard.range ~total:sites_total ~jobs k in
-            let w = Shard.spawn ~argv ~index:k ~range ~journal:jpath in
+            let w = Shard.spawn ~argv ~index:k ~range ~journal:jpath () in
             Printf.eprintf "faults: worker %d (pid %d): sites [%d, %d)%s\n%!" k
               w.Shard.wk_pid (fst range) (snd range)
               (if resume_worker then ", resuming" else "");
@@ -661,11 +909,12 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
       else begin
         let h, indexed = Shard.load_merged ~base ~jobs in
         Journal.check h ~circuit:(N.name c) cfg;
-        let completed = Journal.contiguous ~first:0 indexed in
+        let entries = Journal.contiguous ~first:0 indexed in
+        let completed, quarantined = Journal.partition ~first:0 entries in
         (* re-running zero fresh sites revalidates every journaled
            verdict against the deterministic site list and rebuilds the
            aggregate stats exactly as a serial run would *)
-        let campaign = Campaign.run ?sites ~completed cfg tech c ~drives in
+        let campaign = Campaign.run ?sites ~completed ~quarantined cfg tech c ~drives in
         Format.eprintf "faults: %s: %s@." (N.name c) (Fault_report.summary campaign);
         if user_journal then begin
           (* leave the user one merged serial journal, as if --jobs 1
@@ -674,7 +923,12 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
             Journal.open_new ~sync_every:1024 base
               (Journal.header_of ~circuit:(N.name c) cfg)
           in
-          List.iteri (fun i v -> Journal.write w i v) completed;
+          List.iter
+            (fun (i, e) ->
+              match e with
+              | Journal.Verdict v -> Journal.write w i v
+              | Journal.Quarantined -> Journal.write_quarantine w i)
+            indexed;
           Journal.close w
         end;
         if keep_shards then
@@ -686,20 +940,23 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
               if Sys.file_exists w.Shard.wk_journal then Sys.remove w.Shard.wk_journal)
             results;
         if (not user_journal) && Sys.file_exists base then Sys.remove base;
-        emit_report campaign
+        let rc = emit_report campaign in
+        if campaign.Campaign.cam_quarantined <> [] then Stop.degraded_exit_code
+        else rc
       end
-  | None ->
+  | None, None ->
       (* ----- serial: the original single-process path ----- *)
-      let completed =
+      let completed, quarantined =
         match resume_path with
-        | None -> []
+        | None -> ([], [])
         | Some jpath ->
             let h, indexed = Journal.load jpath in
             Journal.check h ~circuit:(N.name c) cfg;
-            let verdicts = Journal.contiguous ~first:0 indexed in
+            let entries = Journal.contiguous ~first:0 indexed in
+            let completed, quarantined = Journal.partition ~first:0 entries in
             Printf.eprintf "faults: resuming from %s: %d verdicts already decided\n"
-              jpath (List.length verdicts);
-            verdicts
+              jpath (List.length entries);
+            (completed, quarantined)
       in
       let writer =
         match (journal_path, resume_path) with
@@ -710,7 +967,8 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
       in
       let on_verdict = Option.map (fun (_, w) idx v -> Journal.write w idx v) writer in
       let campaign =
-        Campaign.run ?sites ~completed ?limit:limit_sites ?on_verdict cfg tech c ~drives
+        Campaign.run ?sites ~completed ~quarantined ?limit:limit_sites ?on_verdict cfg
+          tech c ~drives
       in
       (match writer with Some (_, w) -> Journal.close w | None -> ());
       (* Summary to stderr so stdout carries only the report document. *)
@@ -726,7 +984,8 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
           | None -> " (no --journal: progress was not saved)");
         exit 3
       end;
-      emit_report campaign
+      let rc = emit_report campaign in
+      if campaign.Campaign.cam_quarantined <> [] then Stop.degraded_exit_code else rc
 
 (* --- export-verilog --- *)
 
@@ -1276,6 +1535,77 @@ let faults_cmd =
              only this shard's site range into its own journal; no report is \
              rendered.")
   in
+  let range =
+    let parse s =
+      match String.index_opt s ':' with
+      | Some i -> (
+          let lo = String.sub s 0 i in
+          let hi = String.sub s (i + 1) (String.length s - i - 1) in
+          match (int_of_string_opt lo, int_of_string_opt hi) with
+          | Some lo, Some hi when 0 <= lo && lo < hi -> Ok (lo, hi)
+          | _ -> Error (`Msg (Printf.sprintf "invalid range %S: expected LO:HI with 0 <= LO < HI" s))
+          )
+      | None -> Error (`Msg (Printf.sprintf "invalid range %S: expected LO:HI" s))
+    in
+    let print fmt (lo, hi) = Format.fprintf fmt "%d:%d" lo hi in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "range" ] ~docv:"LO:HI"
+          ~doc:
+            "Internal (spawned by the campaign supervisor): run as a worker \
+             owning global site indices [LO, HI), journaling each verdict \
+             fsynced with a heartbeat cursor into $(b,--journal); an existing \
+             chunk journal is resumed automatically.  No report is rendered.")
+  in
+  let supervise =
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("on", `On); ("off", `Off) ]) `Auto
+      & info [ "supervise" ] ~docv:"auto|on|off"
+          ~doc:
+            "Fault-tolerant campaign supervision: split the site enumeration \
+             into chunks dispatched to a bounded worker pool, heartbeat each \
+             worker's journal progress, kill and re-queue stalled workers with \
+             exponential backoff, and quarantine sites that repeatedly crash \
+             or hang workers (the campaign then completes $(i,degraded), exit \
+             code 5, with the quarantined sites listed in the report).  auto \
+             (default) supervises whenever $(b,--jobs) > 1; off restores the \
+             one-shot spawn/wait sharding.")
+  in
+  let worker_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "worker-timeout" ] ~docv:"S"
+          ~doc:
+            "Supervision: seconds a worker may go without journal progress \
+             before it is killed and its chunk re-queued.  Default: 30.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 10
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Supervision: per-chunk failure cap; a chunk that crashes or \
+             stalls more than N times aborts the campaign.  Quarantining a \
+             poison site resets the chunk's count.  Default: 10.")
+  in
+  let chunk_sites =
+    Arg.(
+      value & opt int 0
+      & info [ "chunk-sites" ] ~docv:"K"
+          ~doc:
+            "Supervision: sites per work-queue chunk.  0 (default) picks \
+             about four chunks per worker.")
+  in
+  let poison_after =
+    Arg.(
+      value & opt int 3
+      & info [ "poison-after" ] ~docv:"N"
+          ~doc:
+            "Supervision: quarantine a site after it is the blame site of N \
+             consecutive failures of its chunk.  Default: 3.")
+  in
   let prune =
     Arg.(
       value
@@ -1311,8 +1641,9 @@ let faults_cmd =
     Term.(
       const run_faults $ circuit_arg $ stim_arg $ engine $ n $ seed $ width $ slope
       $ t_stop_arg $ exhaustive $ grid $ format $ vcd_dir $ liberty_arg $ journal
-      $ resume $ limit_sites $ site_max_events $ jobs $ shard $ prune $ incremental
-      $ keep_shards)
+      $ resume $ limit_sites $ site_max_events $ jobs $ shard $ range $ supervise
+      $ worker_timeout $ max_retries $ chunk_sites $ poison_after $ prune
+      $ incremental $ keep_shards)
 
 let export_cmd =
   let doc = "export a netlist as structural Verilog" in

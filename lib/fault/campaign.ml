@@ -69,6 +69,7 @@ type t = {
   cam_complete : bool;
   cam_range : (int * int) option;
   cam_cone : Sim.Cone.totals option;
+  cam_quarantined : (int * Site.t) list;
 }
 
 (* One injected run reduced to what classification needs: per-signal
@@ -127,7 +128,8 @@ let classify ~c ~is_classic ~(base : observed) ~(site : Site.t) (inj : observed)
     vd_pruned = false;
   }
 
-let run ?sites ?range ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
+let run ?sites ?range ?(completed = []) ?(quarantined = []) ?limit ?on_verdict cfg tech
+    c ~drives =
   (* Every engine run flows through the {!Sim} facade; the baseline
      never carries the per-site budget — it is the reference every
      verdict is diffed against, so it must be whole. *)
@@ -214,24 +216,44 @@ let run ?sites ?range ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
     Diag.fail ~code:"shard-range"
       (Printf.sprintf "shard range [%d, %d) does not fit the %d-site campaign" lo hi
          nsites);
+  (* Quarantined sites (the supervisor gave up on them) are carved out
+     of the range: they are never simulated, own no verdict, and are
+     reported explicitly — the only permitted delta against an
+     unsupervised run. *)
+  let quarantined = List.sort_uniq Int.compare quarantined in
+  List.iter
+    (fun i ->
+      if i < lo || i >= hi then
+        Diag.fail ~code:"journal-mismatch"
+          (Printf.sprintf "quarantined site %d is outside the campaign range [%d, %d)" i
+             lo hi))
+    quarantined;
+  (* [active]: the global indices this run still owns, in order. *)
+  let active =
+    Array.of_list
+      (List.filter
+         (fun i -> not (List.mem i quarantined))
+         (List.init (hi - lo) (fun i -> lo + i)))
+  in
+  let nactive = Array.length active in
   (* Resume: [completed] must be a verdict-for-verdict prefix of the
      (range's slice of the) deterministic site list — anything else
      means the journal belongs to a different campaign. *)
   let ncompleted = List.length completed in
-  if ncompleted > hi - lo then
+  if ncompleted > nactive then
     Diag.fail ~code:"journal-mismatch"
       (Printf.sprintf "journal has %d verdicts but the campaign range has only %d sites"
-         ncompleted (hi - lo));
+         ncompleted nactive);
   List.iteri
     (fun i (v : verdict) ->
-      if Site.compare site_arr.(lo + i) v.vd_site <> 0 then
+      if Site.compare site_arr.(active.(i)) v.vd_site <> 0 then
         Diag.fail ~code:"journal-mismatch"
           (Printf.sprintf
              "journal verdict %d was recorded at a different site — wrong seed, circuit or \
               campaign parameters"
-             (lo + i)))
+             active.(i)))
     completed;
-  let fresh_total = hi - lo - ncompleted in
+  let fresh_total = nactive - ncompleted in
   let fresh_count =
     match limit with Some k -> min (max 0 k) fresh_total | None -> fresh_total
   in
@@ -250,7 +272,7 @@ let run ?sites ?range ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
   in
   let fresh = ref [] in
   for i = 0 to fresh_count - 1 do
-    let idx = lo + ncompleted + i in
+    let idx = active.(ncompleted + i) in
     let site = site_arr.(idx) in
     let v =
       match static_verdict site with
@@ -304,9 +326,10 @@ let run ?sites ?range ?(completed = []) ?limit ?on_verdict cfg tech c ~drives =
     cam_baseline_stats = Stats.copy base.ob_stats;
     cam_total_stats = total;
     cam_sites_total = nsites;
-    cam_complete = List.length verdicts = hi - lo;
+    cam_complete = List.length verdicts = nactive;
     cam_range = range;
     cam_cone = Option.map Sim.Cone.totals cone_ctx;
+    cam_quarantined = List.map (fun i -> (i, site_arr.(i))) quarantined;
   }
 
 let counts t =

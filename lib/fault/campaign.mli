@@ -124,12 +124,18 @@ type t = {
           sizes) when cone re-simulation was armed; [None] when it was
           off or refused.  Never rendered into reports — report bytes
           must not depend on the engine path. *)
+  cam_quarantined : (int * Site.t) list;
+      (** sites the supervisor quarantined (global index, site), in
+          index order: they own no verdict, and the campaign is
+          {e degraded} — whole except for exactly this list.  Empty for
+          unsupervised campaigns. *)
 }
 
 val run :
   ?sites:Site.t list ->
   ?range:int * int ->
   ?completed:verdict list ->
+  ?quarantined:int list ->
   ?limit:int ->
   ?on_verdict:(int -> verdict -> unit) ->
   config ->
@@ -155,7 +161,11 @@ val run :
     match the range's leading sites one-for-one; only the remaining
     sites are simulated, so an interrupted-then-resumed campaign
     returns a value byte-identical (through {!Fault_report}) to a
-    straight-through one.  [limit] caps how many {e fresh} sites get
+    straight-through one.  [quarantined] (default empty) lists global
+    site indices the supervisor gave up on: they are skipped entirely
+    (never simulated, never journaled as verdicts) and surface in
+    [cam_quarantined]; [completed] then covers the range's leading
+    {e non-quarantined} sites.  [limit] caps how many {e fresh} sites get
     simulated this call (the campaign is then [cam_complete = false]).
     [on_verdict] fires after each fresh site with its global index —
     the journaling hook.

@@ -49,7 +49,12 @@ let to_json (t : Campaign.t) =
         Json.Num
           (float_of_int
              (List.length t.Campaign.cam_verdicts - Campaign.pruned_count t)) );
+      ( "sites_quarantined",
+        Json.Num (float_of_int (List.length t.Campaign.cam_quarantined)) );
       ("partial", Json.Bool (not t.Campaign.cam_complete));
+      (* always present (false/0/[] when clean) so a supervised campaign
+         that recovered every site stays byte-identical to a serial one *)
+      ("degraded", Json.Bool (t.Campaign.cam_quarantined <> []));
       ( "pulse",
         Json.Obj
           [
@@ -77,6 +82,21 @@ let to_json (t : Campaign.t) =
                    ("propagated", Json.Num (float_of_int hits));
                  ])
              (Campaign.vulnerability t)) );
+      ( "quarantined_sites",
+        Json.Arr
+          (List.map
+             (fun (idx, (site : Site.t)) ->
+               Json.Obj
+                 [
+                   ("index", Json.Num (float_of_int idx));
+                   ("gate", Json.Str (Netlist.gate_name c site.Site.st_gate));
+                   ("signal", Json.Str (Netlist.signal_name c site.Site.st_signal));
+                   ("at", Json.Num site.Site.st_at);
+                   ( "polarity",
+                     Json.Str (Transition.polarity_to_string site.Site.st_polarity)
+                   );
+                 ])
+             t.Campaign.cam_quarantined) );
       ("verdicts", Json.Arr (List.map (verdict_json c) t.Campaign.cam_verdicts));
       ("baseline_stats", stats_json t.Campaign.cam_baseline_stats);
       ("total_stats", stats_json t.Campaign.cam_total_stats);
@@ -115,6 +135,15 @@ let to_text (t : Campaign.t) =
     addf "  statically pruned    %4d  (%d simulated)\n" pruned (n - pruned);
   if not t.Campaign.cam_complete then
     addf "  PARTIAL: %d of %d sites simulated\n" n t.Campaign.cam_sites_total;
+  (match t.Campaign.cam_quarantined with
+  | [] -> ()
+  | qs ->
+      addf "  DEGRADED: %d site%s quarantined by the supervisor\n" (List.length qs)
+        (if List.length qs = 1 then "" else "s");
+      List.iter
+        (fun (idx, site) ->
+          addf "    site %d: %s\n" idx (Format.asprintf "%a" (Site.pp c) site))
+        qs);
   (match Campaign.vulnerability t with
   | [] -> addf "\nno gate propagated a strike\n"
   | ranked ->

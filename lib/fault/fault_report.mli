@@ -9,7 +9,10 @@
 val to_json : Campaign.t -> Halotis_util.Json.t
 (** The report document: tool/version header, configuration, outcome
     summary with masking rate, per-site verdicts and the
-    most-vulnerable-gate ranking. *)
+    most-vulnerable-gate ranking.  The degradation fields ([degraded],
+    [sites_quarantined], [quarantined_sites]) are always present —
+    [false]/[0]/[[]] on a clean campaign — so a supervised run that
+    recovered everything is byte-identical to a serial one. *)
 
 val to_string : Campaign.t -> string
 (** [to_string t] is {!to_json} serialised. *)

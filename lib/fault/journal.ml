@@ -16,10 +16,12 @@ type header = {
   jh_prune : bool;
 }
 
-(* v2 adds the prune flag to the params line and a trailing marker on
-   pruned verdict records; v1 files (never pruned) still load. *)
+(* v2 added the prune flag to the params line and a trailing marker on
+   pruned verdict records; v3 adds quarantine records ([q IDX]) written
+   by the campaign supervisor.  v1 and v2 files still load. *)
 let magic_v1 = "# halotis-faults journal v1"
-let magic = "# halotis-faults journal v2"
+let magic_v2 = "# halotis-faults journal v2"
+let magic = "# halotis-faults journal v3"
 
 let header_of ~circuit ?range (cfg : Campaign.config) =
   {
@@ -82,6 +84,8 @@ let stop_of_token tok =
     | 'O' -> Some (Stop.Oscillation (String.split_on_char ';' rest))
     | _ -> None
 
+type entry = Verdict of Campaign.verdict | Quarantined
+
 let verdict_line idx (v : Campaign.verdict) =
   let site = v.Campaign.vd_site in
   let s = v.Campaign.vd_stats in
@@ -99,6 +103,12 @@ let verdict_line idx (v : Campaign.verdict) =
     (* the trailing marker exists only on pruned records, so unpruned
        v2 lines are byte-identical to v1 ones *)
     (if v.Campaign.vd_pruned then " p" else "")
+
+let quarantine_line idx = Printf.sprintf "q %d" idx
+
+let entry_line idx = function
+  | Verdict v -> verdict_line idx v
+  | Quarantined -> quarantine_line idx
 
 let parse_verdict_line line =
   (* 17 tokens = an unpruned record (also every v1 record); an 18th
@@ -159,16 +169,71 @@ let parse_verdict_line line =
           } ))
   | _ -> None
 
-type writer = { oc : out_channel; sync_every : int; mutable unsynced : int }
+let parse_entry_line line =
+  match String.split_on_char ' ' line with
+  | [ "q"; idx ] ->
+      Option.map (fun idx -> (idx, Quarantined)) (int_of_string_opt idx)
+  | _ ->
+      Option.map (fun (idx, v) -> (idx, Verdict v)) (parse_verdict_line line)
+
+(* --- progress cursor ------------------------------------------------
+
+   A sidecar file ("journal.cursor") holding the highest fsync'd entry
+   index as one ASCII integer — the supervisor's heartbeat.  It is
+   rewritten in place and fsync'd only {e after} the journal itself has
+   been synced, so it may understate progress (a kill between the two
+   fsyncs) but never overstate it. *)
+
+let cursor_path path = path ^ ".cursor"
+
+let read_cursor path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | content -> int_of_string_opt (String.trim content)
+  | exception Sys_error _ -> None
+
+let write_cursor_fd fd idx =
+  let s = string_of_int idx ^ "\n" in
+  let b = Bytes.of_string s in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let rec put o =
+    if o < Bytes.length b then put (o + Unix.write fd b o (Bytes.length b - o))
+  in
+  put 0;
+  Unix.ftruncate fd (Bytes.length b);
+  Unix.fsync fd
+
+type writer = {
+  oc : out_channel;
+  sync_every : int;
+  mutable unsynced : int;
+  cursor_fd : Unix.file_descr option;
+  mutable last_idx : int;  (** highest entry index written; [-1] = none yet *)
+}
 
 let sync w =
   flush w.oc;
   Unix.fsync (Unix.descr_of_out_channel w.oc);
-  w.unsynced <- 0
+  w.unsynced <- 0;
+  match w.cursor_fd with
+  | Some fd when w.last_idx >= 0 -> write_cursor_fd fd w.last_idx
+  | Some _ | None -> ()
 
-let open_new ?(sync_every = 8) path h =
+let open_cursor ~cursor path =
+  if not cursor then None
+  else
+    Some (Unix.openfile (cursor_path path) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644)
+
+let open_new ?(sync_every = 8) ?(cursor = false) path h =
   let oc = open_out path in
-  let w = { oc; sync_every = max 1 sync_every; unsynced = 0 } in
+  let w =
+    {
+      oc;
+      sync_every = max 1 sync_every;
+      unsynced = 0;
+      cursor_fd = open_cursor ~cursor path;
+      last_idx = -1;
+    }
+  in
   output_string oc (magic ^ "\n");
   output_string oc (Printf.sprintf "! circuit %s\n" h.jh_circuit);
   let w0, w1 =
@@ -187,7 +252,7 @@ let open_new ?(sync_every = 8) path h =
   sync w;
   w
 
-let open_append ?(sync_every = 8) path =
+let open_append ?(sync_every = 8) ?(cursor = false) path =
   (* A torn final record (the crash wrote half a line) must go before
      appending, or the next verdict line would begin mid-record and a
      later {!load} would reject the file. *)
@@ -199,15 +264,26 @@ let open_append ?(sync_every = 8) path =
   Unix.ftruncate fd keep;
   ignore (Unix.lseek fd keep Unix.SEEK_SET);
   let oc = Unix.out_channel_of_descr fd in
-  { oc; sync_every = max 1 sync_every; unsynced = 0 }
+  {
+    oc;
+    sync_every = max 1 sync_every;
+    unsynced = 0;
+    cursor_fd = open_cursor ~cursor path;
+    last_idx = -1;
+  }
 
-let write w idx v =
-  output_string w.oc (verdict_line idx v ^ "\n");
+let write_entry w idx e =
+  output_string w.oc (entry_line idx e ^ "\n");
+  w.last_idx <- idx;
   w.unsynced <- w.unsynced + 1;
   if w.unsynced >= w.sync_every then sync w
 
+let write w idx v = write_entry w idx (Verdict v)
+let write_quarantine w idx = write_entry w idx Quarantined
+
 let close w =
   sync w;
+  (match w.cursor_fd with Some fd -> Unix.close fd | None -> ());
   close_out w.oc
 
 let parse_fail path msg =
@@ -225,7 +301,7 @@ let load path =
   let lines = Halotis_util.Json.Lines.to_list (Halotis_util.Json.Lines.of_string content) in
   match lines with
   | [] -> parse_fail path "empty journal"
-  | m :: rest when m = magic || m = magic_v1 -> (
+  | m :: rest when m = magic || m = magic_v2 || m = magic_v1 -> (
       let circuit, rest =
         match rest with
         | l :: tl when String.length l > 10 && String.sub l 0 10 = "! circuit " ->
@@ -300,8 +376,8 @@ let load path =
       let rec collect acc prev = function
         | [] -> List.rev acc
         | (line, is_last) :: tl -> (
-            match parse_verdict_line line with
-            | Some (idx, v) when idx > prev -> collect ((idx, v) :: acc) idx tl
+            match parse_entry_line line with
+            | Some (idx, e) when idx > prev -> collect ((idx, e) :: acc) idx tl
             | Some _ | None ->
                 (* only the final record may be torn; anything earlier
                    is corruption (including an index that runs
@@ -314,14 +390,22 @@ let load path =
 
 let contiguous ~first indexed =
   List.mapi
-    (fun i (idx, v) ->
+    (fun i (idx, e) ->
       if idx <> first + i then
         Diag.fail ~code:"journal-merge"
           ~hint:"a worker died before journaling this site; re-run with --resume to fill the gap"
           (Printf.sprintf "verdict for site %d is missing (found %d instead)" (first + i)
              idx)
-      else v)
+      else e)
     indexed
+
+let partition ~first entries =
+  let rec go i vs qs = function
+    | [] -> (List.rev vs, List.rev qs)
+    | Verdict v :: tl -> go (i + 1) (v :: vs) qs tl
+    | Quarantined :: tl -> go (i + 1) vs (i :: qs) tl
+  in
+  go first [] [] entries
 
 let merge parts =
   match parts with
@@ -339,10 +423,11 @@ let merge parts =
       let sorted = List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) all in
       (* Equal records for the same site (an overlap from a re-run
          shard) collapse; different ones mean the shards simulated
-         different campaigns and nothing can be trusted. *)
+         different campaigns — or a retry re-simulated a site another
+         attempt quarantined — and nothing can be trusted. *)
       let rec dedupe = function
-        | (ia, va) :: ((ib, vb) :: _ as tl) when ia = ib ->
-            if verdict_line ia va = verdict_line ib vb then dedupe tl
+        | (ia, ea) :: ((ib, eb) :: _ as tl) when ia = ib ->
+            if entry_line ia ea = entry_line ib eb then dedupe tl
             else
               Diag.fail ~code:"journal-merge"
                 (Printf.sprintf "shard journals disagree on the verdict for site %d" ia)

@@ -2,38 +2,55 @@ module Stop = Halotis_guard.Stop
 module Diag = Halotis_guard.Diag
 
 (* Core-count autodetection for [--jobs 0].  [getconf] is POSIX and
-   respects the process's scheduling restrictions on glibc; the
-   /proc/cpuinfo fallback covers systems without it.  Never raises —
-   an undetectable count degrades to serial. *)
-let available_cores () =
-  let from_getconf () =
-    try
-      let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" in
-      let line = try Some (input_line ic) with End_of_file -> None in
-      match (Unix.close_process_in ic, line) with
-      | Unix.WEXITED 0, Some l -> int_of_string_opt (String.trim l)
-      | _ -> None
-    with Unix.Unix_error _ | Sys_error _ -> None
-  in
-  let from_proc () =
-    try
-      let ic = open_in "/proc/cpuinfo" in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let n = ref 0 in
-          (try
-             while true do
-               let line = input_line ic in
-               if String.length line >= 9 && String.sub line 0 9 = "processor" then incr n
-             done
-           with End_of_file -> ());
-          if !n > 0 then Some !n else None)
-    with Sys_error _ -> None
-  in
-  match from_getconf () with
-  | Some n when n >= 1 -> n
-  | _ -> ( match from_proc () with Some n -> n | None -> 1)
+   respects the process's scheduling restrictions on glibc; [sysctl]
+   covers the BSDs and macOS, and the /proc/cpuinfo scan is the last
+   resort for stripped-down Linux containers.  Never raises — an
+   undetectable count degrades to serial.  The parsing is split from
+   the process/file plumbing so tests can stub the readers. *)
+
+let parse_core_count line =
+  match int_of_string_opt (String.trim line) with
+  | Some n when n >= 1 -> Some n
+  | _ -> None
+
+let count_cpuinfo_processors contents =
+  let n = ref 0 in
+  String.split_on_char '\n' contents
+  |> List.iter (fun line ->
+         if String.length line >= 9 && String.sub line 0 9 = "processor" then incr n);
+  if !n > 0 then Some !n else None
+
+let read_command_line cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try Some (input_line ic) with End_of_file -> None in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some l -> Some l
+    | _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let read_file_contents path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  with Sys_error _ | End_of_file -> None
+
+let detect_cores ?(getconf = fun () -> read_command_line "getconf _NPROCESSORS_ONLN 2>/dev/null")
+    ?(sysctl = fun () -> read_command_line "sysctl -n hw.ncpu 2>/dev/null")
+    ?(cpuinfo = fun () -> read_file_contents "/proc/cpuinfo") () =
+  match Option.bind (getconf ()) parse_core_count with
+  | Some n -> n
+  | None -> (
+      match Option.bind (sysctl ()) parse_core_count with
+      | Some n -> n
+      | None -> (
+          match Option.bind (cpuinfo ()) count_cpuinfo_processors with
+          | Some n -> n
+          | None -> 1))
+
+let available_cores () = detect_cores ()
 
 let range ~total ~jobs k =
   if total < 0 then invalid_arg "Shard.range: total must be non-negative";
@@ -44,6 +61,7 @@ let range ~total ~jobs k =
 let ranges ~total ~jobs = List.init jobs (fun k -> range ~total ~jobs k)
 
 let journal_path base k = Printf.sprintf "%s.%d" base k
+let stderr_path base k = Printf.sprintf "%s.%d.err" base k
 
 let parse_spec s =
   match String.index_opt s '/' with
@@ -64,12 +82,36 @@ type worker = {
   wk_pid : int;
 }
 
-let spawn ~argv ~index ~range ~journal =
+let spawn ?stderr_file ~argv ~index ~range ~journal () =
+  let err_fd, close_err =
+    match stderr_file with
+    | None -> (Unix.stderr, fun () -> ())
+    | Some path ->
+        let fd =
+          Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+        in
+        (fd, fun () -> Unix.close fd)
+  in
   let pid =
-    Unix.create_process Sys.executable_name (Array.of_list argv) Unix.stdin
-      Unix.stdout Unix.stderr
+    Fun.protect ~finally:close_err (fun () ->
+        Unix.create_process Sys.executable_name (Array.of_list argv) Unix.stdin
+          Unix.stdout err_fd)
   in
   { wk_index = index; wk_range = range; wk_journal = journal; wk_pid = pid }
+
+(* The last few stderr lines of a dead worker, for replay into the
+   supervisor's diagnostic.  Best effort: a missing or empty capture
+   file yields []. *)
+let stderr_tail ?(lines = 5) path =
+  match read_file_contents path with
+  | None -> []
+  | Some contents ->
+      let all =
+        String.split_on_char '\n' contents
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      let n = List.length all in
+      List.filteri (fun i _ -> i >= n - lines) all
 
 let wait_all workers =
   List.map

@@ -23,8 +23,30 @@
 val available_cores : unit -> int
 (** The number of processor cores available to this process — what
     [faults --jobs 0] resolves to.  Asks [getconf _NPROCESSORS_ONLN]
-    first, counts [/proc/cpuinfo] processor lines as a fallback, and
-    returns [1] when neither source answers.  Never raises. *)
+    first, then [sysctl -n hw.ncpu] (the BSD/macOS spelling), then
+    counts [/proc/cpuinfo] processor lines, and returns [1] when no
+    source answers.  Never raises. *)
+
+val detect_cores :
+  ?getconf:(unit -> string option) ->
+  ?sysctl:(unit -> string option) ->
+  ?cpuinfo:(unit -> string option) ->
+  unit ->
+  int
+(** {!available_cores} with injectable readers, for testing the
+    fallback chain without the host's real core count: [getconf] and
+    [sysctl] yield the command's first output line (or [None] on
+    failure), [cpuinfo] the whole file's contents.  A reader whose
+    output does not parse to a count [>= 1] falls through to the
+    next. *)
+
+val parse_core_count : string -> int option
+(** Parses one command-output line into a core count: whitespace is
+    trimmed, and anything that is not an integer [>= 1] is [None]. *)
+
+val count_cpuinfo_processors : string -> int option
+(** Counts [processor] lines in [/proc/cpuinfo]-format contents;
+    [None] when there are none (the caller falls through). *)
 
 val range : total:int -> jobs:int -> int -> int * int
 (** [range ~total ~jobs k] is worker [k]'s half-open global site-index
@@ -40,6 +62,10 @@ val journal_path : string -> int -> string
 (** [journal_path base k] is ["base.k"] — where worker [k]'s shard
     journal lives. *)
 
+val stderr_path : string -> int -> string
+(** [stderr_path base k] is ["base.k.err"] — where worker [k]'s
+    captured stderr lands when the caller passes it to {!spawn}. *)
+
 val parse_spec : string -> (int * int) option
 (** Parses a [--shard] argument ["K/N"] into [(k, n)]; [None] unless
     [0 <= k < n]. *)
@@ -54,10 +80,22 @@ type worker = {
 }
 
 val spawn :
-  argv:string list -> index:int -> range:int * int -> journal:string -> worker
+  ?stderr_file:string ->
+  argv:string list ->
+  index:int ->
+  range:int * int ->
+  journal:string ->
+  unit ->
+  worker
 (** Forks worker [index] by re-executing [Sys.executable_name] with
     [argv] (complete, including the program name at its head); the
-    child inherits stdin/stdout/stderr. *)
+    child inherits stdin/stdout, and stderr too unless [stderr_file]
+    redirects it into a fresh capture file (created/truncated). *)
+
+val stderr_tail : ?lines:int -> string -> string list
+(** The last [lines] (default 5) non-blank lines of a worker's stderr
+    capture file; [[]] when the file is missing or empty.  Replayed
+    into the supervisor's diagnostics after a worker dies. *)
 
 val wait_all : worker list -> (worker * Unix.process_status) list
 (** Blocks until every worker has exited, in worker order.  Never
@@ -75,7 +113,7 @@ val exit_code : (worker * Unix.process_status) list -> int
     ({!Halotis_guard.Stop.worst_exit_code} of the per-worker codes). *)
 
 val load_merged :
-  base:string -> jobs:int -> Journal.header * (int * Campaign.verdict) list
+  base:string -> jobs:int -> Journal.header * (int * Journal.entry) list
 (** Loads every existing shard journal [base.0 .. base.(jobs-1)] and
     {!Journal.merge}s them.  Shard files that do not exist (a worker
     died before writing its header) are skipped — the gap surfaces in

@@ -45,9 +45,11 @@ let exit_code = function
   | Event_budget _ | Wall_clock _ | Queue_cap _ | Sim_time _ | Transition_cap _ -> 3
   | Oscillation _ -> 4
 
+let degraded_exit_code = 5
+
 let worst_exit_code codes =
-  (* hard errors (anything outside the 0/3/4 contract) dominate, then
-     oscillation, then budget trips; 0 only when every contributor
-     completed *)
-  let severity = function 0 -> 0 | 3 -> 1 | 4 -> 2 | _ -> 3 in
+  (* hard errors (anything outside the 0/3/4/5 contract) dominate, then
+     degradation (quarantined work), then oscillation, then budget
+     trips; 0 only when every contributor completed *)
+  let severity = function 0 -> 0 | 3 -> 1 | 4 -> 2 | 5 -> 3 | _ -> 4 in
   List.fold_left (fun acc c -> if severity c > severity acc then c else acc) 0 codes

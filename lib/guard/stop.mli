@@ -42,9 +42,16 @@ val exit_code : t -> int
     {!Completed}, 3 for any resource-budget trip, 4 for an oscillation
     halt. *)
 
+val degraded_exit_code : int
+(** [5] — the exit code of a run that completed {e degraded}: a
+    supervised campaign quarantined one or more poison sites instead of
+    failing, so the report is whole except for the explicitly listed
+    quarantined work (documented in [doc/robustness.md]). *)
+
 val worst_exit_code : int list -> int
 (** Folds many per-worker exit codes into the one a parent process
     reports: [0] only when every code is [0]; otherwise the most severe
-    contributor wins — a hard error (any code outside the 0/3/4
-    contract, e.g. [1] or a signal death) over an oscillation halt
-    ([4]) over a budget trip ([3]).  [0] for the empty list. *)
+    contributor wins — a hard error (any code outside the 0/3/4/5
+    contract, e.g. [1] or a signal death) over a degraded completion
+    ({!degraded_exit_code}) over an oscillation halt ([4]) over a
+    budget trip ([3]).  [0] for the empty list. *)

@@ -275,12 +275,12 @@ let test_journal_v2_pruned_roundtrip () =
       checkb "header records prune mode" true h.Journal.jh_prune;
       Journal.check h ~circuit:(N.name c) (cfg true);
       (match Journal.contiguous ~first:0 indexed with
-      | [ v ] ->
+      | [ Journal.Verdict v ] ->
           checkb "pruned flag round-trips" true v.Campaign.vd_pruned;
           checkb "outcome round-trips" true
             (v.Campaign.vd_outcome
             = (List.hd t.Campaign.cam_verdicts).Campaign.vd_outcome)
-      | l -> Alcotest.failf "expected one verdict, got %d" (List.length l));
+      | l -> Alcotest.failf "expected one verdict entry, got %d" (List.length l));
       match Journal.check h ~circuit:(N.name c) (cfg false) with
       | () -> Alcotest.fail "prune-mode mismatch must be rejected"
       | exception Halotis_guard.Diag.Fail d ->

@@ -433,7 +433,7 @@ let test_resume_byte_identical () =
       (* phase 2: load survives the torn record, resume finishes the rest *)
       let h, indexed = Journal.load path in
       Journal.check h ~circuit:(N.name c) cfg;
-      let completed = Journal.contiguous ~first:0 indexed in
+      let completed, _ = Journal.partition ~first:0 (Journal.contiguous ~first:0 indexed) in
       checki "torn tail dropped, five verdicts recovered" 5 (List.length completed);
       let w2 = Journal.open_append path in
       let resumed =
@@ -446,7 +446,7 @@ let test_resume_byte_identical () =
       checks "text report byte-identical" want_text (Fault_report.to_text resumed);
       (* the finished journal now replays to a full verdict list *)
       let _, all_indexed = Journal.load path in
-      let all = Journal.contiguous ~first:0 all_indexed in
+      let all, _ = Journal.partition ~first:0 (Journal.contiguous ~first:0 all_indexed) in
       checki "journal holds every verdict" 12 (List.length all);
       let replay = Campaign.run ~completed:all cfg DL.tech c ~drives in
       checks "replayed-from-journal report byte-identical" want_json
