@@ -45,12 +45,15 @@ let run () =
      replay the exact same strikes via [?sites]. *)
   let ddm = Campaign.run (campaign_config ~engine:Campaign.Ddm ~width) DL.tech c ~drives in
   let sites = List.map (fun (v : Campaign.verdict) -> v.Campaign.vd_site) ddm.Campaign.cam_verdicts in
+  let with_sites cfg = { cfg with Campaign.sites = Some sites } in
   let cdm =
-    Campaign.run ~sites (campaign_config ~engine:Campaign.Cdm ~width) DL.tech c ~drives
+    Campaign.run
+      (with_sites (campaign_config ~engine:Campaign.Cdm ~width))
+      DL.tech c ~drives
   in
   let classic =
-    Campaign.run ~sites
-      (campaign_config ~engine:Campaign.Classic_inertial ~width)
+    Campaign.run
+      (with_sites (campaign_config ~engine:Campaign.Classic_inertial ~width))
       DL.tech c ~drives
   in
   Printf.printf "  %-18s %10s %10s %9s %12s\n" "engine" "propagated" "electrical" "logical"

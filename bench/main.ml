@@ -34,6 +34,7 @@ let experiments : (string * string * (unit -> Halotis_report.Experiment.t list))
     ("cone", "incremental cone re-simulation for fault campaigns (extension)", Exp_cone.run);
     ("serve", "persistent service: cache speedup and request throughput (extension)", Exp_serve.run);
     ("supervise", "fault-tolerant campaign supervision: recovery overhead (extension)", Exp_supervise.run);
+    ("vary", "Monte-Carlo variation & aging campaigns (extension)", Exp_vary.run);
   ]
 
 let list_experiments () =

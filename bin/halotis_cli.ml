@@ -41,6 +41,11 @@ module Fault_report = Halotis_fault.Fault_report
 module Journal = Halotis_fault.Journal
 module Shard = Halotis_fault.Shard
 module Supervisor = Halotis_fault.Supervisor
+module Sampler = Halotis_vary.Sampler
+module Aging = Halotis_vary.Aging
+module Sweep = Halotis_vary.Sweep
+module Vary_report = Halotis_vary.Vary_report
+module Param_overlay = Halotis_tech.Param_overlay
 module Stats = Halotis_engine.Stats
 module Stop = Halotis_guard.Stop
 module Budget = Halotis_guard.Budget
@@ -354,7 +359,8 @@ let warn_stop stopped =
     Format.eprintf "halotis: simulation stopped early: %a@." Stop.pp stopped
 
 let run_simulate path stim_path model t_stop vcd_path diagram liberty report max_events
-    max_wall max_queue max_sim_time watchdog degrade wd_window wd_threshold json =
+    max_wall max_queue max_sim_time watchdog degrade wd_window wd_threshold json
+    checkpoint_path =
   let tech = load_tech liberty in
   let c = or_die (load_circuit path) in
   let stim = or_die (load_stimfile stim_path) in
@@ -407,6 +413,17 @@ let run_simulate path stim_path model t_stop vcd_path diagram liberty report max
           Vcd.write_file ?comment:(partial_comment r.Sim.rs_stopped_by) p (Sim.vcd_dumps r);
           Printf.eprintf "vcd written to %s\n" p
       | None -> ());
+      (match checkpoint_path with
+      | Some p when not (Stop.completed r.Sim.rs_stopped_by) -> (
+          match Sim.iddm r with
+          | Some _ ->
+              Halotis_engine.Checkpoint.write p (Halotis_engine.Checkpoint.of_result r);
+              Printf.eprintf "checkpoint written to %s (stopped by %s)\n" p
+                (Stop.to_string r.Sim.rs_stopped_by)
+          | None ->
+              prerr_endline
+                "halotis: --checkpoint needs a waveform engine (ddm or cdm); ignored")
+      | Some _ | None -> ());
       Stop.exit_code r.Sim.rs_stopped_by
   | `Analog ->
       let r = Asim.run (Asim.config ~t_stop:horizon tech) c ~drives in
@@ -709,12 +726,13 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
       in
       let cz = chaos_of_env () in
       let campaign =
-        Campaign.run ?sites ~range:(lo, hi) ~completed ~quarantined
+        Campaign.run
           ~on_verdict:(fun idx v ->
             chaos_pre cz idx;
             Journal.write writer idx v;
             chaos_post cz ~journal:jpath)
-          cfg tech c ~drives
+          { cfg with Campaign.sites; range = Some (lo, hi); completed; quarantined }
+          tech c ~drives
       in
       Journal.close writer;
       Printf.eprintf "faults: range [%d,%d): %d sites done\n%!" lo hi
@@ -744,9 +762,10 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
         | Some _, Some _ -> assert false
       in
       let campaign =
-        Campaign.run ?sites ~range:(lo, hi) ~completed ~quarantined
+        Campaign.run
           ~on_verdict:(fun idx v -> Journal.write writer idx v)
-          cfg tech c ~drives
+          { cfg with Campaign.sites; range = Some (lo, hi); completed; quarantined }
+          tech c ~drives
       in
       Journal.close writer;
       Printf.eprintf "faults: shard %d/%d: %d sites done\n" k nworkers
@@ -802,7 +821,9 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
       (* re-running zero fresh sites revalidates every journaled verdict
          against the deterministic site list and rebuilds the aggregate
          stats exactly as a serial run would *)
-      let campaign = Campaign.run ?sites ~completed ~quarantined cfg tech c ~drives in
+      let campaign =
+        Campaign.run { cfg with Campaign.sites; completed; quarantined } tech c ~drives
+      in
       Format.eprintf "faults: %s: %s@." (N.name c) (Fault_report.summary campaign);
       if outcome.Supervisor.sv_retries > 0 then
         Printf.eprintf
@@ -914,7 +935,9 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
         (* re-running zero fresh sites revalidates every journaled
            verdict against the deterministic site list and rebuilds the
            aggregate stats exactly as a serial run would *)
-        let campaign = Campaign.run ?sites ~completed ~quarantined cfg tech c ~drives in
+        let campaign =
+          Campaign.run { cfg with Campaign.sites; completed; quarantined } tech c ~drives
+        in
         Format.eprintf "faults: %s: %s@." (N.name c) (Fault_report.summary campaign);
         if user_journal then begin
           (* leave the user one merged serial journal, as if --jobs 1
@@ -967,7 +990,8 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
       in
       let on_verdict = Option.map (fun (_, w) idx v -> Journal.write w idx v) writer in
       let campaign =
-        Campaign.run ?sites ~completed ~quarantined ?limit:limit_sites ?on_verdict cfg
+        Campaign.run ?on_verdict
+          { cfg with Campaign.sites; completed; quarantined; limit = limit_sites }
           tech c ~drives
       in
       (match writer with Some (_, w) -> Journal.close w | None -> ());
@@ -986,6 +1010,252 @@ let run_faults path stim_path engine n seed width slope t_stop exhaustive grid f
       end;
       let rc = emit_report campaign in
       if campaign.Campaign.cam_quarantined <> [] then Stop.degraded_exit_code else rc
+
+(* --- vary --- *)
+
+(* Sample k's journal lives beside the base path, mirroring the shard
+   naming scheme ("base.k") with an "s" so the two never collide when a
+   vary campaign and a faults campaign share a directory. *)
+let sample_journal base k = Printf.sprintf "%s.s%d" base k
+
+let run_vary path stim_path engine seed n width slope t_stop samples sigma_device
+    sigma_chip sigma_lot stress_hours ttf jobs journal_path resume_path liberty
+    sample_worker format =
+  let tech = load_tech liberty in
+  let c = or_die (load_circuit path) in
+  let stim = or_die (load_stimfile stim_path) in
+  let is_worker = sample_worker <> None in
+  if not is_worker then preflight ~stim tech c;
+  let drives = bind_stim stim c in
+  let horizon = horizon_of_drives drives t_stop in
+  let pulse =
+    try Inject.pulse ~slope ~width ()
+    with Invalid_argument m -> die_diag (Diag.make ~code:"invalid-input" m)
+  in
+  let sigmas =
+    try Sampler.sigmas ~device:sigma_device ~chip:sigma_chip ~lot:sigma_lot ()
+    with Invalid_argument m -> usage_diag m
+  in
+  if samples < 0 then usage_diag "--samples must be non-negative";
+  if stress_hours < 0. then usage_diag "--stress-hours must be non-negative";
+  (match (journal_path, resume_path) with
+  | Some _, Some _ ->
+      usage_diag ~hint:"--resume already appends new verdicts to the journals it loads"
+        "--journal and --resume are mutually exclusive"
+  | _ -> ());
+  let cfg = Campaign.config ~engine ~seed ~n ~pulse ~t_stop:horizon () in
+  (* The nominal (empty overlay) campaign fixes the shared strike list
+     every sampled corner replays, and is the flip reference of the
+     report.  It is deterministic, so workers re-derive the identical
+     list without any coordination. *)
+  let nominal = Campaign.run cfg tech c ~drives in
+  let sites =
+    List.map (fun (v : Campaign.verdict) -> v.Campaign.vd_site) nominal.Campaign.cam_verdicts
+  in
+  let overlay_of k = Sampler.sample ~stress_hours sigmas ~seed ~index:k c in
+  let sample_cfg k = { cfg with Campaign.overlay = overlay_of k; sites = Some sites } in
+  (* One sample's campaign, optionally journaled/resumed — the exact
+     serial-faults journaling discipline, so a zero-sigma sample's
+     journal is byte-identical to the plain faults one. *)
+  let run_sample ?jpath ?(resume = false) k =
+    let scfg = sample_cfg k in
+    let completed, quarantined, writer =
+      match jpath with
+      | None -> ([], [], None)
+      | Some p ->
+          if resume && Sys.file_exists p then begin
+            let h, indexed = Journal.load p in
+            Journal.check h ~circuit:(N.name c) scfg;
+            let entries = Journal.contiguous ~first:0 indexed in
+            let completed, quarantined = Journal.partition ~first:0 entries in
+            (completed, quarantined, Some (Journal.open_append p))
+          end
+          else
+            ( [],
+              [],
+              Some (Journal.open_new p (Journal.header_of ~circuit:(N.name c) scfg)) )
+    in
+    let on_verdict = Option.map (fun w idx v -> Journal.write w idx v) writer in
+    let campaign =
+      Campaign.run ?on_verdict { scfg with Campaign.completed; quarantined } tech c ~drives
+    in
+    (match writer with Some w -> Journal.close w | None -> ());
+    campaign
+  in
+  match sample_worker with
+  | Some k ->
+      (* ----- internal worker (spawned by --jobs): one sample into its
+         own journal, no report ----- *)
+      let base =
+        match (journal_path, resume_path) with
+        | Some p, None | None, Some p -> p
+        | None, None -> usage_diag "a --sample worker needs --journal or --resume"
+        | Some _, Some _ -> assert false
+      in
+      if k < 0 || k >= samples then
+        usage_diag (Printf.sprintf "--sample %d out of range for %d samples" k samples);
+      let campaign =
+        run_sample ~jpath:(sample_journal base k) ~resume:(resume_path <> None) k
+      in
+      Printf.eprintf "vary: sample %d: %s\n%!" k (Fault_report.summary campaign);
+      0
+  | None ->
+      let jobs = if jobs = 0 then Shard.available_cores () else jobs in
+      let sample_results, cleanup =
+        if jobs > 1 && samples > 0 then begin
+          (* ----- parallel parent: one worker process per sample, at
+             most [jobs] in flight, each journaling base.sK; the parent
+             reloads and revalidates every journal (overlay fingerprint
+             included) before aggregating ----- *)
+          let base, user_journal =
+            match (journal_path, resume_path) with
+            | Some p, None | None, Some p -> (p, true)
+            | None, None -> (Filename.temp_file "halotis-vary" ".journal", false)
+            | Some _, Some _ -> assert false
+          in
+          let resuming = resume_path <> None in
+          let worker_argv k =
+            [ Sys.executable_name; "vary"; path; "--stim"; stim_path ]
+            @ [ "--engine"; Campaign.engine_to_string engine ]
+            @ [ "-n"; string_of_int n; "--seed"; string_of_int seed ]
+            @ [ "--width"; farg width; "--slope"; farg slope ]
+            @ [ "--t-stop"; farg horizon ]
+            @ [ "--samples"; string_of_int samples ]
+            @ [ "--sigma-device"; farg sigma_device ]
+            @ [ "--sigma-chip"; farg sigma_chip ]
+            @ [ "--sigma-lot"; farg sigma_lot ]
+            @ [ "--stress-hours"; farg stress_hours ]
+            @ (match liberty with Some p -> [ "--liberty"; p ] | None -> [])
+            @ [ "--sample"; string_of_int k ]
+            @ [
+                (if resuming && Sys.file_exists (sample_journal base k) then "--resume"
+                 else "--journal");
+                base;
+              ]
+          in
+          Printf.eprintf "vary: %d samples across %d workers\n%!" samples jobs;
+          let rec waves k acc =
+            if k >= samples then acc
+            else begin
+              let batch = min jobs (samples - k) in
+              let ws =
+                List.init batch (fun i ->
+                    let idx = k + i in
+                    Shard.spawn ~argv:(worker_argv idx) ~index:idx
+                      ~range:(idx, idx + 1)
+                      ~journal:(sample_journal base idx) ())
+              in
+              waves (k + batch) (acc @ Shard.wait_all ws)
+            end
+          in
+          let results = waves 0 [] in
+          let failed =
+            List.filter (fun (_, st) -> Shard.status_exit_code st <> 0) results
+          in
+          if failed <> [] then begin
+            List.iter
+              (fun ((w : Shard.worker), st) ->
+                Printf.eprintf "vary: sample %d worker: %s\n" w.Shard.wk_index
+                  (Shard.status_to_string st))
+              failed;
+            Printf.eprintf
+              "vary: %d of %d sample workers failed; finished samples survive in \
+               %s.sK — re-run with --resume %s to finish\n"
+              (List.length failed) samples base base;
+            exit (Shard.exit_code results)
+          end;
+          let loaded =
+            List.init samples (fun k ->
+                let jpath = sample_journal base k in
+                let h, indexed = Journal.load jpath in
+                Journal.check h ~circuit:(N.name c) (sample_cfg k);
+                let entries = Journal.contiguous ~first:0 indexed in
+                let completed, _ = Journal.partition ~first:0 entries in
+                (k, Param_overlay.fingerprint (overlay_of k), completed))
+          in
+          let cleanup () =
+            if not user_journal then begin
+              for k = 0 to samples - 1 do
+                let p = sample_journal base k in
+                if Sys.file_exists p then Sys.remove p
+              done;
+              if Sys.file_exists base then Sys.remove base
+            end
+          in
+          (loaded, cleanup)
+        end
+        else begin
+          (* ----- serial: run every sample in-process ----- *)
+          let base =
+            match (journal_path, resume_path) with
+            | Some p, None | None, Some p -> Some p
+            | None, None -> None
+            | Some _, Some _ -> assert false
+          in
+          let resuming = resume_path <> None in
+          let results =
+            List.init samples (fun k ->
+                let campaign =
+                  run_sample
+                    ?jpath:(Option.map (fun b -> sample_journal b k) base)
+                    ~resume:resuming k
+                in
+                Printf.eprintf "vary: sample %d/%d: %s\n%!" (k + 1) samples
+                  (Fault_report.summary campaign);
+                ( k,
+                  Param_overlay.fingerprint (overlay_of k),
+                  campaign.Campaign.cam_verdicts ))
+          in
+          (results, fun () -> ())
+        end
+      in
+      (* TTF sweep: age the whole circuit along the stress-hours ladder
+         until the reference pulse — the first strike the fresh circuit
+         electrically masked — becomes an observable soft error. *)
+      let ttf_result =
+        if not ttf then None
+        else
+          let ref_verdict =
+            List.find_opt
+              (fun (v : Campaign.verdict) ->
+                v.Campaign.vd_outcome = Campaign.Electrically_masked)
+              nominal.Campaign.cam_verdicts
+          in
+          match ref_verdict with
+          | None ->
+              prerr_endline
+                "vary: --ttf: the nominal campaign has no electrically masked site to \
+                 use as a reference pulse; skipping the sweep";
+              None
+          | Some v ->
+              let site = v.Campaign.vd_site in
+              let probe ~stress_hours =
+                let scfg =
+                  {
+                    cfg with
+                    Campaign.overlay =
+                      Aging.overlay ~stress_hours ~gates:(N.gate_count c);
+                    sites = Some [ site ];
+                  }
+                in
+                let r = Campaign.run scfg tech c ~drives in
+                match r.Campaign.cam_verdicts with
+                | [ v ] -> v.Campaign.vd_outcome = Campaign.Propagated
+                | _ -> false
+              in
+              Some (Sweep.run ~probe ())
+      in
+      let report =
+        Vary_report.make ~circuit:(N.name c)
+          ~engine:(Campaign.engine_to_string engine)
+          ~seed ~sigmas ~stress_hours ~nominal:nominal.Campaign.cam_verdicts
+          ~samples:sample_results ?ttf:ttf_result ()
+      in
+      cleanup ();
+      (match format with
+      | `Json -> print_endline (Vary_report.to_string report)
+      | `Text -> print_string (Vary_report.to_text report));
+      0
 
 (* --- export-verilog --- *)
 
@@ -1402,11 +1672,22 @@ let simulate_cmd =
             "Emit a JSON result document on stdout (stats, stop reason, partial flag) \
              instead of the text summary (ddm/cdm/classic).")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "When a guardrail stops the run early, serialize the committed waveform \
+             prefix (every signal, lossless hex floats) plus the stop reason to \
+             $(docv) — the durable record of a budget-stopped run (ddm/cdm only).")
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run_simulate $ circuit_arg $ stim_arg $ model_arg $ t_stop_arg $ vcd $ diagram
       $ liberty_arg $ report $ max_events_arg $ max_wall_arg $ max_queue_arg
-      $ max_sim_time_arg $ watchdog $ degrade $ wd_window $ wd_threshold $ json)
+      $ max_sim_time_arg $ watchdog $ degrade $ wd_window $ wd_threshold $ json
+      $ checkpoint)
 
 let faults_cmd =
   let doc = "SET fault-injection campaign: soft-error robustness analysis" in
@@ -1645,6 +1926,132 @@ let faults_cmd =
       $ worker_timeout $ max_retries $ chunk_sites $ poison_after $ prune
       $ incremental $ keep_shards)
 
+let vary_cmd =
+  let doc = "Monte-Carlo variation & aging campaigns over sampled parameter corners" in
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ddm", Campaign.Ddm);
+               ("cdm", Campaign.Cdm);
+               ("classic", Campaign.Classic_inertial);
+             ])
+          Campaign.Ddm
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"ddm (default), cdm or classic.")
+  in
+  let n =
+    Arg.(
+      value & opt int 100
+      & info [ "n"; "injections" ] ~docv:"N"
+          ~doc:"PRNG-sampled strikes per sample (the shared strike list).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"PRNG seed shared by the strike list and the corner sampler.")
+  in
+  let width =
+    Arg.(
+      value & opt float 150.
+      & info [ "width" ] ~docv:"PS" ~doc:"SET pulse width in picoseconds.")
+  in
+  let slope =
+    Arg.(
+      value & opt float 100.
+      & info [ "slope" ] ~docv:"PS" ~doc:"SET ramp slope in picoseconds.")
+  in
+  let samples =
+    Arg.(
+      value & opt int 20
+      & info [ "samples" ] ~docv:"K"
+          ~doc:"Monte-Carlo samples (circuit instances) to draw.  Default: 20.")
+  in
+  let sigma_device =
+    Arg.(
+      value & opt float 0.
+      & info [ "sigma-device" ] ~docv:"S"
+          ~doc:"Per-gate (device) relative parameter spread, e.g. 0.05 for 5 %.")
+  in
+  let sigma_chip =
+    Arg.(
+      value & opt float 0.
+      & info [ "sigma-chip" ] ~docv:"S"
+          ~doc:"Per-sample (chip) relative parameter spread.")
+  in
+  let sigma_lot =
+    Arg.(
+      value & opt float 0.
+      & info [ "sigma-lot" ] ~docv:"S"
+          ~doc:"Per-lot relative parameter spread (8 consecutive samples share a lot).")
+  in
+  let stress_hours =
+    Arg.(
+      value & opt float 0.
+      & info [ "stress-hours" ] ~docv:"H"
+          ~doc:"Virtual aging stress applied to every sample's corner.")
+  in
+  let ttf =
+    Arg.(
+      value & flag
+      & info [ "ttf" ]
+          ~doc:
+            "Time-to-failure sweep: age the circuit along a geometric \
+             stress-hours ladder until the first electrically masked reference \
+             pulse starts propagating.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run samples across N worker processes (each sample's campaign stays \
+             serial); the report is byte-identical to $(b,--jobs) 1 with the same \
+             seed.  N=0 auto-detects the available cores.  Default: 1.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"BASE"
+          ~doc:
+            "Journal each sample's verdicts to BASE.sK (the serial faults journal \
+             format, overlay-fingerprinted) so an interrupted run can be resumed \
+             with $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"BASE"
+          ~doc:
+            "Resume from per-sample journals BASE.sK: completed verdicts are \
+             kept, the rest simulated, and the final report is byte-identical to \
+             an uninterrupted run.")
+  in
+  let sample_worker =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample" ] ~docv:"K"
+          ~doc:
+            "Internal (spawned by $(b,--jobs)): run only sample K into its own \
+             journal; no report is rendered.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"text or json report on stdout.")
+  in
+  Cmd.v (Cmd.info "vary" ~doc)
+    Term.(
+      const run_vary $ circuit_arg $ stim_arg $ engine $ seed $ n $ width $ slope
+      $ t_stop_arg $ samples $ sigma_device $ sigma_chip $ sigma_lot $ stress_hours
+      $ ttf $ jobs $ journal $ resume $ liberty_arg $ sample_worker $ format)
+
 let export_cmd =
   let doc = "export a netlist as structural Verilog" in
   let output =
@@ -1766,6 +2173,7 @@ let serve_config cache_size max_events max_transitions no_watchdog liberty =
     cf_max_transitions = cap d.Server.cf_max_transitions max_transitions;
     cf_watchdog = not no_watchdog;
     cf_tech = load_tech liberty;
+    cf_overlay = d.Server.cf_overlay;
   }
 
 let run_serve socket cache_size max_events max_transitions no_watchdog liberty =
@@ -1941,6 +2349,7 @@ let main_cmd =
       serve_cmd;
       client_cmd;
       faults_cmd;
+      vary_cmd;
       timing_cmd;
       survival_cmd;
       export_cmd;

@@ -38,7 +38,9 @@ let () =
      compare the verdicts site by site. *)
   let sites = List.map (fun (v : Campaign.verdict) -> v.Campaign.vd_site) ddm.Campaign.cam_verdicts in
   let classic =
-    Campaign.run ~sites (cfg Campaign.Classic_inertial) Default_lib.tech c ~drives
+    Campaign.run
+      { (cfg Campaign.Classic_inertial) with Campaign.sites = Some sites }
+      Default_lib.tech c ~drives
   in
   print_newline ();
   Printf.printf "ddm:     %s\n" (Fault_report.summary ddm);

@@ -1,4 +1,5 @@
 module Tech = Halotis_tech.Tech
+module Param_overlay = Halotis_tech.Param_overlay
 module Netlist = Halotis_netlist.Netlist
 
 type kind = Cdm | Ddm
@@ -68,7 +69,7 @@ module Cache = struct
     scratch : float array;  (* [0] = tp, [1] = tau_out of the last [eval] *)
   }
 
-  let create tech c ~loads =
+  let create ?(overlay = Param_overlay.empty) tech c ~loads =
     let ngates = Netlist.gate_count c in
     let coef = Array.make (10 * ngates) 0. in
     let pf_off = Array.make ngates 0 in
@@ -78,6 +79,9 @@ module Cache = struct
       npins := !npins + Array.length (Netlist.gate c gid).Netlist.fanin
     done;
     let pf = Array.make (max 1 !npins) 1. in
+    (* Empty overlay: never consult it, so the coefficient bytes are
+       those of the historical (overlay-free) cache by construction. *)
+    let scaled = not (Param_overlay.is_empty overlay) in
     for gid = 0 to ngates - 1 do
       let g = Netlist.gate c gid in
       let gt = Tech.gate_tech tech g.Netlist.kind in
@@ -85,6 +89,13 @@ module Cache = struct
       List.iter
         (fun rising ->
           let p = Tech.edge gt ~rising in
+          let p =
+            if scaled then
+              Param_overlay.apply_edge
+                (Param_overlay.edge_scale overlay ~gate:gid ~rising)
+                p
+            else p
+          in
           let base = 5 * ((2 * gid) + if rising then 0 else 1) in
           coef.(base) <- p.Tech.d0 +. (p.Tech.d_load *. cl);
           coef.(base + 1) <- p.Tech.d_slope;
@@ -93,7 +104,11 @@ module Cache = struct
           coef.(base + 4) <- Tech.degradation_t0_coef tech p)
         [ true; false ];
       for pin = 0 to Array.length g.Netlist.fanin - 1 do
-        pf.(pf_off.(gid) + pin) <- gt.Tech.pin_factor pin
+        pf.(pf_off.(gid) + pin) <-
+          (if scaled then
+             gt.Tech.pin_factor pin
+             *. Param_overlay.pin_scale overlay ~gate:gid ~pin
+           else gt.Tech.pin_factor pin)
       done
     done;
     { coef; pf_off; pf; scratch = Array.make 2 0. }

@@ -75,10 +75,20 @@ module Cache : sig
   type t
 
   val create :
-    Halotis_tech.Tech.t -> Halotis_netlist.Netlist.t -> loads:float array -> t
+    ?overlay:Halotis_tech.Param_overlay.t ->
+    Halotis_tech.Tech.t ->
+    Halotis_netlist.Netlist.t ->
+    loads:float array ->
+    t
   (** [create tech c ~loads] precomputes the per-(gate, edge)
       coefficients and per-pin factors for every gate of [c].  O(gates
-      + pins). *)
+      + pins).  [overlay] (default empty) scales the raw
+      {!Halotis_tech.Tech.edge_params} and pin factors per gate
+      {e before} the derived coefficients (clamps included) are
+      computed — the corner a Monte-Carlo sample puts this circuit
+      instance at.  The empty overlay is skipped entirely, so the
+      cache bytes are identical to the historical overlay-free
+      path. *)
 
   val for_gate : t -> Halotis_netlist.Netlist.gate_id -> kind -> request -> response
   (** Drop-in cached equivalent of {!val-for_gate}: same request, same

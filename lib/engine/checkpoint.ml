@@ -1,0 +1,195 @@
+module Transition = Halotis_wave.Transition
+module Waveform = Halotis_wave.Waveform
+module Stop = Halotis_guard.Stop
+module Diag = Halotis_guard.Diag
+
+type signal_state = {
+  ck_signal : int;
+  ck_initial : float;
+  ck_segments : Waveform.segment list;
+}
+
+type t = {
+  ck_circuit : string;
+  ck_engine : string;
+  ck_end_time : float;
+  ck_stop : string;
+  ck_vdd : float;
+  ck_signals : signal_state list;
+}
+
+let of_result (r : Sim.result) =
+  match Sim.iddm r with
+  | None ->
+      invalid_arg
+        "Checkpoint.of_result: classic runs have no waveform state to checkpoint"
+  | Some ir ->
+      let wfs = ir.Iddm.waveforms in
+      let c = r.Sim.rs_spec.Sim.sp_circuit in
+      let signals =
+        List.init (Array.length wfs) (fun sid ->
+            let wf = wfs.(sid) in
+            {
+              ck_signal = sid;
+              ck_initial = Waveform.initial wf;
+              ck_segments = Waveform.segments wf;
+            })
+      in
+      {
+        ck_circuit = Halotis_netlist.Netlist.name c;
+        ck_engine = Sim.engine_to_string r.Sim.rs_engine;
+        ck_end_time = r.Sim.rs_end_time;
+        ck_stop = Stop.to_string r.Sim.rs_stopped_by;
+        ck_vdd = (match wfs with [||] -> 5.0 | _ -> Waveform.vdd wfs.(0));
+        ck_signals = signals;
+      }
+
+(* --- serialization ---
+
+   Line-oriented text, every float printed with [%h] so the roundtrip
+   is bitwise exact:
+
+     # halotis-checkpoint v1
+     ! circuit NAME
+     ! engine ddm
+     ! end %h
+     ! stop TOKEN
+     ! vdd %h
+     s SID %h NSEGS          (one per signal: id, initial V, segment count)
+     t %h %h r|f %h          (one per segment: start, slope_time, polarity, v_start)
+*)
+
+let magic = "# halotis-checkpoint v1"
+
+let pol_token = function Transition.Rising -> "r" | Transition.Falling -> "f"
+
+let to_string t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (magic ^ "\n");
+  Printf.bprintf b "! circuit %s\n" t.ck_circuit;
+  Printf.bprintf b "! engine %s\n" t.ck_engine;
+  Printf.bprintf b "! end %h\n" t.ck_end_time;
+  Printf.bprintf b "! stop %s\n" t.ck_stop;
+  Printf.bprintf b "! vdd %h\n" t.ck_vdd;
+  List.iter
+    (fun s ->
+      Printf.bprintf b "s %d %h %d\n" s.ck_signal s.ck_initial
+        (List.length s.ck_segments);
+      List.iter
+        (fun (seg : Waveform.segment) ->
+          let tr = seg.Waveform.transition in
+          Printf.bprintf b "t %h %h %s %h\n" tr.Transition.start
+            tr.Transition.slope_time
+            (pol_token tr.Transition.polarity)
+            seg.Waveform.v_start)
+        s.ck_segments)
+    t.ck_signals;
+  Buffer.contents b
+
+let write path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t))
+
+(* --- parsing --- *)
+
+let fail fmt = Printf.ksprintf (fun m -> Diag.fail ~code:"checkpoint-parse" m) fmt
+
+let parse_float ln s =
+  try float_of_string s with Failure _ -> fail "line %d: bad float %S" ln s
+
+let parse_int ln s =
+  try int_of_string s with Failure _ -> fail "line %d: bad integer %S" ln s
+
+let parse_pol ln = function
+  | "r" -> Transition.Rising
+  | "f" -> Transition.Falling
+  | s -> fail "line %d: bad polarity %S" ln s
+
+let split s = String.split_on_char ' ' s |> List.filter (fun f -> f <> "")
+
+let load path =
+  let lines =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | l -> go (l :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    with Sys_error m -> Diag.fail ~code:"checkpoint-parse" m
+  in
+  let arr = Array.of_list lines in
+  let n = Array.length arr in
+  if n = 0 || arr.(0) <> magic then fail "not a checkpoint file (bad magic)";
+  let circuit = ref "" and engine = ref "" and end_time = ref 0. in
+  let stop = ref "completed" and vdd = ref 5.0 in
+  let pos = ref 1 in
+  let header_done = ref false in
+  while (not !header_done) && !pos < n do
+    let ln = !pos + 1 in
+    match split arr.(!pos) with
+    | "!" :: "circuit" :: rest ->
+        circuit := String.concat " " rest;
+        incr pos
+    | [ "!"; "engine"; e ] ->
+        engine := e;
+        incr pos
+    | [ "!"; "end"; v ] ->
+        end_time := parse_float ln v;
+        incr pos
+    | "!" :: "stop" :: rest ->
+        stop := String.concat " " rest;
+        incr pos
+    | [ "!"; "vdd"; v ] ->
+        vdd := parse_float ln v;
+        incr pos
+    | "s" :: _ -> header_done := true
+    | [] -> incr pos
+    | _ -> fail "line %d: unrecognized header line %S" ln arr.(!pos)
+  done;
+  let signals = ref [] in
+  while !pos < n do
+    let ln = !pos + 1 in
+    (match split arr.(!pos) with
+    | [ "s"; sid; init; nsegs ] ->
+        let sid = parse_int ln sid in
+        let init = parse_float ln init in
+        let nsegs = parse_int ln nsegs in
+        incr pos;
+        let segs = ref [] in
+        for _ = 1 to nsegs do
+          if !pos >= n then fail "truncated: signal %d is missing segments" sid;
+          let ln = !pos + 1 in
+          (match split arr.(!pos) with
+          | [ "t"; start; slope; pol; v0 ] ->
+              let tr =
+                Transition.make ~start:(parse_float ln start)
+                  ~slope_time:(parse_float ln slope)
+                  ~polarity:(parse_pol ln pol)
+              in
+              segs :=
+                { Waveform.transition = tr; v_start = parse_float ln v0 }
+                :: !segs
+          | _ -> fail "line %d: expected a segment record" ln);
+          incr pos
+        done;
+        signals :=
+          { ck_signal = sid; ck_initial = init; ck_segments = List.rev !segs }
+          :: !signals
+    | [] -> incr pos
+    | _ -> fail "line %d: expected a signal record" ln);
+  done;
+  {
+    ck_circuit = !circuit;
+    ck_engine = !engine;
+    ck_end_time = !end_time;
+    ck_stop = !stop;
+    ck_vdd = !vdd;
+    ck_signals = List.rev !signals;
+  }

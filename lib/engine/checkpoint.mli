@@ -1,0 +1,56 @@
+(** Waveform-prefix checkpoints for budget-stopped runs.
+
+    A [simulate] run that trips a guardrail (event budget, wall clock,
+    queue cap...) used to leave nothing behind but an exit code and a
+    warning; re-running with a bigger budget repeats all the work.  A
+    checkpoint makes the stopped run's state durable: every signal's
+    committed waveform prefix — the exact piecewise-linear record the
+    IDDM engine built up to the stop instant — serialized losslessly
+    ([%h] floats), plus the stop reason and end time, so a later
+    invocation (or an external tool) can inspect precisely where and
+    why the run stopped.
+
+    {b Scope.}  This is deliberately the {e waveform} prefix, not the
+    full engine state: the pending event queue, per-gate degradation
+    clocks and watchdog counters are not serialized, so a checkpoint
+    cannot yet be re-animated into a running session mid-flight —
+    resuming re-seeds from the original stimulus and replays (full
+    event-queue resume is future work, tracked in ROADMAP.md).  What a
+    checkpoint {e does} guarantee: a lossless, deterministic record of
+    everything the stopped run committed, byte-identical across re-runs
+    of the same spec.
+
+    Only the waveform engines ([ddm]/[cdm]) carry enough state to
+    checkpoint; classic runs raise. *)
+
+type signal_state = {
+  ck_signal : int;  (** signal id in the run's circuit *)
+  ck_initial : float;  (** waveform voltage before the first segment *)
+  ck_segments : Halotis_wave.Waveform.segment list;  (** oldest first *)
+}
+
+type t = {
+  ck_circuit : string;
+  ck_engine : string;  (** {!Sim.engine_to_string} token *)
+  ck_end_time : float;  (** last processed event's instant *)
+  ck_stop : string;  (** {!Halotis_guard.Stop.to_string} token *)
+  ck_vdd : float;
+  ck_signals : signal_state list;  (** every signal, id-ascending *)
+}
+
+val of_result : Sim.result -> t
+(** Captures a finished (or stopped) run's waveform state.
+    @raise Invalid_argument for a classic run (no waveforms exist). *)
+
+val write : string -> t -> unit
+(** Serializes to a line-oriented text file ([%h] floats, lossless);
+    atomic enough for its purpose — written whole, then closed. *)
+
+val load : string -> t
+(** Parses a checkpoint file back; {!write} then {!load} roundtrips
+    exactly (bitwise-equal floats).
+    @raise Halotis_guard.Diag.Fail ([checkpoint-parse]) on a missing or
+    malformed file. *)
+
+val to_string : t -> string
+(** The exact bytes {!write} produces. *)

@@ -15,6 +15,7 @@ type mode = Inertial | Transport
 
 type config = {
   tech : Tech.t;
+  overlay : Halotis_tech.Param_overlay.t;
   t_stop : float option;
   max_events : int;
   mode : mode;
@@ -22,9 +23,10 @@ type config = {
   watchdog : Watchdog.config option;
 }
 
-let config ?t_stop ?(max_events = 10_000_000) ?(mode = Inertial)
+let config ?(overlay = Halotis_tech.Param_overlay.empty) ?t_stop
+    ?(max_events = 10_000_000) ?(mode = Inertial)
     ?(budget = Budget.unlimited) ?watchdog tech =
-  { tech; t_stop; max_events; mode; budget; watchdog }
+  { tech; overlay; t_stop; max_events; mode; budget; watchdog }
 
 type result = {
   circuit : Netlist.t;
@@ -338,7 +340,7 @@ let run ?(injections = []) cfg c ~drives =
       tx_dead = Bytes.empty;
       tx_free = [||];
       tx_free_top = 0;
-      cache = Delay_model.Cache.create cfg.tech c ~loads;
+      cache = Delay_model.Cache.create ~overlay:cfg.overlay cfg.tech c ~loads;
       stats = Stats.create ();
       c;
       wd = Option.map (fun w -> Watchdog.create w ~nsignals) cfg.watchdog;

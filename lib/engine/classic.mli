@@ -17,6 +17,9 @@ type mode =
 
 type config = {
   tech : Halotis_tech.Tech.t;
+  overlay : Halotis_tech.Param_overlay.t;
+      (** parameter corner the gate delays are priced at; empty (the
+          default) is bit-identical to pricing straight from [tech] *)
   t_stop : Halotis_util.Units.time option;
   max_events : int;
   mode : mode;
@@ -28,6 +31,7 @@ type config = {
 }
 
 val config :
+  ?overlay:Halotis_tech.Param_overlay.t ->
   ?t_stop:Halotis_util.Units.time ->
   ?max_events:int ->
   ?mode:mode ->

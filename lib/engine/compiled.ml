@@ -1,10 +1,12 @@
 module Netlist = Halotis_netlist.Netlist
 module Tech = Halotis_tech.Tech
+module Param_overlay = Halotis_tech.Param_overlay
 module Delay_model = Halotis_delay.Delay_model
 
 type t = {
   circuit : Netlist.t;
   tech : Tech.t;
+  overlay : Param_overlay.t;
   nsignals : int;
   ngates : int;
   npins : int;
@@ -92,7 +94,7 @@ let fanout_cone cp ~victim =
     cone_bnd_pin = Array.of_list (List.rev !bnd_pin);
   }
 
-let compile tech c =
+let compile ?(overlay = Param_overlay.empty) tech c =
   let nsignals = Netlist.signal_count c and ngates = Netlist.gate_count c in
   let g_kind = Array.init ngates (fun gid -> (Netlist.gate c gid).Netlist.kind) in
   let g_out = Array.init ngates (fun gid -> (Netlist.gate c gid).Netlist.output) in
@@ -104,13 +106,16 @@ let compile tech c =
   let pin_fanin = Array.make (max 1 npins) (-1) in
   let vt_table = Halotis_delay.Thresholds.table tech c in
   let pin_vt = Array.make (max 1 npins) 0. in
+  let scaled = not (Param_overlay.is_empty overlay) in
   for gid = 0 to ngates - 1 do
     let g = Netlist.gate c gid in
     let base = g_base.(gid) in
+    let vts = if scaled then Param_overlay.vt_scale overlay ~gate:gid else 1.0 in
     Array.iteri
       (fun pin sid ->
         pin_fanin.(base + pin) <- sid;
-        pin_vt.(base + pin) <- vt_table.(gid).(pin))
+        pin_vt.(base + pin) <-
+          (if scaled then vt_table.(gid).(pin) *. vts else vt_table.(gid).(pin)))
       g.Netlist.fanin
   done;
   let fan_off = Array.make (nsignals + 1) 0 in
@@ -130,6 +135,7 @@ let compile tech c =
   {
     circuit = c;
     tech;
+    overlay;
     nsignals;
     ngates;
     npins;
@@ -141,5 +147,5 @@ let compile tech c =
     fan_off;
     fan_gate;
     fan_pin;
-    cache = Delay_model.Cache.create tech c ~loads;
+    cache = Delay_model.Cache.create ~overlay tech c ~loads;
   }

@@ -20,6 +20,10 @@
 type t = {
   circuit : Halotis_netlist.Netlist.t;
   tech : Halotis_tech.Tech.t;
+  overlay : Halotis_tech.Param_overlay.t;
+      (** the parameter corner the delay coefficients and pin
+          thresholds below were priced at; empty for the nominal
+          circuit *)
   nsignals : int;
   ngates : int;
   npins : int;  (** total (gate, pin) slots; [g_base.(ngates)] *)
@@ -35,9 +39,17 @@ type t = {
       (** per-(gate, edge) delay coefficients for this tech *)
 }
 
-val compile : Halotis_tech.Tech.t -> Halotis_netlist.Netlist.t -> t
+val compile :
+  ?overlay:Halotis_tech.Param_overlay.t ->
+  Halotis_tech.Tech.t ->
+  Halotis_netlist.Netlist.t ->
+  t
 (** Flattens the netlist and prices the delay coefficients.  Pure
-    setup: performs no simulation and touches no global state. *)
+    setup: performs no simulation and touches no global state.
+    [overlay] (default empty) prices every coefficient — delay cache
+    and pin switching thresholds — at the given parameter corner; the
+    empty overlay is skipped entirely, so the compiled bytes match the
+    historical overlay-free path bit-for-bit. *)
 
 (** {1 Fanout cones}
 

@@ -14,6 +14,7 @@ module Watchdog = Halotis_guard.Watchdog
 
 type config = {
   tech : Tech.t;
+  overlay : Halotis_tech.Param_overlay.t;
   delay_kind : Delay_model.kind;
   cancellation : bool;
   t_stop : float option;
@@ -23,9 +24,10 @@ type config = {
   watchdog : Watchdog.config option;
 }
 
-let config ?(delay_kind = Delay_model.Ddm) ?(cancellation = true) ?t_stop
+let config ?(overlay = Halotis_tech.Param_overlay.empty)
+    ?(delay_kind = Delay_model.Ddm) ?(cancellation = true) ?t_stop
     ?(max_events = 10_000_000) ?(trace = false) ?(budget = Budget.unlimited) ?watchdog tech =
-  { tech; delay_kind; cancellation; t_stop; max_events; trace; budget; watchdog }
+  { tech; overlay; delay_kind; cancellation; t_stop; max_events; trace; budget; watchdog }
 
 type trace_entry = {
   te_signal : Netlist.signal_id;
@@ -494,8 +496,11 @@ let start ?(injections = []) ?compiled cfg c ~drives =
           invalid_arg "Iddm.start: compiled structure is for a different netlist";
         if cp.Compiled.tech != cfg.tech then
           invalid_arg "Iddm.start: compiled structure is for a different technology";
+        if not (Halotis_tech.Param_overlay.equal cp.Compiled.overlay cfg.overlay)
+        then
+          invalid_arg "Iddm.start: compiled structure is for a different overlay";
         cp
-    | None -> Compiled.compile cfg.tech c
+    | None -> Compiled.compile ~overlay:cfg.overlay cfg.tech c
   in
   let nsignals = cp.Compiled.nsignals and npins = cp.Compiled.npins in
   let ngates = cp.Compiled.ngates in
@@ -555,6 +560,8 @@ let start_cone ?(injections = []) ~compiled:cp ~(cone : Compiled.cone) ~(baselin
     invalid_arg "Iddm.start_cone: compiled structure is for a different netlist";
   if cp.Compiled.tech != cfg.tech then
     invalid_arg "Iddm.start_cone: compiled structure is for a different technology";
+  if not (Halotis_tech.Param_overlay.equal cp.Compiled.overlay cfg.overlay) then
+    invalid_arg "Iddm.start_cone: compiled structure is for a different overlay";
   if not cfg.cancellation then
     (* without Fig. 4 cancellation, processed events and final-waveform
        crossings no longer coincide, so the seeding below is unsound *)

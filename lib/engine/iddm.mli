@@ -22,6 +22,10 @@
 
 type config = {
   tech : Halotis_tech.Tech.t;
+  overlay : Halotis_tech.Param_overlay.t;
+      (** parameter corner every delay coefficient and pin threshold
+          is priced at; empty (the default) is bit-identical to
+          pricing straight from [tech] *)
   delay_kind : Halotis_delay.Delay_model.kind;
   cancellation : bool;
   t_stop : Halotis_util.Units.time option;
@@ -37,6 +41,7 @@ type config = {
 }
 
 val config :
+  ?overlay:Halotis_tech.Param_overlay.t ->
   ?delay_kind:Halotis_delay.Delay_model.kind ->
   ?cancellation:bool ->
   ?t_stop:Halotis_util.Units.time ->
@@ -46,8 +51,8 @@ val config :
   ?watchdog:Halotis_guard.Watchdog.config ->
   Halotis_tech.Tech.t ->
   config
-(** Defaults: DDM, cancellation on, no time bound, 10 million events,
-    tracing off, unlimited budget, no watchdog. *)
+(** Defaults: empty overlay, DDM, cancellation on, no time bound, 10
+    million events, tracing off, unlimited budget, no watchdog. *)
 
 type trace_entry = {
   te_signal : Halotis_netlist.Netlist.signal_id;  (** where the ramp landed *)

@@ -34,6 +34,7 @@ type spec = {
   sp_circuit : Netlist.t;
   sp_drives : (Netlist.signal_id * Drive.t) list;
   sp_tech : Tech.t;
+  sp_overlay : Halotis_tech.Param_overlay.t;
   sp_t_stop : Halotis_util.Units.time option;
   sp_injections : injection list;
   sp_budget : Budget.t;
@@ -42,11 +43,13 @@ type spec = {
 }
 
 let spec ?(drives = []) ?(injections = []) ?t_stop ?(budget = Budget.unlimited)
-    ?watchdog ?(trace = false) ~tech circuit =
+    ?watchdog ?(trace = false) ?(overlay = Halotis_tech.Param_overlay.empty)
+    ~tech circuit =
   {
     sp_circuit = circuit;
     sp_drives = drives;
     sp_tech = tech;
+    sp_overlay = overlay;
     sp_t_stop = t_stop;
     sp_injections = injections;
     sp_budget = budget;
@@ -84,8 +87,9 @@ let classic_toggles ramps =
    one-shot runs and sessions. *)
 let iddm_config engine spec =
   let kind = match engine with Cdm -> DM.Cdm | _ -> DM.Ddm in
-  Iddm.config ~delay_kind:kind ?t_stop:spec.sp_t_stop ~trace:spec.sp_trace
-    ~budget:spec.sp_budget ?watchdog:spec.sp_watchdog spec.sp_tech
+  Iddm.config ~overlay:spec.sp_overlay ~delay_kind:kind ?t_stop:spec.sp_t_stop
+    ~trace:spec.sp_trace ~budget:spec.sp_budget ?watchdog:spec.sp_watchdog
+    spec.sp_tech
 
 let iddm_injections spec =
   List.map
@@ -120,8 +124,8 @@ let run engine spec =
       wrap_iddm engine spec ~vt r
   | Classic_inertial ->
       let cfg =
-        Classic.config ?t_stop:spec.sp_t_stop ~budget:spec.sp_budget
-          ?watchdog:spec.sp_watchdog spec.sp_tech
+        Classic.config ~overlay:spec.sp_overlay ?t_stop:spec.sp_t_stop
+          ~budget:spec.sp_budget ?watchdog:spec.sp_watchdog spec.sp_tech
       in
       let injections =
         List.map
@@ -293,7 +297,8 @@ module Cone = struct
                     cx_engine = engine;
                     cx_spec = spec;
                     cx_cfg = iddm_config engine spec;
-                    cx_compiled = Compiled_.compile spec.sp_tech c;
+                    cx_compiled =
+                      Compiled_.compile ~overlay:spec.sp_overlay spec.sp_tech c;
                     cx_levels = Dc.levels c ~input_level;
                     cx_baseline = br;
                     cx_base_edges = Lazy.force baseline.rs_edges;

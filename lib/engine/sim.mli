@@ -42,6 +42,10 @@ type spec = {
   sp_circuit : Halotis_netlist.Netlist.t;
   sp_drives : (Halotis_netlist.Netlist.signal_id * Drive.t) list;
   sp_tech : Halotis_tech.Tech.t;
+  sp_overlay : Halotis_tech.Param_overlay.t;
+      (** parameter corner every engine run of this spec prices its
+          coefficients at; empty (the default) is bit-identical to
+          pricing straight from [sp_tech] *)
   sp_t_stop : Halotis_util.Units.time option;  (** simulation horizon *)
   sp_injections : injection list;
   sp_budget : Halotis_guard.Budget.t;
@@ -56,11 +60,12 @@ val spec :
   ?budget:Halotis_guard.Budget.t ->
   ?watchdog:Halotis_guard.Watchdog.config ->
   ?trace:bool ->
+  ?overlay:Halotis_tech.Param_overlay.t ->
   tech:Halotis_tech.Tech.t ->
   Halotis_netlist.Netlist.t ->
   spec
 (** Defaults: no drives, no injections, no horizon, unlimited budget,
-    no watchdog, tracing off. *)
+    no watchdog, tracing off, empty overlay. *)
 
 type raw =
   | Iddm_result of Iddm.result  (** [Ddm] and [Cdm] runs *)

@@ -31,6 +31,15 @@ let outcome_of_string = function
   | "timed-out" -> Some Timed_out
   | _ -> None
 
+type verdict = {
+  vd_site : Site.t;
+  vd_outcome : outcome;
+  vd_po_edges_delta : int;
+  vd_first_diff_output : string option;
+  vd_stats : Stats.t;
+  vd_pruned : bool;
+}
+
 type config = {
   engine : engine;
   seed : int;
@@ -41,23 +50,56 @@ type config = {
   site_budget : Budget.t;
   prune : bool;
   incremental : bool;
+  overlay : Halotis_tech.Param_overlay.t;
+  sites : Site.t list option;
+  range : (int * int) option;
+  completed : verdict list;
+  quarantined : int list;
+  limit : int option;
 }
+
+let default =
+  {
+    engine = Ddm;
+    seed = 1;
+    n = 100;
+    pulse = Inject.pulse ~width:150. ();
+    t_stop = 10_000.;
+    window = None;
+    site_budget = Budget.unlimited;
+    prune = false;
+    incremental = true;
+    overlay = Halotis_tech.Param_overlay.empty;
+    sites = None;
+    range = None;
+    completed = [];
+    quarantined = [];
+    limit = None;
+  }
 
 let config ?(engine = Ddm) ?(seed = 1) ?(n = 100) ?(pulse = Inject.pulse ~width:150. ())
     ?window ?(site_budget = Budget.unlimited) ?(prune = false) ?(incremental = true)
-    ~t_stop () =
+    ?(overlay = Halotis_tech.Param_overlay.empty) ?sites ?range ?(completed = [])
+    ?(quarantined = []) ?limit ~t_stop () =
   if n < 0 then invalid_arg "Campaign.config: n must be non-negative";
   if t_stop <= 0. then invalid_arg "Campaign.config: t_stop must be positive";
-  { engine; seed; n; pulse; t_stop; window; site_budget; prune; incremental }
-
-type verdict = {
-  vd_site : Site.t;
-  vd_outcome : outcome;
-  vd_po_edges_delta : int;
-  vd_first_diff_output : string option;
-  vd_stats : Stats.t;
-  vd_pruned : bool;
-}
+  {
+    engine;
+    seed;
+    n;
+    pulse;
+    t_stop;
+    window;
+    site_budget;
+    prune;
+    incremental;
+    overlay;
+    sites;
+    range;
+    completed;
+    quarantined;
+    limit;
+  }
 
 type t = {
   cam_circuit : Netlist.t;
@@ -128,13 +170,16 @@ let classify ~c ~is_classic ~(base : observed) ~(site : Site.t) (inj : observed)
     vd_pruned = false;
   }
 
-let run ?sites ?range ?(completed = []) ?(quarantined = []) ?limit ?on_verdict cfg tech
-    c ~drives =
+let run ?on_verdict cfg tech c ~drives =
+  let { sites; range; completed; quarantined; limit; _ } = cfg in
   (* Every engine run flows through the {!Sim} facade; the baseline
      never carries the per-site budget — it is the reference every
-     verdict is diffed against, so it must be whole. *)
+     verdict is diffed against, so it must be whole.  Every run — the
+     baselines included — prices its coefficients at [cfg.overlay]'s
+     corner. *)
   let spec ?injections ?budget () =
-    Sim.spec ~drives ?injections ~t_stop:cfg.t_stop ?budget ~tech c
+    Sim.spec ~drives ?injections ~t_stop:cfg.t_stop ?budget
+      ~overlay:cfg.overlay ~tech c
   in
   let ddm_baseline_run = Sim.run Sim.Ddm (spec ()) in
   let ddm_baseline =
@@ -161,9 +206,16 @@ let run ?sites ?range ?(completed = []) ?(quarantined = []) ?limit ?on_verdict c
      be whole anyway: a finite per-site budget can turn a provably
      masked site into [Timed_out], and pruning must never change a
      verdict.  The classic engine has no pulse-width semantics to bound
-     statically. *)
+     statically, and the survival analysis prices its bounds straight
+     from [tech], so a non-empty overlay (a sampled corner) disarms it
+     too. *)
   let pruner =
-    if not (cfg.prune && Budget.is_unlimited cfg.site_budget) then None
+    if
+      not
+        (cfg.prune
+        && Budget.is_unlimited cfg.site_budget
+        && Halotis_tech.Param_overlay.is_empty cfg.overlay)
+    then None
     else
       match cfg.engine with
       | Classic_inertial -> None
@@ -331,6 +383,12 @@ let run ?sites ?range ?(completed = []) ?(quarantined = []) ?limit ?on_verdict c
     cam_cone = Option.map Sim.Cone.totals cone_ctx;
     cam_quarantined = List.map (fun i -> (i, site_arr.(i))) quarantined;
   }
+
+let run_legacy ?sites ?range ?(completed = []) ?(quarantined = []) ?limit
+    ?on_verdict cfg tech c ~drives =
+  run ?on_verdict
+    { cfg with sites; range; completed; quarantined; limit }
+    tech c ~drives
 
 let counts t =
   List.fold_left

@@ -42,6 +42,20 @@ type outcome =
 val outcome_to_string : outcome -> string
 val outcome_of_string : string -> outcome option
 
+type verdict = {
+  vd_site : Site.t;
+  vd_outcome : outcome;
+  vd_po_edges_delta : int;
+      (** net extra primary-output edges vs baseline (0 unless propagated) *)
+  vd_first_diff_output : string option;
+      (** name of the first differing primary output *)
+  vd_stats : Halotis_engine.Stats.t;
+      (** injected-run counters minus baseline ({!Halotis_engine.Stats.diff}) *)
+  vd_pruned : bool;
+      (** the outcome was proven statically and the site never
+          simulated; [vd_stats] is all zeros *)
+}
+
 type config = {
   engine : engine;
   seed : int;
@@ -59,9 +73,11 @@ type config = {
           ({!Halotis_sta.Survival}) proves from the baseline alone.
           Pruned sites get the proven outcome with zero delta counters
           and [vd_pruned = true]; taxonomy counts are identical to an
-          unpruned campaign.  Silently inert for the classic engine and
+          unpruned campaign.  Silently inert for the classic engine,
           under a finite [site_budget] (where a pruned site could
-          otherwise differ from its simulated {!Timed_out} verdict). *)
+          otherwise differ from its simulated {!Timed_out} verdict),
+          and under a non-empty [overlay] (the survival bounds are
+          priced at the nominal corner). *)
   incremental : bool;
       (** answer each site by incremental cone re-simulation
           ({!Halotis_engine.Sim.Cone}) when the graft is provably exact,
@@ -70,8 +86,40 @@ type config = {
           [cam_cone] and the wall clock change.  Default on.  Silently
           inert for the classic engine, under a finite [site_budget],
           and for baselines the cone machinery refuses (truncated,
-          watchdog-frozen or tie-hazardous). *)
+          watchdog-frozen or tie-hazardous).  Overlay-aware: the cone
+          prices its compiled circuit at [overlay]'s corner. *)
+  overlay : Halotis_tech.Param_overlay.t;
+      (** parameter corner {e every} run of the campaign — baselines
+          and injected runs alike — prices its coefficients at.  Empty
+          (the default) reproduces the nominal campaign
+          byte-for-byte.  Monte-Carlo variation campaigns
+          ([halotis vary]) run one campaign per sampled overlay. *)
+  sites : Site.t list option;
+      (** explicit site list overriding the PRNG-sampled one — pass
+          the same list to several campaigns to compare engines (or
+          corners) on identical strikes *)
+  range : (int * int) option;
+      (** the global site-index slice [\[lo, hi)] this run owns (the
+          shard protocol); [None] covers the whole campaign *)
+  completed : verdict list;
+      (** verdicts already decided (typically loaded from a
+          {!Journal}) — must match the range's leading sites
+          one-for-one; only the remaining sites are simulated *)
+  quarantined : int list;
+      (** global site indices the supervisor gave up on: skipped
+          entirely and surfaced in [cam_quarantined] *)
+  limit : int option;
+      (** cap on {e fresh} sites simulated this call; the campaign is
+          then [cam_complete = false] *)
 }
+
+val default : config
+(** The nominal campaign: DDM, seed 1, 100 injections, a
+    150 ps / 100 ps pulse, a 10 000 ps horizon, unlimited per-site
+    budget, no static pruning, incremental cone re-simulation on,
+    empty overlay, whole range, nothing completed, nothing
+    quarantined, no limit.  Override fields with [{ default with ... }]
+    or build through {!config}. *)
 
 val config :
   ?engine:engine ->
@@ -82,26 +130,17 @@ val config :
   ?site_budget:Halotis_guard.Budget.t ->
   ?prune:bool ->
   ?incremental:bool ->
+  ?overlay:Halotis_tech.Param_overlay.t ->
+  ?sites:Site.t list ->
+  ?range:int * int ->
+  ?completed:verdict list ->
+  ?quarantined:int list ->
+  ?limit:int ->
   t_stop:Halotis_util.Units.time ->
   unit ->
   config
-(** Defaults: DDM, seed 1, 100 injections, a 150 ps / 100 ps pulse,
-    unlimited per-site budget, no static pruning, incremental cone
-    re-simulation on. *)
-
-type verdict = {
-  vd_site : Site.t;
-  vd_outcome : outcome;
-  vd_po_edges_delta : int;
-      (** net extra primary-output edges vs baseline (0 unless propagated) *)
-  vd_first_diff_output : string option;
-      (** name of the first differing primary output *)
-  vd_stats : Halotis_engine.Stats.t;
-      (** injected-run counters minus baseline ({!Halotis_engine.Stats.diff}) *)
-  vd_pruned : bool;
-      (** the outcome was proven statically and the site never
-          simulated; [vd_stats] is all zeros *)
-}
+(** {!default} with the horizon set and any field overridden.
+    @raise Invalid_argument when [n < 0] or [t_stop <= 0]. *)
 
 type t = {
   cam_circuit : Halotis_netlist.Netlist.t;
@@ -132,6 +171,44 @@ type t = {
 }
 
 val run :
+  ?on_verdict:(int -> verdict -> unit) ->
+  config ->
+  Halotis_tech.Tech.t ->
+  Halotis_netlist.Netlist.t ->
+  drives:(Halotis_netlist.Netlist.signal_id * Halotis_engine.Drive.t) list ->
+  t
+(** Runs the campaign; every engine run goes through
+    {!Halotis_engine.Sim.run}, priced at [config.overlay]'s corner.
+    Sites come from [config.sites] when given, otherwise from the
+    seeded PRNG sample; they are always enumerated against a DDM
+    baseline (the reference levels), whatever [config.engine] simulates
+    the strikes.
+
+    Sharding: [config.range = Some (lo, hi)] claims global site
+    indices [\[lo, hi)] of the deterministic enumeration — the slice a
+    worker process owns.  Verdict indices reported through
+    [on_verdict] stay global, so shard journals merge by index
+    ({!Journal.merge}).
+
+    Checkpoint/resume: [config.completed] supplies verdicts already
+    decided — typically loaded from a {!Journal} — which must match
+    the range's leading sites one-for-one; only the remaining sites
+    are simulated, so an interrupted-then-resumed campaign returns a
+    value byte-identical (through {!Fault_report}) to a
+    straight-through one.  [config.quarantined] lists global site
+    indices the supervisor gave up on: they are skipped entirely
+    (never simulated, never journaled as verdicts) and surface in
+    [cam_quarantined]; [completed] then covers the range's leading
+    {e non-quarantined} sites.  [config.limit] caps how many {e fresh}
+    sites get simulated this call (the campaign is then
+    [cam_complete = false]).  [on_verdict] fires after each fresh site
+    with its global index — the journaling hook.
+    @raise Invalid_argument on an empty window or site list trouble.
+    @raise Halotis_guard.Diag.Fail ([journal-mismatch]) when
+    [completed] does not match the campaign's site list, or
+    ([shard-range]) when [range] exceeds the enumeration. *)
+
+val run_legacy :
   ?sites:Site.t list ->
   ?range:int * int ->
   ?completed:verdict list ->
@@ -143,36 +220,13 @@ val run :
   Halotis_netlist.Netlist.t ->
   drives:(Halotis_netlist.Netlist.signal_id * Halotis_engine.Drive.t) list ->
   t
-(** Runs the campaign; every engine run goes through
-    {!Halotis_engine.Sim.run}.  [sites] overrides the PRNG-sampled
-    list — pass the same list to several campaigns to compare engines
-    on identical strikes.  Sites are always enumerated against a DDM
-    baseline (the reference levels), whatever [config.engine] simulates
-    the strikes.
-
-    Sharding: [range = (lo, hi)] claims global site indices
-    [\[lo, hi)] of the deterministic enumeration — the slice a worker
-    process owns.  Verdict indices reported through [on_verdict] stay
-    global, so shard journals merge by index ({!Journal.merge}).  The
-    default range is the whole campaign.
-
-    Checkpoint/resume: [completed] (default empty) supplies verdicts
-    already decided — typically loaded from a {!Journal} — which must
-    match the range's leading sites one-for-one; only the remaining
-    sites are simulated, so an interrupted-then-resumed campaign
-    returns a value byte-identical (through {!Fault_report}) to a
-    straight-through one.  [quarantined] (default empty) lists global
-    site indices the supervisor gave up on: they are skipped entirely
-    (never simulated, never journaled as verdicts) and surface in
-    [cam_quarantined]; [completed] then covers the range's leading
-    {e non-quarantined} sites.  [limit] caps how many {e fresh} sites get
-    simulated this call (the campaign is then [cam_complete = false]).
-    [on_verdict] fires after each fresh site with its global index —
-    the journaling hook.
-    @raise Invalid_argument on an empty window or site list trouble.
-    @raise Halotis_guard.Diag.Fail ([journal-mismatch]) when
-    [completed] does not match the campaign's site list, or
-    ([shard-range]) when [range] exceeds the enumeration. *)
+  [@@deprecated
+    "use Campaign.run with the per-call knobs (sites/range/completed/\
+     quarantined/limit) folded into Campaign.config"]
+(** The pre-overlay calling convention: per-call knobs as optional
+    arguments overriding whatever the config carries.  Equivalent to
+    [run ?on_verdict { cfg with sites; range; completed; quarantined;
+    limit }].  Kept for one release. *)
 
 val counts : t -> int * int * int
 (** [(propagated, electrically_masked, logically_masked)] —

@@ -14,14 +14,22 @@ type header = {
   jh_window : (float * float) option;
   jh_range : (int * int) option;
   jh_prune : bool;
+  jh_overlay : string option;
 }
 
 (* v2 added the prune flag to the params line and a trailing marker on
    pruned verdict records; v3 adds quarantine records ([q IDX]) written
-   by the campaign supervisor.  v1 and v2 files still load. *)
+   by the campaign supervisor.  A non-nominal parameter overlay adds an
+   optional trailing [ov:<hex>] token to the params line — absent for
+   the empty overlay, so nominal v3 journals are byte-identical to the
+   pre-overlay format.  v1 and v2 files still load. *)
 let magic_v1 = "# halotis-faults journal v1"
 let magic_v2 = "# halotis-faults journal v2"
 let magic = "# halotis-faults journal v3"
+
+let overlay_fingerprint (cfg : Campaign.config) =
+  if Halotis_tech.Param_overlay.is_empty cfg.Campaign.overlay then None
+  else Some (Halotis_tech.Param_overlay.fingerprint cfg.Campaign.overlay)
 
 let header_of ~circuit ?range (cfg : Campaign.config) =
   {
@@ -35,6 +43,7 @@ let header_of ~circuit ?range (cfg : Campaign.config) =
     jh_window = cfg.Campaign.window;
     jh_range = range;
     jh_prune = cfg.Campaign.prune;
+    jh_overlay = overlay_fingerprint cfg;
   }
 
 let check h ~circuit ?range (cfg : Campaign.config) =
@@ -50,7 +59,8 @@ let check h ~circuit ?range (cfg : Campaign.config) =
   if h.jh_t_stop <> cfg.Campaign.t_stop then fail "t_stop";
   if h.jh_window <> cfg.Campaign.window then fail "window";
   if h.jh_range <> range then fail "shard range";
-  if h.jh_prune <> cfg.Campaign.prune then fail "prune mode"
+  if h.jh_prune <> cfg.Campaign.prune then fail "prune mode";
+  if h.jh_overlay <> overlay_fingerprint cfg then fail "parameter overlay"
 (* [cfg.incremental] is deliberately NOT part of the fingerprint: cone
    re-simulation is result-invariant (byte-identical verdicts), so a
    journal written with it on resumes cleanly with it off and vice
@@ -240,10 +250,13 @@ let open_new ?(sync_every = 8) ?(cursor = false) path h =
     match h.jh_window with Some (a, b) -> (fstr a, fstr b) | None -> ("-", "-")
   in
   output_string oc
-    (Printf.sprintf "! params %s %d %d %s %s %s %s %s %s\n"
+    (Printf.sprintf "! params %s %d %d %s %s %s %s %s %s%s\n"
        (Campaign.engine_to_string h.jh_engine)
        h.jh_seed h.jh_n (fstr h.jh_width) (fstr h.jh_slope) (fstr h.jh_t_stop) w0 w1
-       (if h.jh_prune then "p" else "-"));
+       (if h.jh_prune then "p" else "-")
+       (* the nominal corner writes nothing, keeping pre-overlay
+          journal bytes unchanged *)
+       (match h.jh_overlay with Some fp -> " ov:" ^ fp | None -> ""));
   (* serial journals carry no range line, so their bytes are unchanged
      from the pre-sharding format *)
   (match h.jh_range with
@@ -311,9 +324,19 @@ let load path =
       let header, rest =
         match rest with
         | l :: tl -> (
-            (* v1 params lines have no prune token: normalise to "-" *)
+            (* v1 params lines have no prune token: normalise to "-".
+               The optional trailing [ov:<hex>] overlay token is
+               normalised the other way, peeled off first. *)
+            let fields, overlay =
+              let f = String.split_on_char ' ' l in
+              match List.rev f with
+              | last :: rev_rest
+                when String.length last > 3 && String.sub last 0 3 = "ov:" ->
+                  (List.rev rev_rest, Some (String.sub last 3 (String.length last - 3)))
+              | _ -> (f, None)
+            in
             let fields =
-              match String.split_on_char ' ' l with
+              match fields with
               | [ _; _; _; _; _; _; _; _; _; _ ] as f -> f @ [ "-" ]
               | f -> f
             in
@@ -350,6 +373,7 @@ let load path =
                       jh_window;
                       jh_range = None;
                       jh_prune;
+                      jh_overlay = overlay;
                     }
                 in
                 match parsed with

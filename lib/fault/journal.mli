@@ -60,6 +60,13 @@ type header = {
           journal resumes across incremental modes — prune is recorded
           only because pruned campaigns write different verdict
           records *)
+  jh_overlay : string option;
+      (** {!Halotis_tech.Param_overlay.fingerprint} of the campaign's
+          parameter overlay, or [None] for the nominal (empty) corner.
+          Nominal journals carry no overlay token at all, so their
+          bytes are unchanged from the pre-overlay format — and a
+          zero-sigma [vary] sample journal is byte-identical to the
+          plain [faults] one. *)
 }
 
 val header_of : circuit:string -> ?range:int * int -> Campaign.config -> header

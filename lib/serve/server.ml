@@ -16,6 +16,7 @@ type config = {
   cf_max_transitions : int option;
   cf_watchdog : bool;
   cf_tech : Halotis_tech.Tech.t;
+  cf_overlay : Halotis_tech.Param_overlay.t;
 }
 
 let default_config () =
@@ -25,6 +26,7 @@ let default_config () =
     cf_max_transitions = Some 5_000_000;
     cf_watchdog = true;
     cf_tech = Halotis_tech.Default_lib.tech;
+    cf_overlay = Halotis_tech.Param_overlay.empty;
   }
 
 type t = {
@@ -104,10 +106,18 @@ let handle_load conn (l : P.load) =
     | None -> Diag.fail ~code:"bad-request" (Printf.sprintf "unknown engine %S" l.P.ld_engine)
   in
   let text = circuit_bytes l.P.ld_circuit in
-  let key = Circuit_cache.key_of_source (parse_recipe l.P.ld_circuit ^ "\x00" ^ text) in
+  let overlay = conn.server.cfg.cf_overlay in
+  (* The key also covers the parameter overlay's fingerprint: two
+     corners of the same source must never alias a compiled circuit. *)
+  let key =
+    Circuit_cache.key_of_source
+      (parse_recipe l.P.ld_circuit ^ "\x00" ^ text ^ "\x00"
+      ^ Halotis_tech.Param_overlay.fingerprint overlay)
+  in
   let compiled, hit =
     Circuit_cache.find_or_compile conn.server.cache ~key ~compile:(fun () ->
-        Compiled.compile conn.server.cfg.cf_tech (parse_circuit l.P.ld_circuit text))
+        Compiled.compile ~overlay conn.server.cfg.cf_tech
+          (parse_circuit l.P.ld_circuit text))
   in
   let circuit = compiled.Compiled.circuit in
   let drives, slope =

@@ -26,7 +26,8 @@ let drive_final_level (d : Halotis_engine.Drive.t) =
 
 let create ~id ~engine ~compiled ~drives ~slope ~budget ~watchdog ~t_stop =
   let spec =
-    Sim.spec ~drives ?t_stop ~budget ?watchdog ~tech:compiled.Compiled.tech
+    Sim.spec ~drives ?t_stop ~budget ?watchdog
+      ~overlay:compiled.Compiled.overlay ~tech:compiled.Compiled.tech
       compiled.Compiled.circuit
   in
   let sim = Sim.Session.start ~compiled engine spec in

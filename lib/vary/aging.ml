@@ -1,0 +1,50 @@
+module Overlay = Halotis_tech.Param_overlay
+
+let power_law ~stress_hours =
+  if stress_hours < 0. then invalid_arg "Aging.scale: negative stress hours";
+  if stress_hours = 0. then 0. else (stress_hours /. 1000.) ** 0.4
+
+let scale ~stress_hours = 1.0 +. (0.08 *. power_law ~stress_hours)
+
+(* The slowdown of the conventional macromodel is deliberately an order
+   of magnitude weaker than the decay of the degradation window: a
+   slower gate filters narrow pulses HARDER (inertial masking grows
+   with tp0), so a symmetric law would never let an aged circuit fail —
+   the asymmetry is what makes a TTF sweep converge. *)
+let slow_scale ~stress_hours = 1.0 +. (0.008 *. power_law ~stress_hours)
+
+let age_scale ~stress_hours (s : Overlay.scale) =
+  let a = scale ~stress_hours in
+  if a = 1.0 then s
+  else
+    let d = slow_scale ~stress_hours in
+    {
+      Overlay.sc_d0 = s.Overlay.sc_d0 *. d;
+      sc_d_load = s.Overlay.sc_d_load *. d;
+      sc_d_slope = s.Overlay.sc_d_slope *. d;
+      sc_s0 = s.Overlay.sc_s0 *. d;
+      sc_s_load = s.Overlay.sc_s_load *. d;
+      sc_ddm_a = s.Overlay.sc_ddm_a /. a;
+      sc_ddm_b = s.Overlay.sc_ddm_b /. a;
+      sc_ddm_c = s.Overlay.sc_ddm_c;
+    }
+
+let vt_scale ~stress_hours =
+  let a = scale ~stress_hours in
+  if a = 1.0 then 1.0 else 1.0 /. a
+
+let entry ~stress_hours =
+  let s = age_scale ~stress_hours Overlay.scale_identity in
+  {
+    Overlay.entry_identity with
+    Overlay.en_rise = s;
+    en_fall = s;
+    en_vt = vt_scale ~stress_hours;
+  }
+
+let overlay ~stress_hours ~gates =
+  let e = entry ~stress_hours in
+  let rec go acc g =
+    if g < 0 then acc else go (Overlay.set acc ~gate:g e) (g - 1)
+  in
+  go Overlay.empty (gates - 1)

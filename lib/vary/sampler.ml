@@ -1,0 +1,113 @@
+module Prng = Halotis_util.Prng
+module Netlist = Halotis_netlist.Netlist
+module Overlay = Halotis_tech.Param_overlay
+
+type sigmas = { sg_device : float; sg_chip : float; sg_lot : float }
+
+let zero = { sg_device = 0.; sg_chip = 0.; sg_lot = 0. }
+let is_zero s = s.sg_device = 0. && s.sg_chip = 0. && s.sg_lot = 0.
+
+let sigmas ?(device = 0.) ?(chip = 0.) ?(lot = 0.) () =
+  let check n v =
+    if not (Float.is_finite v) || v < 0. then
+      invalid_arg (Printf.sprintf "Sampler.sigmas: %s must be finite and >= 0" n)
+  in
+  check "device" device;
+  check "chip" chip;
+  check "lot" lot;
+  { sg_device = device; sg_chip = chip; sg_lot = lot }
+
+let chips_per_lot = 8
+let min_scale = 0.05
+
+(* Splitmix64-style avalanche combiner: folds one more integer into a
+   63-bit stream key.  The per-(level, index, gate) keys it produces
+   are what make the draws order- and process-independent. *)
+let mix h k =
+  let open Int64 in
+  let z = add (logxor (of_int h) (mul (of_int k) 0x9E3779B97F4A7C15L)) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (logand z 0x3FFF_FFFF_FFFF_FFFFL)
+
+(* Stream tags per variation level. *)
+let tag_lot = 1
+and tag_chip = 2
+and tag_device = 3
+
+(* Parameter classes drawing independent spreads. *)
+let cls_delay = 0
+and cls_slope = 1
+and cls_ddm = 2
+and cls_vt = 3
+and cls_pin = 4
+
+let n_classes = 5
+
+(* Box-Muller; [1 - u] keeps the log argument in (0, 1]. *)
+let gaussian g =
+  let u1 = 1.0 -. Prng.float g ~bound:1.0 in
+  let u2 = Prng.float g ~bound:1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let sample ?(stress_hours = 0.) sg ~seed ~index c =
+  if index < 0 then invalid_arg "Sampler.sample: negative sample index";
+  if stress_hours < 0. then invalid_arg "Sampler.sample: negative stress hours";
+  let gates = Netlist.gate_count c in
+  if is_zero sg then
+    if stress_hours = 0. then Overlay.empty
+    else Aging.overlay ~stress_hours ~gates
+  else begin
+    (* Chip- and lot-level shifts: one gaussian per parameter class,
+       shared by every gate of this sample (and, for the lot, by the
+       whole chips_per_lot group of samples). *)
+    let shared tag idx =
+      let g = Prng.create ~seed:(mix (mix seed tag) idx) in
+      Array.init n_classes (fun _ -> gaussian g)
+    in
+    let z_lot = shared tag_lot (index / chips_per_lot) in
+    let z_chip = shared tag_chip index in
+    let factor cls z_dev =
+      let s =
+        1.0
+        +. (sg.sg_device *. z_dev)
+        +. (sg.sg_chip *. z_chip.(cls))
+        +. (sg.sg_lot *. z_lot.(cls))
+      in
+      if s < min_scale then min_scale else s
+    in
+    let entry_of gid =
+      let g = Prng.create ~seed:(mix (mix (mix seed tag_device) index) gid) in
+      let edge () =
+        let fd = factor cls_delay (gaussian g) in
+        let fs = factor cls_slope (gaussian g) in
+        let fm = factor cls_ddm (gaussian g) in
+        Aging.age_scale ~stress_hours
+          {
+            Overlay.sc_d0 = fd;
+            sc_d_load = fd;
+            sc_d_slope = fd;
+            sc_s0 = fs;
+            sc_s_load = fs;
+            sc_ddm_a = fm;
+            sc_ddm_b = fm;
+            sc_ddm_c = 1.0;
+          }
+      in
+      let en_rise = edge () in
+      let en_fall = edge () in
+      let en_vt = factor cls_vt (gaussian g) *. Aging.vt_scale ~stress_hours in
+      let arity = Array.length (Netlist.gate c gid).Netlist.fanin in
+      (* pin 0 keeps the technology convention pin_factor 0 = 1.0 *)
+      let en_pin =
+        List.init (max 0 (arity - 1)) (fun i ->
+            (i + 1, factor cls_pin (gaussian g)))
+      in
+      { Overlay.en_rise; en_fall; en_vt; en_pin }
+    in
+    let rec go acc gid =
+      if gid < 0 then acc else go (Overlay.set acc ~gate:gid (entry_of gid)) (gid - 1)
+    in
+    go Overlay.empty (gates - 1)
+  end

@@ -1,0 +1,36 @@
+type step = { sw_hours : float; sw_failed : bool }
+type t = { sw_steps : step list; sw_ttf : float option }
+
+let run ?(h0 = 100.) ?(factor = 2.) ?(max_steps = 16) ?(refine = 4) ~probe () =
+  if h0 <= 0. then invalid_arg "Sweep.run: h0 must be positive";
+  if factor <= 1. then invalid_arg "Sweep.run: factor must exceed 1";
+  if max_steps <= 0 then invalid_arg "Sweep.run: max_steps must be positive";
+  if refine < 0 then invalid_arg "Sweep.run: refine must be non-negative";
+  let steps = ref [] in
+  let probe ~stress_hours =
+    let failed = probe ~stress_hours in
+    steps := { sw_hours = stress_hours; sw_failed = failed } :: !steps;
+    failed
+  in
+  (* climb the geometric ladder until the first failure *)
+  let rec climb k lo =
+    if k >= max_steps then None
+    else
+      let h = h0 *. (factor ** float_of_int k) in
+      if probe ~stress_hours:h then Some (lo, h) else climb (k + 1) h
+  in
+  let ttf =
+    match climb 0 0. with
+    | None -> None
+    | Some (lo, hi) ->
+        (* bisect the bracket: lo survives (or is 0), hi fails *)
+        let rec bisect n lo hi =
+          if n = 0 then hi
+          else
+            let mid = (lo +. hi) /. 2. in
+            if probe ~stress_hours:mid then bisect (n - 1) lo mid
+            else bisect (n - 1) mid hi
+        in
+        Some (bisect refine lo hi)
+  in
+  { sw_steps = List.rev !steps; sw_ttf = ttf }

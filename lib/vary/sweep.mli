@@ -1,0 +1,43 @@
+(** Time-to-failure sweep over virtual stress hours.
+
+    Ages the circuit along the {!Aging} law until a caller-supplied
+    probe flips — the canonical probe re-runs one reference SET site
+    (a pulse the {e fresh} circuit electrically masks) and answers
+    "does it propagate now?".  The driver climbs a geometric ladder
+    [h0, h0*factor, h0*factor^2, ...] until the probe first answers
+    [true] (or the ladder runs out), then bisects the bracketing
+    interval a fixed number of times.  Aging is monotone, so the
+    refined upper bound is the reported TTF.
+
+    Fully deterministic: probe instants are a pure function of the
+    ladder parameters, and every probe outcome is recorded in
+    {!t.sw_steps} (in probe order) so reports can show the whole
+    trajectory. *)
+
+type step = {
+  sw_hours : float;  (** probed virtual stress, hours *)
+  sw_failed : bool;  (** the reference pulse propagated at this age *)
+}
+
+type t = {
+  sw_steps : step list;  (** every probe, in probe order *)
+  sw_ttf : float option;
+      (** smallest probed stress at which the pulse propagates (after
+          bisection refinement); [None] when even the ladder's top
+          never fails — the site is immune within the swept range *)
+}
+
+val run :
+  ?h0:float ->
+  ?factor:float ->
+  ?max_steps:int ->
+  ?refine:int ->
+  probe:(stress_hours:float -> bool) ->
+  unit ->
+  t
+(** Defaults: [h0 = 100.] hours, [factor = 2.], [max_steps = 16]
+    ladder rungs, [refine = 4] bisection steps.  [probe] must be
+    monotone in stress for the bracket refinement to be meaningful
+    (the {!Aging} law is).
+    @raise Invalid_argument on a non-positive [h0]/[factor <= 1]/
+    non-positive [max_steps] or negative [refine]. *)

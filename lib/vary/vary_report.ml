@@ -1,0 +1,252 @@
+module Json = Halotis_util.Json
+module Campaign = Halotis_fault.Campaign
+
+type sample = {
+  vs_index : int;
+  vs_fingerprint : string;
+  vs_propagated : int;
+  vs_electrical : int;
+  vs_logical : int;
+  vs_timed_out : int;
+  vs_masking_rate : float;
+}
+
+let sample_of_verdicts ~index ~fingerprint verdicts =
+  let p, e, l, t =
+    List.fold_left
+      (fun (p, e, l, t) (v : Campaign.verdict) ->
+        match v.Campaign.vd_outcome with
+        | Campaign.Propagated -> (p + 1, e, l, t)
+        | Campaign.Electrically_masked -> (p, e + 1, l, t)
+        | Campaign.Logically_masked -> (p, e, l + 1, t)
+        | Campaign.Timed_out -> (p, e, l, t + 1))
+      (0, 0, 0, 0) verdicts
+  in
+  let n = List.length verdicts in
+  {
+    vs_index = index;
+    vs_fingerprint = fingerprint;
+    vs_propagated = p;
+    vs_electrical = e;
+    vs_logical = l;
+    vs_timed_out = t;
+    vs_masking_rate =
+      (if n = 0 then 0. else float_of_int (n - p) /. float_of_int n);
+  }
+
+type percentiles = {
+  pc_p5 : float;
+  pc_p25 : float;
+  pc_p50 : float;
+  pc_p75 : float;
+  pc_p95 : float;
+  pc_mean : float;
+}
+
+let percentiles = function
+  | [] -> None
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      (* nearest rank on the closed [0, n-1] index range *)
+      let at p =
+        let i = int_of_float (Float.round (p /. 100. *. float_of_int (n - 1))) in
+        a.(max 0 (min (n - 1) i))
+      in
+      let mean = Array.fold_left ( +. ) 0. a /. float_of_int n in
+      Some
+        {
+          pc_p5 = at 5.;
+          pc_p25 = at 25.;
+          pc_p50 = at 50.;
+          pc_p75 = at 75.;
+          pc_p95 = at 95.;
+          pc_mean = mean;
+        }
+
+type t = {
+  vr_circuit : string;
+  vr_engine : string;
+  vr_seed : int;
+  vr_sigmas : Sampler.sigmas;
+  vr_stress_hours : float;
+  vr_sites : int;
+  vr_nominal : sample;
+  vr_samples : sample list;
+  vr_flips : (int * int) list;
+  vr_ttf : Sweep.t option;
+}
+
+let make ~circuit ~engine ~seed ~sigmas ~stress_hours ~nominal ~samples ?ttf () =
+  let n_sites = List.length nominal in
+  List.iter
+    (fun (i, _, vs) ->
+      if List.length vs <> n_sites then
+        invalid_arg
+          (Printf.sprintf
+             "Vary_report.make: sample %d has %d verdicts, the nominal campaign %d" i
+             (List.length vs) n_sites))
+    samples;
+  let nominal_outcomes =
+    Array.of_list (List.map (fun (v : Campaign.verdict) -> v.Campaign.vd_outcome) nominal)
+  in
+  let flip_counts = Array.make n_sites 0 in
+  List.iter
+    (fun (_, _, vs) ->
+      List.iteri
+        (fun i (v : Campaign.verdict) ->
+          if v.Campaign.vd_outcome <> nominal_outcomes.(i) then
+            flip_counts.(i) <- flip_counts.(i) + 1)
+        vs)
+    samples;
+  let flips =
+    Array.to_list (Array.mapi (fun i k -> (i, k)) flip_counts)
+    |> List.filter (fun (_, k) -> k > 0)
+    |> List.sort (fun (i, a) (j, b) -> if a <> b then compare b a else compare i j)
+  in
+  {
+    vr_circuit = circuit;
+    vr_engine = engine;
+    vr_seed = seed;
+    vr_sigmas = sigmas;
+    vr_stress_hours = stress_hours;
+    vr_sites = n_sites;
+    vr_nominal = sample_of_verdicts ~index:(-1) ~fingerprint:"" nominal;
+    vr_samples =
+      List.map (fun (i, fp, vs) -> sample_of_verdicts ~index:i ~fingerprint:fp vs) samples;
+    vr_flips = flips;
+    vr_ttf = ttf;
+  }
+
+let masking_percentiles t =
+  percentiles (List.map (fun s -> s.vs_masking_rate) t.vr_samples)
+
+(* --- JSON rendering --- *)
+
+let sample_json s =
+  Json.Obj
+    ([ ("index", Json.Num (float_of_int s.vs_index)) ]
+    @ (if s.vs_fingerprint = "" then []
+       else [ ("overlay", Json.Str s.vs_fingerprint) ])
+    @ [
+        ("propagated", Json.Num (float_of_int s.vs_propagated));
+        ("electrical", Json.Num (float_of_int s.vs_electrical));
+        ("logical", Json.Num (float_of_int s.vs_logical));
+        ("timed_out", Json.Num (float_of_int s.vs_timed_out));
+        ("masking_rate", Json.Num s.vs_masking_rate);
+      ])
+
+let percentiles_json p =
+  Json.Obj
+    [
+      ("p5", Json.Num p.pc_p5);
+      ("p25", Json.Num p.pc_p25);
+      ("p50", Json.Num p.pc_p50);
+      ("p75", Json.Num p.pc_p75);
+      ("p95", Json.Num p.pc_p95);
+      ("mean", Json.Num p.pc_mean);
+    ]
+
+let sweep_json (s : Sweep.t) =
+  Json.Obj
+    [
+      ( "steps",
+        Json.Arr
+          (List.map
+             (fun (st : Sweep.step) ->
+               Json.Obj
+                 [
+                   ("hours", Json.Num st.Sweep.sw_hours);
+                   ("failed", Json.Bool st.Sweep.sw_failed);
+                 ])
+             s.Sweep.sw_steps) );
+      ( "ttf_hours",
+        match s.Sweep.sw_ttf with None -> Json.Null | Some h -> Json.Num h );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("tool", Json.Str "halotis-vary");
+      ("version", Json.Num 1.);
+      ("circuit", Json.Str t.vr_circuit);
+      ("engine", Json.Str t.vr_engine);
+      ("seed", Json.Num (float_of_int t.vr_seed));
+      ( "sigmas",
+        Json.Obj
+          [
+            ("device", Json.Num t.vr_sigmas.Sampler.sg_device);
+            ("chip", Json.Num t.vr_sigmas.Sampler.sg_chip);
+            ("lot", Json.Num t.vr_sigmas.Sampler.sg_lot);
+          ] );
+      ("stress_hours", Json.Num t.vr_stress_hours);
+      ("sites", Json.Num (float_of_int t.vr_sites));
+      ("samples", Json.Num (float_of_int (List.length t.vr_samples)));
+      ("nominal", sample_json t.vr_nominal);
+      ( "masking_rate",
+        match masking_percentiles t with
+        | None -> Json.Null
+        | Some p -> percentiles_json p );
+      ("per_sample", Json.Arr (List.map sample_json t.vr_samples));
+      ( "corner_sensitive_sites",
+        Json.Arr
+          (List.map
+             (fun (site, k) ->
+               Json.Obj
+                 [
+                   ("site", Json.Num (float_of_int site));
+                   ("flips", Json.Num (float_of_int k));
+                 ])
+             t.vr_flips) );
+      ("ttf", match t.vr_ttf with None -> Json.Null | Some s -> sweep_json s);
+    ]
+
+let to_string t = Json.to_string (to_json t)
+
+(* --- text rendering --- *)
+
+let to_text t =
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.bprintf b fmt in
+  pf "halotis vary report\n";
+  pf "circuit: %s  engine: %s  seed: %d\n" t.vr_circuit t.vr_engine t.vr_seed;
+  pf "sigmas: device %.4f  chip %.4f  lot %.4f  stress: %.1f h\n"
+    t.vr_sigmas.Sampler.sg_device t.vr_sigmas.Sampler.sg_chip
+    t.vr_sigmas.Sampler.sg_lot t.vr_stress_hours;
+  pf "%d sites x %d samples\n\n" t.vr_sites (List.length t.vr_samples);
+  pf "  %-8s %10s %10s %9s %9s %12s\n" "sample" "propagated" "electrical" "logical"
+    "timed-out" "masking-rate";
+  let row label s =
+    pf "  %-8s %10d %10d %9d %9d %12.4f\n" label s.vs_propagated s.vs_electrical
+      s.vs_logical s.vs_timed_out s.vs_masking_rate
+  in
+  row "nominal" t.vr_nominal;
+  List.iter (fun s -> row (string_of_int s.vs_index) s) t.vr_samples;
+  (match masking_percentiles t with
+  | None -> ()
+  | Some p ->
+      pf "\nmasking rate: p5 %.4f  p25 %.4f  p50 %.4f  p75 %.4f  p95 %.4f  mean %.4f\n"
+        p.pc_p5 p.pc_p25 p.pc_p50 p.pc_p75 p.pc_p95 p.pc_mean);
+  (match t.vr_flips with
+  | [] -> pf "\nno corner-sensitive sites: every sample agrees with nominal\n"
+  | flips ->
+      pf "\ncorner-sensitive sites (outcome differs from nominal):\n";
+      List.iter
+        (fun (site, k) ->
+          pf "  site %-5d flips in %d of %d samples\n" site k
+            (List.length t.vr_samples))
+        flips);
+  (match t.vr_ttf with
+  | None -> ()
+  | Some s ->
+      pf "\nttf sweep:\n";
+      List.iter
+        (fun (st : Sweep.step) ->
+          pf "  %10.1f h  %s\n" st.Sweep.sw_hours
+            (if st.Sweep.sw_failed then "propagates" else "masked"))
+        s.Sweep.sw_steps;
+      (match s.Sweep.sw_ttf with
+      | Some h -> pf "  reference pulse first propagates at %.1f virtual stress hours\n" h
+      | None -> pf "  reference pulse never propagates within the swept range\n"));
+  Buffer.contents b

@@ -97,7 +97,9 @@ let strike_chain ~width ~at =
     Campaign.config ~pulse:(Inject.pulse ~width ()) ~t_stop:8000. ()
   in
   let t =
-    Campaign.run ~sites:[ site ] cfg DL.tech c
+    Campaign.run
+      { cfg with Campaign.sites = Some [ site ] }
+      DL.tech c
       ~drives:[ (sid c "in", Drive.constant false) ]
   in
   (List.hd t.Campaign.cam_verdicts).Campaign.vd_outcome
@@ -183,7 +185,9 @@ let test_classic_strike_not_preempted () =
   let cfg = Campaign.config ~engine:Campaign.Classic_inertial ~t_stop:8000. () in
   let baseline = Iddm.run (Iddm.config ~t_stop:8000. DL.tech) c ~drives in
   let site = Site.of_signal ~baseline (sid c "out") ~at:6000. in
-  let t = Campaign.run ~sites:[ site ] cfg DL.tech c ~drives in
+  let t =
+    Campaign.run { cfg with Campaign.sites = Some [ site ] } DL.tech c ~drives
+  in
   checkb "late strike on output propagates" true
     ((List.hd t.Campaign.cam_verdicts).Campaign.vd_outcome = Campaign.Propagated)
 
@@ -236,8 +240,9 @@ let prune_chain_scenario () =
 
 let test_prune_skips_proven_site () =
   let c, drives, site, cfg = prune_chain_scenario () in
-  let plain = Campaign.run ~sites:[ site ] (cfg false) DL.tech c ~drives in
-  let pruned = Campaign.run ~sites:[ site ] (cfg true) DL.tech c ~drives in
+  let with_site cfg = { cfg with Campaign.sites = Some [ site ] } in
+  let plain = Campaign.run (with_site (cfg false)) DL.tech c ~drives in
+  let pruned = Campaign.run (with_site (cfg true)) DL.tech c ~drives in
   checki "simulated run prunes nothing" 0 (Campaign.pruned_count plain);
   checki "static run prunes the site" 1 (Campaign.pruned_count pruned);
   let vp = List.hd plain.Campaign.cam_verdicts in
@@ -265,9 +270,10 @@ let test_journal_v2_pruned_roundtrip () =
         Journal.open_new path (Journal.header_of ~circuit:(N.name c) (cfg true))
       in
       let t =
-        Campaign.run ~sites:[ site ]
+        Campaign.run
           ~on_verdict:(fun i v -> Journal.write w i v)
-          (cfg true) DL.tech c ~drives
+          { (cfg true) with Campaign.sites = Some [ site ] }
+          DL.tech c ~drives
       in
       Journal.close w;
       checki "campaign pruned the site" 1 (Campaign.pruned_count t);
@@ -461,8 +467,9 @@ let test_cone_same_instant_strike_exact () =
   checkb "fixture has a boundary crossing" true (not (Float.is_nan at));
   let site = Site.of_signal ~baseline victim ~at in
   let cfg incremental = Campaign.config ~incremental ~t_stop:8000. () in
-  let t_on = Campaign.run ~sites:[ site ] (cfg true) DL.tech c ~drives in
-  let t_off = Campaign.run ~sites:[ site ] (cfg false) DL.tech c ~drives in
+  let with_site cfg = { cfg with Campaign.sites = Some [ site ] } in
+  let t_on = Campaign.run (with_site (cfg true)) DL.tech c ~drives in
+  let t_off = Campaign.run (with_site (cfg false)) DL.tech c ~drives in
   (match t_on.Campaign.cam_cone with
   | None -> Alcotest.fail "incremental was refused outright"
   | Some tot -> checki "site grafted exactly" 1 tot.Sim.Cone.ct_exact);

@@ -421,8 +421,10 @@ let test_resume_byte_identical () =
       (* phase 1: run 5 sites, journaling, then "crash" with a torn tail *)
       let w = Journal.open_new ~sync_every:2 path (Journal.header_of ~circuit:(N.name c) cfg) in
       let part =
-        Campaign.run ~limit:5 ~on_verdict:(fun i v -> Journal.write w i v) cfg DL.tech c
-          ~drives
+        Campaign.run
+          ~on_verdict:(fun i v -> Journal.write w i v)
+          { cfg with Campaign.limit = Some 5 }
+          DL.tech c ~drives
       in
       Journal.close w;
       checkb "parked after the site limit" false part.Campaign.cam_complete;
@@ -437,8 +439,10 @@ let test_resume_byte_identical () =
       checki "torn tail dropped, five verdicts recovered" 5 (List.length completed);
       let w2 = Journal.open_append path in
       let resumed =
-        Campaign.run ~completed ~on_verdict:(fun i v -> Journal.write w2 i v) cfg DL.tech
-          c ~drives
+        Campaign.run
+          ~on_verdict:(fun i v -> Journal.write w2 i v)
+          { cfg with Campaign.completed }
+          DL.tech c ~drives
       in
       Journal.close w2;
       checkb "resumed campaign completes" true resumed.Campaign.cam_complete;
@@ -448,7 +452,9 @@ let test_resume_byte_identical () =
       let _, all_indexed = Journal.load path in
       let all, _ = Journal.partition ~first:0 (Journal.contiguous ~first:0 all_indexed) in
       checki "journal holds every verdict" 12 (List.length all);
-      let replay = Campaign.run ~completed:all cfg DL.tech c ~drives in
+      let replay =
+        Campaign.run { cfg with Campaign.completed = all } DL.tech c ~drives
+      in
       checks "replayed-from-journal report byte-identical" want_json
         (Fault_report.to_string replay))
 
@@ -594,10 +600,14 @@ let test_range_runs_merge_byte_identical () =
   let serial = Campaign.run cfg DL.tech c ~drives in
   let verdicts =
     List.concat_map
-      (fun range -> (Campaign.run ~range cfg DL.tech c ~drives).Campaign.cam_verdicts)
+      (fun range ->
+        (Campaign.run { cfg with Campaign.range = Some range } DL.tech c ~drives)
+          .Campaign.cam_verdicts)
       (Shard.ranges ~total:serial.Campaign.cam_sites_total ~jobs:3)
   in
-  let merged = Campaign.run ~completed:verdicts cfg DL.tech c ~drives in
+  let merged =
+    Campaign.run { cfg with Campaign.completed = verdicts } DL.tech c ~drives
+  in
   checks "sharded report byte-identical" (Fault_report.to_string serial)
     (Fault_report.to_string merged)
 

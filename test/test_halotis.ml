@@ -6,4 +6,5 @@ let () =
    @ Test_sta.tests @ Test_liberty.tests @ Test_engine_edge.tests
    @ Test_sequential.tests @ Test_cmos.tests @ Test_goldens.tests
    @ Test_lint.tests @ Test_fault.tests @ Test_perf_equiv.tests @ Test_guard.tests
-   @ Test_serve.tests @ Test_cli.tests @ Test_supervisor.tests)
+   @ Test_serve.tests @ Test_cli.tests @ Test_supervisor.tests
+   @ Test_vary.tests)
